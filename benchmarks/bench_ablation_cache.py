@@ -1,0 +1,33 @@
+"""Ablation: pulse-cache hit rate ("partial compilation").
+
+The paper's future-work section proposes partial compilation to cut the
+hours-long compile times.  Our OCU caches latencies and pulses by
+structural signature; this benchmark measures the hit rate across a
+suite compile — high rates mean most instructions are recompilations of
+structures already optimized.
+"""
+
+from repro.benchmarks.registry import table3_suite
+from repro.compiler.pipeline import compile_circuit
+from repro.compiler.strategies import CLS_AGGREGATION
+from repro.control.unit import OptimalControlUnit
+
+
+def test_cache_hit_rate(benchmark, bench_scale, capsys):
+    def run():
+        ocu = OptimalControlUnit(backend="model")
+        for spec in table3_suite("small")[:6]:
+            compile_circuit(spec.build(), CLS_AGGREGATION, ocu=ocu)
+        return ocu.cache_info()
+
+    info = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_queries = info["cache_hits"] + info["latency_entries"]
+    hit_rate = info["cache_hits"] / total_queries
+    with capsys.disabled():
+        print()
+        print("Ablation: OCU cache (partial compilation)")
+        print(f"  distinct structures: {info['latency_entries']}")
+        print(f"  cache hits:          {info['cache_hits']}")
+        print(f"  hit rate:            {hit_rate:.1%}")
+    # Most latency queries must be served from the cache.
+    assert hit_rate > 0.5

@@ -1,0 +1,14 @@
+"""Regenerates paper Figure 4: the triangle-QAOA worked example."""
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+
+def test_figure4(benchmark, shared_ocu, capsys):
+    result = benchmark(run_figure4, ocu=shared_ocu)
+    with capsys.disabled():
+        print()
+        print(format_figure4(result))
+    # Paper: 381.9 ns -> 128.3 ns (2.97x).  Shape: same latency order
+    # and a speedup in the same band.
+    assert abs(result.isa_latency_ns - result.paper_isa_ns) / result.paper_isa_ns < 0.35
+    assert 2.0 <= result.speedup <= 6.5

@@ -1,0 +1,18 @@
+"""Regenerates paper Table 1: per-instruction pulse times."""
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1(benchmark, shared_ocu, capsys):
+    rows = benchmark(run_table1, ocu=shared_ocu)
+    with capsys.disabled():
+        print()
+        print(format_table1(rows))
+    by_label = {row.label: row for row in rows}
+    # Shape assertions: two-qubit times within 10% of the paper, the
+    # aggregated G3 block matching, aggregates beating serial execution.
+    assert abs(by_label["CNOT"].ratio - 1.0) < 0.10
+    assert abs(by_label["SWAP"].ratio - 1.0) < 0.10
+    assert abs(by_label["G3 (CNOT-Rz-CNOT)"].ratio - 1.0) < 0.10
+    serial_g3 = 2 * by_label["CNOT"].measured_ns + by_label["Rz(2g)"].measured_ns
+    assert by_label["G3 (CNOT-Rz-CNOT)"].measured_ns < 0.5 * serial_g3

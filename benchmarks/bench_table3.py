@@ -1,0 +1,24 @@
+"""Regenerates paper Table 3: benchmark characteristics."""
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3(benchmark, bench_scale, capsys):
+    rows = benchmark.pedantic(
+        run_table3, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_table3(rows))
+    assert len(rows) == 10
+    by_key = {row.key: row for row in rows}
+    # The QAOA family must order line > reg4 > cluster in locality.
+    maxcuts = [row for row in rows if row.key.startswith("maxcut")]
+    assert maxcuts[0].spatial_locality > maxcuts[2].spatial_locality
+    # Square-root rows are non-commutative at any scale; the deep-serial
+    # character needs the paper-size instances to fully show.
+    for row in rows:
+        if row.key.startswith("sqrt"):
+            assert row.commutativity_label == "Low"
+            if bench_scale == "paper":
+                assert row.parallelism_label == "Low"

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one ``bench_*`` module here that regenerates
+it and prints the rows the paper reports.  The default scale is the
+reduced ("small") suite so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes; set ``REPRO_BENCH_SCALE=paper`` for the full Table 3
+sizes (the committed ``results/paper_scale_report.txt`` was produced at
+paper scale).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.control.unit import OptimalControlUnit
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Benchmark suite scale: "small" (default) or "paper"."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def shared_ocu() -> OptimalControlUnit:
+    """One latency oracle for the whole session (shared pulse cache)."""
+    return OptimalControlUnit(backend="model")

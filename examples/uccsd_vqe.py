@@ -1,0 +1,42 @@
+"""UCCSD for VQE: a serial, machine-unaware ansatz made competitive.
+
+Builds the UCCSD-n4 ansatz (Jordan-Wigner), compiles it under gate-based
+and aggregated flows, and sweeps the allowed instruction width — serial
+chemistry circuits are where the paper's approach shines (Sec. 6.2/6.4).
+
+Run:  python examples/uccsd_vqe.py
+"""
+
+from repro.benchmarks.uccsd import uccsd_ansatz_circuit
+from repro.compiler import CLS_AGGREGATION, ISA, compile_circuit
+from repro.control.unit import OptimalControlUnit
+
+
+def main() -> None:
+    circuit = uccsd_ansatz_circuit(4, num_electrons=2)
+    print(f"{circuit}: UCCSD singles+doubles on 4 spin orbitals")
+    print(f"gates: {dict(circuit.gate_counts())}")
+    print()
+
+    ocu = OptimalControlUnit(backend="model")
+    isa = compile_circuit(circuit, ISA, ocu=ocu)
+    print(f"gate-based latency: {isa.latency_ns:8.1f} ns")
+    print()
+    print("allowed instruction width sweep (paper Fig. 10, serial case):")
+    print(f"{'width':>6s} {'latency':>11s} {'speedup':>8s} {'widest':>7s}")
+    for width in range(2, 7):
+        result = compile_circuit(
+            circuit, CLS_AGGREGATION, ocu=ocu, width_limit=width
+        )
+        print(
+            f"{width:6d} {result.latency_ns:9.1f} ns "
+            f"{result.speedup_over(isa):7.2f}x "
+            f"{result.widest_instruction():7d}"
+        )
+    print()
+    print("Serial applications keep improving as wider aggregates are")
+    print("allowed — they do not saturate until the optimal-control limit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+Kept so ``python setup.py develop`` works in offline environments where pip
+cannot build editable wheels (no ``wheel`` package available).  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

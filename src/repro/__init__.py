@@ -1,0 +1,56 @@
+"""repro: optimized compilation of aggregated instructions for realistic
+quantum computers.
+
+A from-scratch reproduction of Shi et al., ASPLOS 2019.  The package
+compiles quantum circuits into optimized control pulses by aggregating
+logical gates into multi-qubit instructions: commutativity detection,
+commutativity-aware scheduling (CLS), grid mapping with SWAP routing,
+monotonic instruction aggregation, and a GRAPE-based optimal-control
+unit with a calibrated analytic latency model.
+
+Quick example::
+
+    from repro import Circuit, compile_circuit, CLS_AGGREGATION, ISA
+
+    circuit = Circuit(3).h(0).cnot(0, 1).rz(1.2, 1).cnot(0, 1)
+    baseline = compile_circuit(circuit, ISA)
+    optimized = compile_circuit(circuit, CLS_AGGREGATION)
+    print(optimized.speedup_over(baseline))
+"""
+
+from repro.circuit.circuit import Circuit
+from repro.compiler.pipeline import compile_circuit
+from repro.compiler.result import CompilationResult
+from repro.compiler.strategies import (
+    AGGREGATION,
+    CLS,
+    CLS_AGGREGATION,
+    CLS_HAND,
+    ISA,
+    Strategy,
+    all_strategies,
+    strategy_by_key,
+)
+from repro.config import CompilerConfig, DeviceConfig
+from repro.control.unit import OptimalControlUnit
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AGGREGATION",
+    "CLS",
+    "CLS_AGGREGATION",
+    "CLS_HAND",
+    "Circuit",
+    "CompilationResult",
+    "CompilerConfig",
+    "DeviceConfig",
+    "ISA",
+    "OptimalControlUnit",
+    "ReproError",
+    "Strategy",
+    "all_strategies",
+    "compile_circuit",
+    "strategy_by_key",
+]

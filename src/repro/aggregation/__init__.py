@@ -1,0 +1,14 @@
+"""Instruction aggregation: diagonal detection and monotonic merging."""
+
+from repro.aggregation.action_space import candidate_actions
+from repro.aggregation.aggregator import AggregationReport, aggregate
+from repro.aggregation.diagonal import detect_diagonal_blocks
+from repro.aggregation.instruction import AggregatedInstruction
+
+__all__ = [
+    "AggregatedInstruction",
+    "AggregationReport",
+    "aggregate",
+    "candidate_actions",
+    "detect_diagonal_blocks",
+]

@@ -1,0 +1,63 @@
+"""The action space for instruction aggregation (paper Sec. 4.1).
+
+Two nodes may aggregate when they (1) overlap on at least one qubit,
+(2) sit in the same or consecutive commutation groups on *every* shared
+qubit (parent/child or siblings — either way a legal reorder makes them
+adjacent, keeping the merged pulse continuous), and (3) the merged width
+stays within the optimal-control unit's limit.  Acyclicity after the
+merge is checked transactionally by the GDG itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+def candidate_actions(dag, width_limit: int) -> list[tuple]:
+    """Enumerate mergeable node pairs ``(earlier, later)``.
+
+    Pairs are found per qubit: all pairs within one commutation group
+    (siblings) plus all pairs across consecutive groups (parent/child),
+    then filtered through :meth:`GateDependenceGraph.can_merge` and the
+    width limit.  Each unordered pair is reported once.
+    """
+    seen: set[frozenset[int]] = set()
+    actions: list[tuple] = []
+    for qubit in range(dag.num_qubits):
+        groups = dag.commutation_groups(qubit)
+        for group_index, group in enumerate(groups):
+            pair_iter = itertools.chain(
+                itertools.combinations(group, 2),
+                (
+                    (a, b)
+                    for a in group
+                    for b in groups[group_index + 1]
+                )
+                if group_index + 1 < len(groups)
+                else (),
+            )
+            for a, b in pair_iter:
+                key = frozenset((id(a), id(b)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                merged_width = len(set(a.qubits) | set(b.qubits))
+                if merged_width > width_limit:
+                    continue
+                if not dag.can_merge(a, b):
+                    continue
+                actions.append(_oriented(dag, a, b))
+    return actions
+
+
+def _oriented(dag, a, b) -> tuple:
+    """Order the pair so the first node runs no later than the second."""
+    shared = set(a.qubits) & set(b.qubits)
+    qubit = next(iter(shared))
+    sequence = dag.qubit_sequence(qubit)
+    for node in sequence:
+        if node is a:
+            return (a, b)
+        if node is b:
+            return (b, a)
+    return (a, b)

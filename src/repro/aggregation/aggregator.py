@@ -1,0 +1,307 @@
+"""Iterative monotonic instruction aggregation (paper Sec. 4.3).
+
+Each round scores every legal action (pair merge) in the current GDG:
+
+* **Monotonic filter** — an action must not lengthen the critical path
+  even under the pessimistic assumption that the merged pulse takes as
+  long as its two parts in sequence.  This is evaluated incrementally
+  from the round's ASAP times and critical tails, so candidates cost
+  O(neighbourhood) instead of a full re-schedule.
+* **Reward** — the latency the optimal-control unit is expected to save,
+  ``lat(a) + lat(b) - model_latency(merged)`` (setup amortization plus
+  interaction folding).
+
+The best-rewarded monotonic actions execute (greedily, skipping actions
+that touch qubits already modified this round, so the incremental timing
+data stays valid); merged instructions get their real latency from the
+OCU, and rounds repeat until no profitable monotonic action remains —
+the "iterate until the GDG converges" loop of the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.aggregation.action_space import candidate_actions
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.errors import SchedulingError
+
+_EPSILON = 1e-6
+
+
+@dataclasses.dataclass
+class AggregationReport:
+    """Statistics of one aggregation run."""
+
+    merges: int
+    rounds: int
+    initial_makespan: float
+    final_makespan: float
+
+    @property
+    def improvement(self) -> float:
+        """Makespan reduction factor (>= 1 means no regression)."""
+        if self.final_makespan <= 0:
+            return 1.0
+        return self.initial_makespan / self.final_makespan
+
+
+def aggregate(
+    dag,
+    ocu,
+    width_limit: int = 10,
+    max_rounds: int = 10_000,
+    batch: bool = True,
+    monotonic_only: bool = True,
+) -> AggregationReport:
+    """Run the aggregation loop on a GDG in place.
+
+    Args:
+        dag: The (routed, physical) gate-dependence graph; mutated.
+        ocu: Latency oracle (:class:`~repro.control.unit.OptimalControlUnit`).
+        width_limit: Maximum qubits per aggregated instruction.
+        max_rounds: Safety cap on aggregate/re-latency rounds.
+        batch: Execute all qubit-disjoint profitable actions per round
+            (False reproduces the paper's strict one-global-best loop).
+        monotonic_only: Keep the paper's parallelism-protecting filter;
+            False greedily merges by reward alone (the Sec. 4.3
+            ablation — expect serialized circuits on parallel workloads).
+
+    Returns:
+        An :class:`AggregationReport`.
+    """
+    latency_cache: dict[int, float] = {}
+
+    def latency(node) -> float:
+        key = id(node)
+        if key not in latency_cache:
+            latency_cache[key] = ocu.latency(node)
+        return latency_cache[key]
+
+    initial_makespan = dag.makespan(latency)
+    merges = 0
+    if batch:
+        # Strict paper mode (batch=False) skips the linear-time shortcut
+        # so every merge goes through the global-best loop.
+        merges = _series_prepass(dag, ocu, latency, latency_cache, width_limit)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        if batch and rounds > 1:
+            # Earlier merges expose new pure series pairs; fold them in
+            # linear time before paying for another scored round.
+            merges += _series_prepass(
+                dag, ocu, latency, latency_cache, width_limit
+            )
+        timing = _RoundTiming(dag, latency)
+        scored = []
+        for earlier, later in candidate_actions(dag, width_limit):
+            if monotonic_only and not timing.is_monotonic(earlier, later):
+                continue
+            merged_estimate = ocu.model_latency(
+                AggregatedInstruction.from_nodes(earlier, later, name="probe")
+            )
+            reward = latency(earlier) + latency(later) - merged_estimate
+            if reward > _EPSILON:
+                scored.append((reward, earlier, later))
+        scored.sort(key=lambda item: item[0], reverse=True)
+
+        executed = 0
+        touched_qubits: set[int] = set()
+        merged_ids: set[int] = set()
+        for _reward, earlier, later in scored:
+            if id(earlier) in merged_ids or id(later) in merged_ids:
+                continue
+            qubits = set(earlier.qubits) | set(later.qubits)
+            if touched_qubits & qubits:
+                continue
+            if timing.has_indirect_path(earlier, later):
+                # Merging would need the merged node both before and
+                # after the intermediate path: a cycle.
+                continue
+            # The pre-filter uses round-start times, which earlier merges
+            # in this round may have shifted, so the merge itself stays
+            # transactional (check_cycles=True rolls back on a cycle).
+            merged = AggregatedInstruction.from_nodes(earlier, later)
+            try:
+                dag.merge(earlier, later, merged, check_cycles=True)
+            except SchedulingError:
+                continue
+            merged_ids.update((id(earlier), id(later)))
+            touched_qubits.update(qubits)
+            executed += 1
+            merges += 1
+            if not batch:
+                break
+        if executed == 0:
+            break
+    return AggregationReport(
+        merges=merges,
+        rounds=rounds,
+        initial_makespan=initial_makespan,
+        final_makespan=dag.makespan(latency),
+    )
+
+
+def _series_prepass(dag, ocu, latency, latency_cache, width_limit: int) -> int:
+    """Chain-merge pure series pairs in amortized linear time.
+
+    When node ``B`` is ``A``'s only timing successor and ``A`` is ``B``'s
+    only predecessor, merging them cannot lengthen any path even with the
+    pessimistic summed latency, so the monotonic check is satisfied by
+    construction.  Serial regions (the square-root benchmarks' Toffoli
+    chains) collapse here in one pass instead of one aggregation round
+    per gate.
+    """
+    merges = 0
+    worklist = list(dag.nodes)
+    alive = {id(node) for node in dag.nodes}
+    while worklist:
+        node = worklist.pop()
+        if id(node) not in alive:
+            continue
+        while True:
+            successors = dag.successors(node)
+            if len(successors) != 1:
+                break
+            follower = successors[0]
+            predecessors = dag.predecessors(follower)
+            if len(predecessors) != 1 or predecessors[0] is not node:
+                break
+            merged_width = len(set(node.qubits) | set(follower.qubits))
+            if merged_width > width_limit:
+                break
+            probe = AggregatedInstruction.from_nodes(node, follower, name="probe")
+            estimate = ocu.model_latency(probe)
+            if estimate >= latency(node) + latency(follower) - _EPSILON:
+                break
+            # A pure series pair cannot create a cycle (the follower has
+            # no other predecessor to route a path around), so both the
+            # structural and the acyclicity checks are skipped.
+            merged = AggregatedInstruction.from_nodes(node, follower)
+            try:
+                dag.merge(
+                    node, follower, merged, validated=True, check_cycles=False
+                )
+            except SchedulingError:
+                break
+            alive.discard(id(node))
+            alive.discard(id(follower))
+            alive.add(id(merged))
+            latency_cache.pop(id(node), None)
+            latency_cache.pop(id(follower), None)
+            merges += 1
+            node = merged
+    return merges
+
+
+class _RoundTiming:
+    """Per-round ASAP times and critical tails for monotonic checks."""
+
+    def __init__(self, dag, latency) -> None:
+        self.dag = dag
+        self.latency = latency
+        self.est = dag.asap_times(latency)
+        self.finish = {
+            id(node): self.est[id(node)] + latency(node) for node in dag.nodes
+        }
+        self.makespan = max(self.finish.values(), default=0.0)
+        self.tails = self._compute_tails()
+        self.positions = {
+            q: {
+                id(node): index
+                for index, node in enumerate(dag.qubit_sequence(q))
+            }
+            for q in range(dag.num_qubits)
+        }
+        self.sequences = {
+            q: dag.qubit_sequence(q) for q in range(dag.num_qubits)
+        }
+
+    def _compute_tails(self) -> dict[int, float]:
+        tails: dict[int, float] = {}
+        for node in reversed(self.dag.topological_order()):
+            best = max(
+                (tails[id(s)] for s in self.dag.successors(node)),
+                default=0.0,
+            )
+            tails[id(node)] = self.latency(node) + best
+        return tails
+
+    def is_monotonic(self, earlier, later) -> bool:
+        """Conservative check: merged critical path within the old one.
+
+        Uses the pessimistic merged latency ``lat(a) + lat(b)``; paper
+        Sec. 4.3 calls actions passing this test *monotonic* because the
+        real optimized pulse can only be faster.
+        """
+        pessimistic = self.latency(earlier) + self.latency(later)
+        start = self.est[id(earlier)]
+        shared = set(earlier.qubits) & set(later.qubits)
+        for q in shared:
+            pos = self.positions[q]
+            ia, ib = pos[id(earlier)], pos[id(later)]
+            low, high = min(ia, ib), max(ia, ib)
+            for member in self.sequences[q][low + 1 : high]:
+                start = max(start, self.finish[id(member)])
+        for predecessor in self.dag.predecessors(later):
+            if predecessor is not earlier:
+                start = max(start, self.finish[id(predecessor)])
+        merged_finish = start + pessimistic
+        worst = merged_finish
+        for node in (earlier, later):
+            for successor in self.dag.successors(node):
+                if successor is earlier or successor is later:
+                    continue
+                worst = max(worst, merged_finish + self.tails[id(successor)])
+        return worst <= self.makespan + _EPSILON
+
+    def has_indirect_path(self, earlier, later) -> bool:
+        """Exact merge-cycle pre-check via est-pruned reachability.
+
+        A post-merge cycle exists iff a pre-merge path ``earlier -> X ->
+        ... -> later`` leaves the shared commutation-group region.  Any
+        node on such a path is an ancestor of ``later``, so nodes with
+        ``est + latency > est(later)`` can be pruned; the search cone is
+        tiny in tightly-scheduled circuits.
+        """
+        shared = set(earlier.qubits) & set(later.qubits)
+        skip: set[int] = {id(earlier), id(later)}
+        # In-between group members slide before the merged node and do
+        # not create cycles; exclude the direct hop through them.
+        for q in shared:
+            pos = self.positions[q]
+            ia, ib = pos[id(earlier)], pos[id(later)]
+            low, high = min(ia, ib), max(ia, ib)
+            for member in self.sequences[q][low + 1 : high]:
+                skip.add(id(member))
+        limit = self.est.get(id(later), float("inf")) + _EPSILON
+
+        def prunable(candidate) -> bool:
+            # Nodes merged earlier this round are unknown to the
+            # round-start times: never prune them (the transactional
+            # cycle check in merge() is the backstop anyway).
+            start = self.est.get(id(candidate))
+            if start is None:
+                return False
+            return start + self.latency(candidate) > limit
+
+        frontier = [
+            s
+            for s in self.dag.successors(earlier)
+            if id(s) not in skip and not prunable(s)
+        ]
+        visited = {id(s) for s in frontier}
+        while frontier:
+            node = frontier.pop()
+            for successor in self.dag.successors(node):
+                if successor is later:
+                    return True
+                key = id(successor)
+                if key in visited or key in skip:
+                    continue
+                if prunable(successor):
+                    continue
+                visited.add(key)
+                frontier.append(successor)
+        return False

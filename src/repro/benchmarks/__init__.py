@@ -1,0 +1,34 @@
+"""Benchmark circuit generators (the paper's Table 3 suite)."""
+
+from repro.benchmarks.ising import ising_model_circuit
+from repro.benchmarks.qaoa import (
+    cluster_graph,
+    line_graph,
+    maxcut_qaoa_circuit,
+    regular4_graph,
+)
+from repro.benchmarks.grover import grover_sqrt_circuit, sqrt_benchmark_qubits
+from repro.benchmarks.qft import qft_circuit
+from repro.benchmarks.registry import (
+    BenchmarkSpec,
+    benchmark_by_key,
+    circuit_characteristics,
+    table3_suite,
+)
+from repro.benchmarks.uccsd import uccsd_ansatz_circuit
+
+__all__ = [
+    "BenchmarkSpec",
+    "benchmark_by_key",
+    "circuit_characteristics",
+    "cluster_graph",
+    "grover_sqrt_circuit",
+    "ising_model_circuit",
+    "line_graph",
+    "maxcut_qaoa_circuit",
+    "qft_circuit",
+    "regular4_graph",
+    "sqrt_benchmark_qubits",
+    "table3_suite",
+    "uccsd_ansatz_circuit",
+]

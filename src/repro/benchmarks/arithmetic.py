@@ -1,0 +1,197 @@
+"""Reversible arithmetic substrate for the Grover square-root benchmark.
+
+Everything is built from {X, CNOT, Toffoli} so the lowered circuits have
+the serial, Toffoli-heavy, low-commutativity character of ScaffCC's
+reversible-logic benchmarks.
+
+Registers are *little-endian* qubit-index lists (``register[0]`` is the
+least significant bit).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+
+class AncillaPool:
+    """A checkout/return pool of clean ancilla qubits."""
+
+    def __init__(self, qubits: Sequence[int]) -> None:
+        self._free = list(qubits)
+        self.high_water = 0
+        self._checked_out = 0
+
+    def take(self) -> int:
+        if not self._free:
+            raise BenchmarkError("ancilla pool exhausted")
+        self._checked_out += 1
+        self.high_water = max(self.high_water, self._checked_out)
+        return self._free.pop()
+
+    def give_back(self, qubit: int) -> None:
+        self._checked_out -= 1
+        self._free.append(qubit)
+
+    def available(self) -> int:
+        return len(self._free)
+
+
+def controlled_increment(
+    circuit: Circuit,
+    control: int,
+    targets: Sequence[int],
+    pool: AncillaPool,
+) -> None:
+    """``targets += 1`` (little-endian) when ``control`` is set.
+
+    Uses a prefix-AND Toffoli ladder: ``len(targets) - 1`` ancillas are
+    taken from the pool and returned clean.
+    """
+    targets = list(targets)
+    if not targets:
+        return
+    prefixes = [control]
+    taken: list[int] = []
+    for j in range(len(targets) - 1):
+        ancilla = pool.take()
+        taken.append(ancilla)
+        circuit.toffoli(prefixes[-1], targets[j], ancilla)
+        prefixes.append(ancilla)
+    # Flip from the most significant bit down; each prefix ancilla is
+    # uncomputed right after the bit above it flips, while the bits it
+    # depends on are still unchanged.
+    for j in range(len(targets) - 1, 0, -1):
+        circuit.cnot(prefixes[j], targets[j])
+        circuit.toffoli(prefixes[j - 1], targets[j - 1], taken[j - 1])
+    circuit.cnot(control, targets[0])
+    for ancilla in reversed(taken):
+        pool.give_back(ancilla)
+
+
+def add_bit_at(
+    circuit: Circuit,
+    bit: int,
+    accumulator: Sequence[int],
+    position: int,
+    pool: AncillaPool,
+) -> None:
+    """``accumulator += bit << position`` with ripple carries."""
+    accumulator = list(accumulator)
+    if position >= len(accumulator):
+        raise BenchmarkError(
+            f"position {position} beyond accumulator width {len(accumulator)}"
+        )
+    controlled_increment(circuit, bit, accumulator[position:], pool)
+
+
+def squarer(
+    circuit: Circuit,
+    operand: Sequence[int],
+    accumulator: Sequence[int],
+    pool: AncillaPool,
+) -> None:
+    """``accumulator += operand**2``.
+
+    Uses ``x^2 = sum_i x_i 4^i + sum_{i<j} x_i x_j 2^(i+j+1)``: square
+    terms add the operand bits directly; cross terms compute one partial
+    product at a time into a pool ancilla, add it, and uncompute it.
+    """
+    operand = list(operand)
+    accumulator = list(accumulator)
+    if len(accumulator) < 2 * len(operand):
+        raise BenchmarkError(
+            f"accumulator needs {2 * len(operand)} bits, has {len(accumulator)}"
+        )
+    m = len(operand)
+    for i in range(m):
+        add_bit_at(circuit, operand[i], accumulator, 2 * i, pool)
+    for i in range(m):
+        for j in range(i + 1, m):
+            partial = pool.take()
+            circuit.toffoli(operand[i], operand[j], partial)
+            add_bit_at(circuit, partial, accumulator, i + j + 1, pool)
+            circuit.toffoli(operand[i], operand[j], partial)
+            pool.give_back(partial)
+
+
+def unsquarer(
+    circuit: Circuit,
+    operand: Sequence[int],
+    accumulator: Sequence[int],
+    pool: AncillaPool,
+) -> None:
+    """Inverse of :func:`squarer` (``accumulator -= operand**2``)."""
+    scratch = Circuit(circuit.num_qubits, name="scratch")
+    squarer(scratch, operand, accumulator, pool)
+    for gate in reversed(scratch.gates):
+        # X, CNOT and Toffoli are involutions, so reversal suffices.
+        circuit.append(gate)
+
+
+def multi_controlled_x(
+    circuit: Circuit,
+    controls: Sequence[int],
+    target: int,
+    pool: AncillaPool,
+) -> None:
+    """X on ``target`` controlled on all of ``controls`` (Toffoli ladder)."""
+    controls = list(controls)
+    if not controls:
+        circuit.x(target)
+        return
+    if len(controls) == 1:
+        circuit.cnot(controls[0], target)
+        return
+    if len(controls) == 2:
+        circuit.toffoli(controls[0], controls[1], target)
+        return
+    # Compute the AND chain c0.c1, (c0.c1).c2, ... into pool ancillas,
+    # apply the final Toffoli onto the target, then uncompute the chain.
+    chain: list[tuple[int, int, int]] = []
+    first = pool.take()
+    circuit.toffoli(controls[0], controls[1], first)
+    chain.append((controls[0], controls[1], first))
+    for control in controls[2:-1]:
+        ancilla = pool.take()
+        circuit.toffoli(chain[-1][2], control, ancilla)
+        chain.append((chain[-1][2], control, ancilla))
+    circuit.toffoli(chain[-1][2], controls[-1], target)
+    for left, right, ancilla in reversed(chain):
+        circuit.toffoli(left, right, ancilla)
+        pool.give_back(ancilla)
+
+
+def multi_controlled_z(
+    circuit: Circuit,
+    qubits: Sequence[int],
+    pool: AncillaPool,
+) -> None:
+    """Phase flip of the all-ones state of ``qubits``.
+
+    ``Z`` is symmetric: the last qubit is conjugated by H and receives a
+    multi-controlled X from the rest.
+    """
+    qubits = list(qubits)
+    if not qubits:
+        raise BenchmarkError("need at least one qubit for a phase flip")
+    if len(qubits) == 1:
+        circuit.z(qubits[0])
+        return
+    target = qubits[-1]
+    circuit.h(target)
+    multi_controlled_x(circuit, qubits[:-1], target, pool)
+    circuit.h(target)
+
+
+def flip_zero_bits(circuit: Circuit, register: Sequence[int], value: int) -> None:
+    """X-mask: flips register bits where ``value`` has a zero.
+
+    Afterwards the register holds all-ones exactly when it held
+    ``value`` — the standard prelude to an equality phase flip.
+    """
+    for position, qubit in enumerate(register):
+        if not (value >> position) & 1:
+            circuit.x(qubit)

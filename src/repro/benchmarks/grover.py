@@ -1,0 +1,127 @@
+"""Grover square-root search (paper benchmarks square root n3/n4/n5).
+
+The circuit searches for ``x`` with ``x^2 == target`` using Grover's
+algorithm over an ``m``-bit operand: the oracle squares the operand into
+an accumulator with reversible arithmetic, phase-flips the match, and
+uncomputes; the diffusion operator reflects about the mean.
+
+Register budget (matching the paper's qubit counts for m = 3, 4, 5):
+
+* operand: ``m`` qubits
+* accumulator: ``2m`` qubits
+* ancilla pool: ``2 (m-1)^2`` qubits (carries, partial products,
+  Toffoli ladders — peak concurrent use is ``2m - 1``, which fits for
+  ``m >= 3``; smaller instances get a bumped pool)
+
+Total ``2 m^2 - m + 2``: 17, 30, 47 qubits for m = 3, 4, 5 — the paper's
+square-root benchmark sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.benchmarks.arithmetic import (
+    AncillaPool,
+    flip_zero_bits,
+    multi_controlled_z,
+    squarer,
+    unsquarer,
+)
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+
+def sqrt_benchmark_qubits(operand_bits: int) -> int:
+    """Total qubits of the square-root benchmark (2m^2 - m + 2 for m>=3)."""
+    return (
+        operand_bits
+        + 2 * operand_bits
+        + _ancilla_count(operand_bits)
+    )
+
+
+def _ancilla_count(operand_bits: int) -> int:
+    nominal = 2 * (operand_bits - 1) ** 2
+    peak_use = 2 * operand_bits - 1
+    return max(nominal, peak_use)
+
+
+def grover_sqrt_circuit(
+    operand_bits: int,
+    target_value: int | None = None,
+    iterations: int | None = None,
+    name: str | None = None,
+) -> Circuit:
+    """Build the Grover square-root circuit.
+
+    Args:
+        operand_bits: ``m``; the search space is ``2^m`` candidates.
+        target_value: The square to invert; defaults to the square of
+            ``2^(m-1)`` so exactly one solution exists.
+        iterations: Grover iterations; defaults to 1 (the latency study
+            compares per-iteration cost — full amplification would scale
+            every strategy identically).  Pass
+            ``round(pi/4 * sqrt(2^m))`` for a functional search.
+
+    Returns:
+        The circuit over ``sqrt_benchmark_qubits(m)`` qubits; operand is
+        qubits ``0..m-1`` (little-endian), accumulator ``m..3m-1``.
+    """
+    if operand_bits < 2:
+        raise BenchmarkError("the squarer needs at least two operand bits")
+    m = operand_bits
+    if target_value is None:
+        root = 2 ** (m - 1)
+        target_value = root * root
+    if target_value < 0 or target_value >= 4**m:
+        raise BenchmarkError(
+            f"target {target_value} does not fit in {2 * m} accumulator bits"
+        )
+    if iterations is None:
+        iterations = 1
+    if iterations < 1:
+        raise BenchmarkError("need at least one Grover iteration")
+
+    total = sqrt_benchmark_qubits(m)
+    circuit = Circuit(total, name=name or f"sqrt-{total}")
+    operand = list(range(m))
+    accumulator = list(range(m, 3 * m))
+    ancillas = list(range(3 * m, total))
+
+    for qubit in operand:
+        circuit.h(qubit)
+    for _ in range(iterations):
+        pool = AncillaPool(ancillas)
+        _oracle(circuit, operand, accumulator, target_value, pool)
+        _diffusion(circuit, operand, pool)
+    return circuit
+
+
+def grover_iterations_for(operand_bits: int, num_solutions: int = 1) -> int:
+    """The standard optimal Grover iteration count."""
+    space = 2**operand_bits
+    angle = math.asin(math.sqrt(num_solutions / space))
+    return max(1, int(round(math.pi / (4 * angle) - 0.5)))
+
+
+def _oracle(circuit, operand, accumulator, target_value, pool) -> None:
+    """Phase-flip operand states whose square equals ``target_value``."""
+    squarer(circuit, operand, accumulator, pool)
+    flip_zero_bits(circuit, accumulator, target_value)
+    multi_controlled_z(circuit, accumulator, pool)
+    flip_zero_bits(circuit, accumulator, target_value)
+    unsquarer(circuit, operand, accumulator, pool)
+
+
+def _diffusion(circuit, operand, pool) -> None:
+    """Reflection about the uniform superposition of the operand."""
+    for qubit in operand:
+        circuit.h(qubit)
+    for qubit in operand:
+        circuit.x(qubit)
+    multi_controlled_z(circuit, operand, pool)
+    for qubit in operand:
+        circuit.x(qubit)
+    for qubit in operand:
+        circuit.h(qubit)

@@ -1,0 +1,106 @@
+"""QAOA MAXCUT circuits (paper benchmarks MAXCUT-line/reg4/cluster).
+
+A depth-``p`` QAOA circuit for MAXCUT on graph ``G``: Hadamards prepare
+the uniform superposition, each layer applies ``exp(-i gamma Z_u Z_v)``
+per edge (decomposed as CNOT-Rz-CNOT, the diagonal structure the paper's
+commutativity detection feeds on) followed by ``Rx(2 beta)`` mixers.
+
+The three graph families realize the paper's spatial-locality spread:
+a line (high locality), a random 4-regular graph (medium), and a cluster
+graph with dense inter-cluster edges (low).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+# The paper's variationally-determined angles for the Fig. 4 example.
+PAPER_GAMMA = 5.67
+PAPER_BETA = 1.26
+
+
+def maxcut_qaoa_circuit(
+    graph: nx.Graph,
+    gamma: float = PAPER_GAMMA,
+    beta: float = PAPER_BETA,
+    layers: int = 1,
+    name: str = "maxcut",
+) -> Circuit:
+    """Build the QAOA MAXCUT circuit for a graph.
+
+    Vertices must be integers ``0..n-1``; each becomes one qubit.
+    """
+    vertices = sorted(graph.nodes)
+    if vertices != list(range(len(vertices))):
+        raise BenchmarkError("graph vertices must be 0..n-1 integers")
+    if layers < 1:
+        raise BenchmarkError("need at least one QAOA layer")
+    circuit = Circuit(len(vertices), name=name)
+    for vertex in vertices:
+        circuit.h(vertex)
+    for _ in range(layers):
+        for u, v in sorted(graph.edges):
+            circuit.cnot(u, v)
+            circuit.rz(2.0 * gamma, v)
+            circuit.cnot(u, v)
+        for vertex in vertices:
+            circuit.rx(2.0 * beta, vertex)
+    return circuit
+
+
+def line_graph(num_vertices: int) -> nx.Graph:
+    """Path graph: the high-spatial-locality instance."""
+    if num_vertices < 2:
+        raise BenchmarkError("a line needs at least two vertices")
+    return nx.path_graph(num_vertices)
+
+
+def regular4_graph(num_vertices: int, seed: int = 20190413) -> nx.Graph:
+    """Random 4-regular graph: the medium-spatial-locality instance."""
+    if num_vertices <= 4 or (num_vertices * 4) % 2:
+        raise BenchmarkError("4-regular graphs need n > 4 with even n*4")
+    return nx.random_regular_graph(4, num_vertices, seed=seed)
+
+
+def cluster_graph(
+    num_vertices: int,
+    cluster_size: int = 6,
+    inter_probability: float = 0.25,
+    seed: int = 20190413,
+) -> nx.Graph:
+    """Dense clusters plus random inter-cluster edges: low locality.
+
+    Vertices are grouped into complete clusters; additional edges connect
+    vertices of *different* clusters with the given probability, which is
+    what destroys spatial locality (no grid embedding keeps all the
+    cross-cluster pairs close).
+    """
+    if num_vertices % cluster_size:
+        raise BenchmarkError(
+            f"{num_vertices} vertices do not split into clusters of "
+            f"{cluster_size}"
+        )
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_vertices))
+    num_clusters = num_vertices // cluster_size
+    members = [
+        list(range(c * cluster_size, (c + 1) * cluster_size))
+        for c in range(num_clusters)
+    ]
+    for cluster in members:
+        for i, u in enumerate(cluster):
+            for v in cluster[i + 1:]:
+                graph.add_edge(u, v)
+    for a in range(num_clusters):
+        for b in range(a + 1, num_clusters):
+            for u in members[a]:
+                for v in members[b]:
+                    if rng.random() < inter_probability:
+                        graph.add_edge(u, v)
+    return graph

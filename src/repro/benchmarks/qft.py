@@ -1,0 +1,26 @@
+"""Quantum Fourier transform (the serial, non-commutative extra workload
+the paper's discussion mentions alongside square-root and UCCSD)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = True) -> Circuit:
+    """Standard QFT: Hadamards plus controlled phases, optional reversal."""
+    if num_qubits < 1:
+        raise BenchmarkError("QFT needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"qft-{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(
+            range(target + 1, num_qubits), start=2
+        ):
+            circuit.cphase(2.0 * math.pi / 2**offset, control, target)
+    if include_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit

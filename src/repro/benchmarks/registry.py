@@ -1,0 +1,250 @@
+"""The Table 3 benchmark suite and program-characteristic metrics.
+
+Each entry reproduces one row of paper Table 3 (name, purpose, qubit
+count and the qualitative parallelism / spatial-locality / commutativity
+labels).  :func:`circuit_characteristics` computes quantitative versions
+of those labels so the reproduction can check them rather than assert
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.benchmarks.grover import grover_sqrt_circuit, sqrt_benchmark_qubits
+from repro.benchmarks.ising import ising_model_circuit
+from repro.benchmarks.qaoa import (
+    cluster_graph,
+    line_graph,
+    maxcut_qaoa_circuit,
+    regular4_graph,
+)
+from repro.benchmarks.uccsd import uccsd_ansatz_circuit
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table 3 row."""
+
+    key: str
+    purpose: str
+    qubits: int
+    parallelism: str
+    spatial_locality: str
+    commutativity: str
+    factory: Callable[[], Circuit]
+
+    def build(self) -> Circuit:
+        circuit = self.factory()
+        if circuit.num_qubits != self.qubits:
+            raise BenchmarkError(
+                f"{self.key}: expected {self.qubits} qubits, "
+                f"built {circuit.num_qubits}"
+            )
+        return circuit
+
+
+def table3_suite(scale: str = "paper") -> list[BenchmarkSpec]:
+    """The benchmark suite.
+
+    Args:
+        scale: ``"paper"`` builds the paper's sizes (Table 3);
+            ``"small"`` builds reduced instances with the same structure
+            for fast tests and smoke runs.
+    """
+    if scale == "paper":
+        sizes = {
+            "line": 20,
+            "reg4": 30,
+            "cluster": 30,
+            "ising_a": 30,
+            "ising_b": 60,
+            "sqrt_a": 3,
+            "sqrt_b": 4,
+            "sqrt_c": 5,
+            "uccsd_a": 4,
+            "uccsd_b": 6,
+        }
+    elif scale == "small":
+        sizes = {
+            "line": 6,
+            "reg4": 8,
+            "cluster": 8,
+            "ising_a": 6,
+            "ising_b": 8,
+            "sqrt_a": 2,
+            "sqrt_b": 2,
+            "sqrt_c": 3,
+            "uccsd_a": 4,
+            "uccsd_b": 4,
+        }
+    else:
+        raise BenchmarkError(f"unknown scale {scale!r}")
+
+    cluster_kwargs = (
+        {"cluster_size": 6} if scale == "paper" else {"cluster_size": 4}
+    )
+    specs = [
+        BenchmarkSpec(
+            key=f"maxcut-line-{sizes['line']}",
+            purpose="MAXCUT on a linear graph",
+            qubits=sizes["line"],
+            parallelism="Low",
+            spatial_locality="High",
+            commutativity="High",
+            factory=lambda: maxcut_qaoa_circuit(
+                line_graph(sizes["line"]), name="maxcut-line"
+            ),
+        ),
+        BenchmarkSpec(
+            key=f"maxcut-reg4-{sizes['reg4']}",
+            purpose="MAXCUT on a random 4-regular graph",
+            qubits=sizes["reg4"],
+            parallelism="High",
+            spatial_locality="Medium",
+            commutativity="High",
+            factory=lambda: maxcut_qaoa_circuit(
+                regular4_graph(sizes["reg4"]), name="maxcut-reg4"
+            ),
+        ),
+        BenchmarkSpec(
+            key=f"maxcut-cluster-{sizes['cluster']}",
+            purpose="MAXCUT on a cluster graph",
+            qubits=sizes["cluster"],
+            parallelism="Medium",
+            spatial_locality="Low",
+            commutativity="High",
+            factory=lambda: maxcut_qaoa_circuit(
+                cluster_graph(sizes["cluster"], **cluster_kwargs),
+                name="maxcut-cluster",
+            ),
+        ),
+        BenchmarkSpec(
+            key=f"ising-{sizes['ising_a']}",
+            purpose="Find ground state of Ising model",
+            qubits=sizes["ising_a"],
+            parallelism="High",
+            spatial_locality="High",
+            commutativity="Medium",
+            factory=lambda: ising_model_circuit(sizes["ising_a"]),
+        ),
+        BenchmarkSpec(
+            key=f"ising-{sizes['ising_b']}",
+            purpose="Find ground state of Ising model",
+            qubits=sizes["ising_b"],
+            parallelism="High",
+            spatial_locality="High",
+            commutativity="Medium",
+            factory=lambda: ising_model_circuit(sizes["ising_b"]),
+        ),
+        BenchmarkSpec(
+            key=f"sqrt-{sqrt_benchmark_qubits(sizes['sqrt_a'])}",
+            purpose="Grover algorithm for polynomial search",
+            qubits=sqrt_benchmark_qubits(sizes["sqrt_a"]),
+            parallelism="Low",
+            spatial_locality="High",
+            commutativity="Low",
+            factory=lambda: grover_sqrt_circuit(sizes["sqrt_a"]),
+        ),
+        BenchmarkSpec(
+            key=f"sqrt-{sqrt_benchmark_qubits(sizes['sqrt_b'])}-b",
+            purpose="Grover algorithm for polynomial search",
+            qubits=sqrt_benchmark_qubits(sizes["sqrt_b"]),
+            parallelism="Low",
+            spatial_locality="High",
+            commutativity="Low",
+            factory=lambda: grover_sqrt_circuit(sizes["sqrt_b"]),
+        ),
+        BenchmarkSpec(
+            key=f"sqrt-{sqrt_benchmark_qubits(sizes['sqrt_c'])}-c",
+            purpose="Grover algorithm for polynomial search",
+            qubits=sqrt_benchmark_qubits(sizes["sqrt_c"]),
+            parallelism="Low",
+            spatial_locality="High",
+            commutativity="Low",
+            factory=lambda: grover_sqrt_circuit(sizes["sqrt_c"]),
+        ),
+        BenchmarkSpec(
+            key=f"uccsd-{sizes['uccsd_a']}",
+            purpose="UCCSD ansatz for VQE",
+            qubits=sizes["uccsd_a"],
+            parallelism="Low",
+            spatial_locality="High",
+            commutativity="Low",
+            factory=lambda: uccsd_ansatz_circuit(sizes["uccsd_a"]),
+        ),
+        BenchmarkSpec(
+            key=f"uccsd-{sizes['uccsd_b']}-b",
+            purpose="UCCSD ansatz for VQE",
+            qubits=sizes["uccsd_b"],
+            parallelism="Low" if scale == "small" else "Low",
+            spatial_locality="Medium",
+            commutativity="Low",
+            factory=lambda: uccsd_ansatz_circuit(
+                sizes["uccsd_b"],
+                num_electrons=2 if sizes["uccsd_b"] <= 4 else 3,
+            ),
+        ),
+    ]
+    return specs
+
+
+def benchmark_by_key(key: str, scale: str = "paper") -> BenchmarkSpec:
+    """Look up one suite entry."""
+    for spec in table3_suite(scale):
+        if spec.key == key:
+            return spec
+    raise BenchmarkError(f"unknown benchmark {key!r}")
+
+
+def circuit_characteristics(circuit: Circuit) -> dict[str, float]:
+    """Quantitative program characteristics (Table 3 reproduction).
+
+    * ``parallelism`` — average gates per layer over the qubit count
+      (1.0 means every qubit busy in every layer).
+    * ``commutativity`` — fraction of gates absorbed into diagonal
+      blocks by the commutativity detector.
+    * ``spatial_locality`` — inverse mean grid distance of interacting
+      pairs under the bisection placement (1.0 = all neighbours).
+    """
+    from repro.aggregation.diagonal import detect_diagonal_blocks
+    from repro.aggregation.instruction import AggregatedInstruction
+    from repro.mapping.placement import initial_placement, interaction_graph_of
+
+    if not circuit.gates:
+        return {"parallelism": 0.0, "commutativity": 0.0, "spatial_locality": 1.0}
+
+    parallelism = (len(circuit) / circuit.depth) / circuit.num_qubits
+
+    nodes = detect_diagonal_blocks(circuit.gates)
+    absorbed = sum(
+        len(node)
+        for node in nodes
+        if isinstance(node, AggregatedInstruction)
+    )
+    commutativity = absorbed / len(circuit)
+
+    graph = interaction_graph_of(circuit)
+    if graph.number_of_edges():
+        placement = initial_placement(circuit)
+        average = placement.average_distance(graph)
+        spatial_locality = 1.0 / max(average, 1.0)
+    else:
+        spatial_locality = 1.0
+    return {
+        "parallelism": parallelism,
+        "commutativity": commutativity,
+        "spatial_locality": spatial_locality,
+    }
+
+
+def classify(value: float, low: float, high: float) -> str:
+    """Map a metric to the paper's Low/Medium/High labels."""
+    if value < low:
+        return "Low"
+    if value < high:
+        return "Medium"
+    return "High"

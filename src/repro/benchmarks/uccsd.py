@@ -1,0 +1,162 @@
+"""UCCSD ansatz circuits (paper benchmarks UCCSD-n4/n6).
+
+Unitary Coupled Cluster with Singles and Doubles under the Jordan-Wigner
+transformation: every excitation term becomes a set of Pauli-string
+exponentials, each realized with the standard basis-change + CNOT-ladder
++ Rz construction.  The resulting circuits are serial, spatially spread
+(the JW Z-strings touch every intermediate qubit) and essentially
+non-commutative — the "machine-unaware ansatz" of the paper's Sec. 5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+
+def pauli_exponential(circuit: Circuit, pauli: dict[int, str], theta: float) -> None:
+    """Append ``exp(-i theta/2 * P)`` for Pauli string ``P``.
+
+    Args:
+        circuit: Destination circuit.
+        pauli: Map qubit -> 'X'|'Y'|'Z' (identity qubits omitted).
+        theta: Rotation angle.
+    """
+    if not pauli:
+        return
+    qubits = sorted(pauli)
+    for qubit in qubits:
+        axis = pauli[qubit].upper()
+        if axis == "X":
+            circuit.h(qubit)
+        elif axis == "Y":
+            circuit.rx(np.pi / 2.0, qubit)
+        elif axis != "Z":
+            raise BenchmarkError(f"bad Pauli letter {pauli[qubit]!r}")
+    for a, b in zip(qubits, qubits[1:]):
+        circuit.cnot(a, b)
+    circuit.rz(theta, qubits[-1])
+    for a, b in reversed(list(zip(qubits, qubits[1:]))):
+        circuit.cnot(a, b)
+    for qubit in qubits:
+        axis = pauli[qubit].upper()
+        if axis == "X":
+            circuit.h(qubit)
+        elif axis == "Y":
+            circuit.rx(-np.pi / 2.0, qubit)
+
+
+def _jw_string(kind_by_qubit: dict[int, str], low: int, high: int) -> dict[int, str]:
+    """Insert the Jordan-Wigner Z chain between ``low`` and ``high``."""
+    full = dict(kind_by_qubit)
+    for qubit in range(low + 1, high):
+        if qubit not in full:
+            full[qubit] = "Z"
+    return full
+
+
+def single_excitation(circuit: Circuit, occupied: int, virtual: int, theta: float) -> None:
+    """``exp(theta (a_v^dag a_o - h.c.))`` under Jordan-Wigner."""
+    low, high = sorted((occupied, virtual))
+    pauli_exponential(
+        circuit,
+        _jw_string({occupied: "X", virtual: "Y"}, low, high),
+        theta / 2.0,
+    )
+    pauli_exponential(
+        circuit,
+        _jw_string({occupied: "Y", virtual: "X"}, low, high),
+        -theta / 2.0,
+    )
+
+
+_DOUBLE_TERMS = (
+    ("XXXY", 1.0),
+    ("XXYX", 1.0),
+    ("XYXX", -1.0),
+    ("YXXX", -1.0),
+    ("YYYX", -1.0),
+    ("YYXY", -1.0),
+    ("YXYY", 1.0),
+    ("XYYY", 1.0),
+)
+
+
+def double_excitation(
+    circuit: Circuit,
+    occupied_a: int,
+    occupied_b: int,
+    virtual_a: int,
+    virtual_b: int,
+    theta: float,
+) -> None:
+    """``exp(theta (a_va^dag a_vb^dag a_ob a_oa - h.c.))`` under JW:
+    the standard eight Pauli-string exponentials."""
+    orbitals = (occupied_a, occupied_b, virtual_a, virtual_b)
+    if len(set(orbitals)) != 4:
+        raise BenchmarkError("double excitation needs four distinct orbitals")
+    low, high = min(orbitals), max(orbitals)
+    for letters, sign in _DOUBLE_TERMS:
+        assignment = dict(zip(orbitals, letters))
+        pauli_exponential(
+            circuit,
+            _jw_string(assignment, low, high),
+            sign * theta / 8.0,
+        )
+
+
+def uccsd_ansatz_circuit(
+    num_orbitals: int,
+    num_electrons: int = 2,
+    amplitudes: np.ndarray | None = None,
+    seed: int = 20190413,
+    name: str | None = None,
+) -> Circuit:
+    """Build a full UCCSD ansatz circuit.
+
+    Args:
+        num_orbitals: Spin orbitals (= qubits).
+        num_electrons: Occupied spin orbitals (the reference state).
+        amplitudes: Cluster amplitudes, one per excitation (singles
+            first, then doubles); random when omitted.
+    """
+    if num_electrons < 1 or num_electrons >= num_orbitals:
+        raise BenchmarkError(
+            f"need 1 <= electrons < orbitals, got {num_electrons}/{num_orbitals}"
+        )
+    occupied = list(range(num_electrons))
+    virtual = list(range(num_electrons, num_orbitals))
+    singles = [(o, v) for o in occupied for v in virtual]
+    doubles = [
+        (oa, ob, va, vb)
+        for i, oa in enumerate(occupied)
+        for ob in occupied[i + 1:]
+        for j, va in enumerate(virtual)
+        for vb in virtual[j + 1:]
+    ]
+    count = len(singles) + len(doubles)
+    if amplitudes is None:
+        rng = np.random.default_rng(seed)
+        amplitudes = rng.uniform(0.1, 1.0, size=count)
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    if amplitudes.shape != (count,):
+        raise BenchmarkError(
+            f"need {count} amplitudes ({len(singles)} singles + "
+            f"{len(doubles)} doubles), got {amplitudes.shape}"
+        )
+    circuit = Circuit(num_orbitals, name=name or f"uccsd-{num_orbitals}")
+    # Reference state |1...10...0>.
+    for qubit in occupied:
+        circuit.x(qubit)
+    cursor = 0
+    for occupied_orbital, virtual_orbital in singles:
+        single_excitation(
+            circuit, occupied_orbital, virtual_orbital, amplitudes[cursor]
+        )
+        cursor += 1
+    for oa, ob, va, vb in doubles:
+        double_excitation(circuit, oa, ob, va, vb, amplitudes[cursor])
+        cursor += 1
+    return circuit

@@ -1,0 +1,14 @@
+"""Circuit IR: gate lists, QASM dialect, commutation analysis, the GDG."""
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.commutation import CommutationChecker
+from repro.circuit.dag import GateDependenceGraph
+from repro.circuit.qasm import circuit_to_qasm, parse_qasm
+
+__all__ = [
+    "Circuit",
+    "CommutationChecker",
+    "GateDependenceGraph",
+    "circuit_to_qasm",
+    "parse_qasm",
+]

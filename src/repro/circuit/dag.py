@@ -1,0 +1,401 @@
+"""The gate-dependence graph (GDG) with commutation groups (paper Sec. 3.3).
+
+Representation
+--------------
+The GDG stores, for every qubit, the *ordered* list of nodes acting on it
+(the execution order chosen so far) plus that list's partition into
+*commutation groups*: maximal runs of consecutive nodes that pairwise
+commute.  Nodes in the same group on every shared qubit can be reordered
+freely; nodes in consecutive groups can be made adjacent (the parent can
+always be scheduled last in its group and the child first in its group,
+because group members mutually commute).
+
+Timing edges are the per-qubit chains: consecutive nodes on a qubit cannot
+overlap in time even when they commute, because they share control
+hardware.  The makespan of the current order is therefore the longest path
+through the chain DAG with node weights given by a latency function —
+schedulers improve the makespan by *reordering* within the freedom the
+commutation groups describe, and instruction aggregation *merges* adjacent
+nodes.
+
+Implementation notes: adjacency is kept as per-qubit prev/next links and
+updated locally on merges; commutation groups are recomputed lazily per
+qubit (the aggregator executes hundreds of merges between group queries).
+Nodes are any objects exposing ``qubits``, ``is_diagonal`` and
+``signature`` and hashable by identity (:class:`~repro.gates.gate.Gate`
+and aggregated instructions both qualify).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.errors import CircuitError, SchedulingError
+
+CommuteFn = Callable[[object, object], bool]
+
+
+class GateDependenceGraph:
+    """Commutation-aware dependence structure over an ordered node list."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        nodes: Iterable,
+        commute_fn: CommuteFn,
+    ) -> None:
+        self.num_qubits = int(num_qubits)
+        self.commute_fn = commute_fn
+        self.nodes: list = list(nodes)
+        for node in self.nodes:
+            if any(q < 0 or q >= self.num_qubits for q in node.qubits):
+                raise CircuitError(f"{node} exceeds register width {num_qubits}")
+        self._qubit_order: dict[int, list] = {q: [] for q in range(self.num_qubits)}
+        for node in self.nodes:
+            for q in node.qubits:
+                self._qubit_order[q].append(node)
+        self._prev: dict[int, dict[int, object]] = {}
+        self._next: dict[int, dict[int, object]] = {}
+        for q in range(self.num_qubits):
+            self._relink(q)
+        self._groups: dict[int, list[list]] = {}
+        self._group_of: dict[int, dict[int, int]] = {}
+        self._groups_dirty: set[int] = set(range(self.num_qubits))
+
+    @classmethod
+    def from_circuit(cls, circuit, checker) -> GateDependenceGraph:
+        """Build the GDG of a circuit using a commutation checker."""
+        return cls(circuit.num_qubits, circuit.gates, checker.commute)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+
+    def qubit_sequence(self, qubit: int) -> list:
+        """Nodes acting on ``qubit`` in current execution order."""
+        return list(self._qubit_order[qubit])
+
+    def commutation_groups(self, qubit: int) -> list[list]:
+        """The qubit's ordered partition into commutation groups."""
+        return [list(group) for group in self._groups_for(qubit)]
+
+    def group_index(self, node, qubit: int) -> int:
+        """Index of the commutation group containing ``node`` on ``qubit``."""
+        self._groups_for(qubit)
+        try:
+            return self._group_of[qubit][id(node)]
+        except KeyError:
+            raise SchedulingError(
+                f"{node} does not act on qubit {qubit}"
+            ) from None
+
+    def same_group(self, a, b, qubit: int) -> bool:
+        """True when both nodes share a commutation group on ``qubit``."""
+        return self.group_index(a, qubit) == self.group_index(b, qubit)
+
+    def commute_nodes(self, a, b) -> bool:
+        """Paper rule: two nodes commute iff they are in the same
+        commutation group on every qubit they share."""
+        shared = set(a.qubits) & set(b.qubits)
+        if not shared:
+            return True
+        return all(self.same_group(a, b, q) for q in shared)
+
+    def predecessors(self, node) -> list:
+        """Immediate timing predecessors (previous node on each qubit)."""
+        result: list = []
+        seen: set[int] = set()
+        for q in node.qubits:
+            predecessor = self._prev[q].get(id(node))
+            if predecessor is not None and id(predecessor) not in seen:
+                seen.add(id(predecessor))
+                result.append(predecessor)
+        return result
+
+    def successors(self, node) -> list:
+        """Immediate timing successors (next node on each qubit)."""
+        result: list = []
+        seen: set[int] = set()
+        for q in node.qubits:
+            successor = self._next[q].get(id(node))
+            if successor is not None and id(successor) not in seen:
+                seen.add(id(successor))
+                result.append(successor)
+        return result
+
+    def source_nodes(self) -> list:
+        """Nodes with no timing predecessor."""
+        return [node for node in self.nodes if not self.predecessors(node)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Timing
+
+    def topological_order(self) -> list:
+        """Kahn topological sort; raises SchedulingError on a cycle."""
+        in_degree = {
+            id(node): len(self.predecessors(node)) for node in self.nodes
+        }
+        ready = [node for node in self.nodes if in_degree[id(node)] == 0]
+        order: list = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for successor in self.successors(node):
+                in_degree[id(successor)] -= 1
+                if in_degree[id(successor)] == 0:
+                    ready.append(successor)
+        if len(order) != len(self.nodes):
+            raise SchedulingError("dependence graph contains a cycle")
+        return order
+
+    def stable_topological_order(self) -> list:
+        """Topological order that follows ``self.nodes`` order where legal.
+
+        Kahn's algorithm with a min-heap keyed by each node's position in
+        the current node list, so the result is deterministic and stays as
+        close to program order as the dependencies allow.
+        """
+        position = {id(node): index for index, node in enumerate(self.nodes)}
+        in_degree = {
+            id(node): len(self.predecessors(node)) for node in self.nodes
+        }
+        heap = [
+            (position[id(node)], id(node), node)
+            for node in self.nodes
+            if in_degree[id(node)] == 0
+        ]
+        heapq.heapify(heap)
+        order: list = []
+        while heap:
+            _, _, node = heapq.heappop(heap)
+            order.append(node)
+            for successor in self.successors(node):
+                in_degree[id(successor)] -= 1
+                if in_degree[id(successor)] == 0:
+                    heapq.heappush(
+                        heap, (position[id(successor)], id(successor), successor)
+                    )
+        if len(order) != len(self.nodes):
+            raise SchedulingError("dependence graph contains a cycle")
+        return order
+
+    def asap_times(self, latency_fn: Callable[[object], float]) -> dict[int, float]:
+        """Earliest start time of every node (keyed by ``id(node)``)."""
+        starts: dict[int, float] = {}
+        for node in self.topological_order():
+            start = 0.0
+            for predecessor in self.predecessors(node):
+                start = max(
+                    start, starts[id(predecessor)] + latency_fn(predecessor)
+                )
+            starts[id(node)] = start
+        return starts
+
+    def makespan(self, latency_fn: Callable[[object], float]) -> float:
+        """Total latency of the current execution order."""
+        if not self.nodes:
+            return 0.0
+        starts = self.asap_times(latency_fn)
+        return max(
+            starts[id(node)] + latency_fn(node) for node in self.nodes
+        )
+
+    def critical_path(self, latency_fn: Callable[[object], float]) -> list:
+        """One longest path (as a node list) through the chain DAG."""
+        if not self.nodes:
+            return []
+        starts = self.asap_times(latency_fn)
+        finish = {
+            id(node): starts[id(node)] + latency_fn(node) for node in self.nodes
+        }
+        node = max(self.nodes, key=lambda n: finish[id(n)])
+        path = [node]
+        while True:
+            candidates = [
+                p
+                for p in self.predecessors(node)
+                if abs(finish[id(p)] - starts[id(node)]) < 1e-9
+            ]
+            if not candidates:
+                break
+            node = candidates[0]
+            path.append(node)
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Reordering (used by CLS)
+
+    def reorder(self, new_order: Sequence) -> None:
+        """Replace the execution order with ``new_order``.
+
+        The new order must contain exactly the same node instances and,
+        on every qubit, must not move a node across a commutation-group
+        boundary (group indices must be non-decreasing along each qubit's
+        new sequence).
+        """
+        if len(new_order) != len(self.nodes) or {id(n) for n in new_order} != {
+            id(n) for n in self.nodes
+        }:
+            raise SchedulingError("reorder must permute the existing nodes")
+        new_qubit_order: dict[int, list] = {
+            q: [] for q in range(self.num_qubits)
+        }
+        for node in new_order:
+            for q in node.qubits:
+                new_qubit_order[q].append(node)
+        for q in range(self.num_qubits):
+            indices = [self.group_index(node, q) for node in new_qubit_order[q]]
+            if any(b < a for a, b in zip(indices, indices[1:])):
+                raise SchedulingError(
+                    f"reorder moves a node across a commutation group on qubit {q}"
+                )
+        self.nodes = list(new_order)
+        self._qubit_order = new_qubit_order
+        for q in range(self.num_qubits):
+            self._relink(q)
+        self._groups_dirty.update(range(self.num_qubits))
+
+    # ------------------------------------------------------------------
+    # Merging (used by instruction aggregation)
+
+    def can_merge(self, a, b) -> bool:
+        """Paper Sec. 4.1 action-space test (cheap structural part).
+
+        True when the nodes overlap and, on every shared qubit, sit in
+        the same or in consecutive commutation groups (so they can be
+        made adjacent by a legal reorder).  The full test additionally
+        requires acyclicity after the merge, which :meth:`merge` checks
+        transactionally.
+        """
+        shared = set(a.qubits) & set(b.qubits)
+        if not shared:
+            return False
+        for q in shared:
+            if abs(self.group_index(a, q) - self.group_index(b, q)) > 1:
+                return False
+        return True
+
+    def merge(
+        self,
+        a,
+        b,
+        merged,
+        validated: bool = False,
+        check_cycles: bool = True,
+    ) -> None:
+        """Replace nodes ``a`` and ``b`` with ``merged``.
+
+        Args:
+            validated: Skip the structural :meth:`can_merge` test (the
+                caller already established it).
+            check_cycles: Run the transactional acyclicity check.  The
+                aggregator pre-checks with an est-pruned reachability
+                search and passes False; external callers should keep
+                the default.
+
+        Raises SchedulingError (and leaves the graph unchanged) when the
+        merge is structurally invalid or would create a cycle.
+        """
+        if not validated and not self.can_merge(a, b):
+            raise SchedulingError(f"cannot merge {a} and {b}: not adjacent-able")
+        expected = set(a.qubits) | set(b.qubits)
+        if set(merged.qubits) != expected:
+            raise SchedulingError(
+                f"merged node must act on {sorted(expected)}, "
+                f"got {sorted(merged.qubits)}"
+            )
+        saved_orders = {q: list(self._qubit_order[q]) for q in expected}
+        saved_nodes = list(self.nodes)
+        try:
+            self._splice_merge(a, b, merged)
+            if check_cycles:
+                self.topological_order()
+        except SchedulingError:
+            self._qubit_order.update(saved_orders)
+            self.nodes = saved_nodes
+            for q in expected:
+                self._relink(q)
+                self._groups_dirty.add(q)
+            raise
+
+    def _splice_merge(self, a, b, merged) -> None:
+        shared = set(a.qubits) & set(b.qubits)
+        probe = next(iter(shared))
+        first, second = (a, b)
+        if self._position(probe, a) > self._position(probe, b):
+            first, second = (b, a)
+        for q in set(a.qubits) | set(b.qubits):
+            sequence = self._qubit_order[q]
+            if q in shared:
+                sequence.remove(first)
+                index = next(
+                    i for i, node in enumerate(sequence) if node is second
+                )
+                sequence[index] = merged
+            else:
+                owner = a if q in a.qubits else b
+                index = next(
+                    i for i, node in enumerate(sequence) if node is owner
+                )
+                sequence[index] = merged
+            self._relink(q)
+            self._groups_dirty.add(q)
+        new_nodes = []
+        for node in self.nodes:
+            if node is first:
+                continue
+            if node is second:
+                new_nodes.append(merged)
+            else:
+                new_nodes.append(node)
+        self.nodes = new_nodes
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _position(self, qubit: int, node) -> int:
+        for index, candidate in enumerate(self._qubit_order[qubit]):
+            if candidate is node:
+                return index
+        raise SchedulingError(f"{node} does not act on qubit {qubit}")
+
+    def _relink(self, qubit: int) -> None:
+        """Rebuild the prev/next chain links of one qubit."""
+        sequence = self._qubit_order[qubit]
+        prev_map: dict[int, object] = {}
+        next_map: dict[int, object] = {}
+        previous = None
+        for node in sequence:
+            if previous is not None:
+                prev_map[id(node)] = previous
+                next_map[id(previous)] = node
+            previous = node
+        self._prev[qubit] = prev_map
+        self._next[qubit] = next_map
+
+    def _groups_for(self, qubit: int) -> list[list]:
+        if qubit in self._groups_dirty or qubit not in self._groups:
+            groups = self._compute_groups(self._qubit_order[qubit])
+            self._groups[qubit] = groups
+            lookup: dict[int, int] = {}
+            for index, group in enumerate(groups):
+                for member in group:
+                    lookup[id(member)] = index
+            self._group_of[qubit] = lookup
+            self._groups_dirty.discard(qubit)
+        return self._groups[qubit]
+
+    def _compute_groups(self, sequence: list) -> list[list]:
+        groups: list[list] = []
+        for node in sequence:
+            if groups and all(
+                self.commute_fn(node, member) for member in groups[-1]
+            ):
+                groups[-1].append(node)
+            else:
+                groups.append([node])
+        return groups

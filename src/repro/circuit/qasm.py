@@ -1,0 +1,96 @@
+"""A small QASM-style text dialect for circuits.
+
+Grammar (one statement per line, ``#`` starts a comment)::
+
+    qubits 5
+    h q0
+    cnot q0, q1
+    rz(0.5) q2
+    swap q1, q3
+
+Qubit tokens are either ``q<N>`` or bare integers.  Gate names are the
+mnemonics understood by :func:`repro.gates.library.gate_from_name`
+(case-insensitive, including aliases like ``cx``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuit.circuit import Circuit
+from repro.errors import QasmError
+from repro.gates.library import gate_from_name
+
+_GATE_LINE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\((?P<params>[^)]*)\))?"
+    r"\s+(?P<qubits>.+)$"
+)
+
+
+def circuit_to_qasm(circuit: Circuit) -> str:
+    """Serialize a circuit to the text dialect."""
+    lines = [f"# {circuit.name}", f"qubits {circuit.num_qubits}"]
+    for gate in circuit.gates:
+        params = ""
+        if gate.params:
+            params = "(" + ", ".join(repr(p) for p in gate.params) + ")"
+        qubits = ", ".join(f"q{q}" for q in gate.qubits)
+        lines.append(f"{gate.name.lower()}{params} {qubits}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_qasm(text: str, name: str = "qasm") -> Circuit:
+    """Parse the text dialect into a :class:`Circuit`."""
+    circuit: Circuit | None = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.lower().startswith("qubits"):
+            if circuit is not None:
+                raise QasmError(f"line {line_number}: duplicate qubits directive")
+            parts = line.split()
+            if len(parts) != 2 or not parts[1].isdigit():
+                raise QasmError(f"line {line_number}: malformed qubits directive")
+            circuit = Circuit(int(parts[1]), name=name)
+            continue
+        if circuit is None:
+            raise QasmError(
+                f"line {line_number}: gate before the qubits directive"
+            )
+        circuit.append(_parse_gate_line(line, line_number))
+    if circuit is None:
+        raise QasmError("no qubits directive found")
+    return circuit
+
+
+def _parse_gate_line(line: str, line_number: int):
+    match = _GATE_LINE.match(line)
+    if not match:
+        raise QasmError(f"line {line_number}: cannot parse {line!r}")
+    name = match.group("name")
+    params: list[float] = []
+    if match.group("params") is not None:
+        for token in match.group("params").split(","):
+            token = token.strip()
+            if not token:
+                raise QasmError(f"line {line_number}: empty parameter")
+            try:
+                params.append(float(token))
+            except ValueError:
+                raise QasmError(
+                    f"line {line_number}: bad parameter {token!r}"
+                ) from None
+    qubits: list[int] = []
+    for token in match.group("qubits").split(","):
+        token = token.strip()
+        if token.lower().startswith("q"):
+            token = token[1:]
+        if not token.lstrip("-").isdigit():
+            raise QasmError(f"line {line_number}: bad qubit token {token!r}")
+        qubits.append(int(token))
+    try:
+        return gate_from_name(name, qubits, params)
+    except Exception as error:
+        raise QasmError(f"line {line_number}: {error}") from error

@@ -1,0 +1,27 @@
+"""End-to-end compilation pipeline and the Figure 9 strategy set."""
+
+from repro.compiler.pipeline import compile_circuit
+from repro.compiler.result import CompilationResult
+from repro.compiler.strategies import (
+    AGGREGATION,
+    CLS,
+    CLS_AGGREGATION,
+    CLS_HAND,
+    ISA,
+    Strategy,
+    all_strategies,
+    strategy_by_key,
+)
+
+__all__ = [
+    "AGGREGATION",
+    "CLS",
+    "CLS_AGGREGATION",
+    "CLS_HAND",
+    "CompilationResult",
+    "ISA",
+    "Strategy",
+    "all_strategies",
+    "compile_circuit",
+    "strategy_by_key",
+]

@@ -1,0 +1,160 @@
+"""The end-to-end compilation pipeline (paper Fig. 5, right side).
+
+Stages, mirroring the paper's flow:
+
+1. **Lowering** — decompose everything to the standard logical set
+   (1-qubit rotations, CNOT, SWAP).
+2. **Commutativity detection** — contract diagonal 2-qubit blocks
+   (strategies with detection enabled).
+3. **Logical scheduling** — CLS or plain program order.
+4. **Mapping** — recursive-bisection placement on a grid and
+   SWAP-insertion routing.
+5. **Backend** — instruction aggregation with the optimal-control unit,
+   or hand-optimization rewrite rules, or nothing (ISA).
+6. **Final scheduling** — CLS (or list scheduling) with per-instruction
+   pulse latencies; the makespan is the circuit latency Figure 9 plots.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aggregation.aggregator import aggregate
+from repro.aggregation.diagonal import detect_diagonal_blocks
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.circuit.circuit import Circuit
+from repro.circuit.commutation import CommutationChecker
+from repro.circuit.dag import GateDependenceGraph
+from repro.compiler.hand_opt import hand_optimize
+from repro.compiler.result import CompilationResult
+from repro.compiler.strategies import ISA, Strategy
+from repro.config import (
+    CompilerConfig,
+    DEFAULT_COMPILER,
+    DEFAULT_DEVICE,
+    DeviceConfig,
+)
+from repro.control.unit import OptimalControlUnit
+from repro.gates.decompositions import lower_to_standard_set
+from repro.mapping.placement import initial_placement
+from repro.mapping.router import route
+from repro.mapping.topology import GridTopology, grid_for
+from repro.scheduling.cls import cls_schedule
+from repro.scheduling.list_scheduler import list_schedule
+
+
+def compile_circuit(
+    circuit: Circuit,
+    strategy: Strategy = ISA,
+    device: DeviceConfig = DEFAULT_DEVICE,
+    compiler_config: CompilerConfig = DEFAULT_COMPILER,
+    ocu: OptimalControlUnit | None = None,
+    topology: GridTopology | None = None,
+    width_limit: int | None = None,
+) -> CompilationResult:
+    """Compile a circuit under one strategy and report its pulse latency.
+
+    Args:
+        circuit: Logical circuit (any registered gates; lowered here).
+        strategy: One of the Figure 9 strategies.
+        device: Field limits and pulse overheads.
+        compiler_config: Width limits, detection depth, etc.
+        ocu: Latency oracle; a fresh model-backend unit when omitted
+            (pass a shared one to exploit the pulse cache across runs).
+        topology: Device grid; a near-square grid sized to the circuit
+            when omitted.
+        width_limit: Override of ``compiler_config.max_instruction_width``.
+
+    Returns:
+        A :class:`CompilationResult`.
+    """
+    ocu = ocu or OptimalControlUnit(device=device, compiler=compiler_config)
+    width_limit = width_limit or compiler_config.max_instruction_width
+    checker = CommutationChecker(
+        exact_qubits=compiler_config.exact_commutation_qubits
+    )
+    stage_seconds: dict[str, float] = {}
+
+    def latency_fn(node) -> float:
+        hand_latency = getattr(node, "hand_latency_ns", None)
+        if hand_latency is not None:
+            return hand_latency
+        if isinstance(node, AggregatedInstruction) and not strategy.aggregation:
+            # Detection-only block: it exists for scheduling freedom, but
+            # without an optimal-control backend it still executes as its
+            # member gates, one pulse each.
+            return sum(ocu.latency(gate) for gate in node.gates)
+        return ocu.latency(node)
+
+    # Stage 1: lowering.
+    started = time.perf_counter()
+    lowered = lower_to_standard_set(circuit.gates)
+    stage_seconds["lowering"] = time.perf_counter() - started
+
+    # Stage 2: commutativity detection.
+    started = time.perf_counter()
+    if strategy.commutativity_detection:
+        nodes = detect_diagonal_blocks(lowered, compiler_config)
+    else:
+        nodes = list(lowered)
+    stage_seconds["detection"] = time.perf_counter() - started
+
+    # Stage 3: logical scheduling.
+    started = time.perf_counter()
+    logical_dag = GateDependenceGraph(
+        circuit.num_qubits, nodes, checker.commute
+    )
+    if strategy.cls_scheduling:
+        logical_order = cls_schedule(logical_dag, latency_fn).ordered_nodes()
+        logical_dag.reorder(logical_order)
+    ordered_nodes = logical_dag.stable_topological_order()
+    stage_seconds["logical_scheduling"] = time.perf_counter() - started
+
+    # Stage 4: mapping and routing.
+    started = time.perf_counter()
+    topology = topology or grid_for(circuit.num_qubits)
+    placement = initial_placement(circuit, topology)
+    routing = route(ordered_nodes, placement)
+    physical_nodes = routing.nodes
+    stage_seconds["mapping"] = time.perf_counter() - started
+
+    # Stage 5: backend (aggregation / hand rules / nothing).
+    started = time.perf_counter()
+    aggregation_merges = 0
+    if strategy.hand_optimization:
+        physical_nodes = hand_optimize(physical_nodes, device)
+    physical_dag = GateDependenceGraph(
+        topology.num_qubits, physical_nodes, checker.commute
+    )
+    if strategy.aggregation:
+        report = aggregate(
+            physical_dag,
+            ocu,
+            width_limit=width_limit,
+            max_rounds=10_000,
+        )
+        aggregation_merges = report.merges
+    stage_seconds["backend"] = time.perf_counter() - started
+
+    # Stage 6: final physical schedule.
+    started = time.perf_counter()
+    if strategy.cls_scheduling:
+        schedule = cls_schedule(physical_dag, latency_fn)
+    else:
+        schedule = list_schedule(physical_dag, latency_fn)
+    stage_seconds["final_scheduling"] = time.perf_counter() - started
+
+    return CompilationResult(
+        strategy_key=strategy.key,
+        circuit_name=circuit.name,
+        logical_qubits=circuit.num_qubits,
+        physical_qubits=topology.num_qubits,
+        schedule=schedule,
+        latency_ns=schedule.makespan,
+        swap_count=routing.swap_count,
+        lowered_gate_count=len(lowered),
+        aggregation_merges=aggregation_merges,
+        stage_seconds=stage_seconds,
+        final_mapping=routing.placement.as_dict(),
+        initial_mapping=routing.initial_placement.as_dict(),
+    )

@@ -1,0 +1,83 @@
+"""Compilation results and derived metrics."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.scheduling.schedule import Schedule
+
+
+@dataclasses.dataclass
+class CompilationResult:
+    """Everything a compilation run produced.
+
+    Attributes:
+        strategy_key: Which Figure 9 strategy ran.
+        circuit_name: Source circuit.
+        logical_qubits: Register width before mapping.
+        physical_qubits: Grid size after mapping.
+        schedule: The final physical schedule (nodes carry physical
+            qubit indices).
+        latency_ns: Schedule makespan — the number Figure 9 plots.
+        swap_count: SWAPs inserted by routing.
+        lowered_gate_count: Gates after decomposition to the standard set.
+        aggregation_merges: Merges executed (0 when aggregation is off).
+        stage_seconds: Wall-clock per pipeline stage.
+    """
+
+    strategy_key: str
+    circuit_name: str
+    logical_qubits: int
+    physical_qubits: int
+    schedule: Schedule
+    latency_ns: float
+    swap_count: int
+    lowered_gate_count: int
+    aggregation_merges: int
+    stage_seconds: dict[str, float]
+    final_mapping: dict[int, int] = dataclasses.field(default_factory=dict)
+    """Where routing left each logical qubit (logical -> physical)."""
+    initial_mapping: dict[int, int] = dataclasses.field(default_factory=dict)
+    """Where placement put each logical qubit before routing."""
+
+    @property
+    def node_count(self) -> int:
+        """Final instruction count."""
+        return len(self.schedule)
+
+    def instruction_width_histogram(self) -> Counter[int]:
+        """Distribution of final instruction widths."""
+        histogram: Counter[int] = Counter()
+        for operation in self.schedule:
+            histogram[len(set(operation.node.qubits))] += 1
+        return histogram
+
+    def aggregated_instructions(self) -> list[AggregatedInstruction]:
+        """The aggregated instructions in the final schedule."""
+        return [
+            operation.node
+            for operation in self.schedule
+            if isinstance(operation.node, AggregatedInstruction)
+        ]
+
+    def widest_instruction(self) -> int:
+        """Largest final instruction width."""
+        return max(
+            (len(set(op.node.qubits)) for op in self.schedule), default=0
+        )
+
+    def speedup_over(self, baseline: CompilationResult) -> float:
+        """Latency ratio ``baseline / self`` (the Figure 9 metric)."""
+        if self.latency_ns <= 0:
+            return float("inf")
+        return baseline.latency_ns / self.latency_ns
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.circuit_name} [{self.strategy_key}]: "
+            f"{self.latency_ns:.1f} ns, {self.node_count} instructions, "
+            f"{self.swap_count} swaps, widest {self.widest_instruction()}"
+        )

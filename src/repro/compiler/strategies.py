@@ -1,0 +1,94 @@
+"""The compilation strategies compared in the paper's Figure 9.
+
+* ``ISA`` — standard gate-based compilation: per-gate optimized pulses,
+  plain list scheduling (the normalization baseline).
+* ``CLS`` — commutativity detection + commutativity-aware scheduling.
+* ``Aggregation`` — instruction aggregation without CLS.
+* ``CLS + aggregation`` — the paper's full proposed flow.
+* ``CLS + hand optimization`` — CLS plus mechanically-applied known
+  iSWAP-architecture pulse identities (the strongest prior-art
+  comparator the paper constructs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class Strategy:
+    """Feature switches of one compilation flow."""
+
+    key: str
+    description: str
+    commutativity_detection: bool
+    cls_scheduling: bool
+    aggregation: bool
+    hand_optimization: bool
+
+    def __post_init__(self) -> None:
+        if self.aggregation and self.hand_optimization:
+            raise ConfigError(
+                "aggregation and hand optimization are alternative backends"
+            )
+
+
+ISA = Strategy(
+    key="isa",
+    description="gate-based compilation (baseline)",
+    commutativity_detection=False,
+    cls_scheduling=False,
+    aggregation=False,
+    hand_optimization=False,
+)
+
+CLS = Strategy(
+    key="cls",
+    description="commutativity-aware logical scheduling",
+    commutativity_detection=True,
+    cls_scheduling=True,
+    aggregation=False,
+    hand_optimization=False,
+)
+
+AGGREGATION = Strategy(
+    key="aggregation",
+    description="instruction aggregation without CLS",
+    commutativity_detection=False,
+    cls_scheduling=False,
+    aggregation=True,
+    hand_optimization=False,
+)
+
+CLS_AGGREGATION = Strategy(
+    key="cls+aggregation",
+    description="the full proposed compilation flow",
+    commutativity_detection=True,
+    cls_scheduling=True,
+    aggregation=True,
+    hand_optimization=False,
+)
+
+CLS_HAND = Strategy(
+    key="cls+hand",
+    description="CLS plus mechanical iSWAP pulse identities",
+    commutativity_detection=True,
+    cls_scheduling=True,
+    aggregation=False,
+    hand_optimization=True,
+)
+
+
+def all_strategies() -> list[Strategy]:
+    """The five strategies of Figure 9, baseline first."""
+    return [ISA, CLS, AGGREGATION, CLS_AGGREGATION, CLS_HAND]
+
+
+def strategy_by_key(key: str) -> Strategy:
+    """Look up a strategy by its key."""
+    for strategy in all_strategies():
+        if strategy.key == key:
+            return strategy
+    raise ConfigError(f"unknown strategy {key!r}")

@@ -1,0 +1,127 @@
+"""Device and compiler configuration.
+
+The paper (Sec. 5.1) models a superconducting architecture with an XY
+(iSWAP-type) coupling whose control-field limit is ``mu_max = 0.02 GHz`` and
+single-qubit drive limits five times larger.  All latency numbers in the
+paper are reported in nanoseconds; we keep that unit throughout.
+
+Control fields enter the Hamiltonian as ``2*pi * mu(t) * O / 2`` for a Pauli
+term ``O``, so a field held at its limit ``mu`` rotates at an angular rate of
+``pi * mu`` rad/ns about ``O``.  The convenience properties
+:attr:`DeviceConfig.drive_rate` and :attr:`DeviceConfig.coupling_rate`
+expose ``2*pi*mu`` (rad/ns) which is the natural scale used by the analytic
+latency model (see ``repro/control/latency_model.py``).
+
+The two pulse *setup* times model the fixed per-pulse overhead (ramp-up,
+ring-down, finite bandwidth) that a GRAPE-optimized pulse pays once per
+instruction; they are the calibration constants that reproduce Table 1 of
+the paper (CNOT 47.1 ns, SWAP 50.1 ns).  Aggregating instructions amortizes
+this overhead, which is one of the three latency-reduction mechanisms the
+paper attributes to optimal control.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigError
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceConfig:
+    """Physical parameters of the simulated superconducting device.
+
+    Attributes:
+        coupling_limit_ghz: Two-qubit XY control-field limit (paper: 0.02).
+        drive_ratio: Single-qubit limit as a multiple of the coupling limit
+            (paper: 5).
+        setup_time_2q_ns: Fixed pulse overhead of an instruction that uses
+            at least one coupling field.
+        setup_time_1q_ns: Fixed pulse overhead of a single-qubit-only pulse.
+        t1_us: Relaxation time used by the decoherence model (microseconds).
+        t2_us: Dephasing time used by the decoherence model (microseconds).
+    """
+
+    coupling_limit_ghz: float = 0.02
+    drive_ratio: float = 5.0
+    setup_time_2q_ns: float = 33.0
+    setup_time_1q_ns: float = 2.1
+    t1_us: float = 50.0
+    t2_us: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.coupling_limit_ghz <= 0:
+            raise ConfigError("coupling_limit_ghz must be positive")
+        if self.drive_ratio <= 0:
+            raise ConfigError("drive_ratio must be positive")
+        if self.setup_time_2q_ns < 0 or self.setup_time_1q_ns < 0:
+            raise ConfigError("setup times must be non-negative")
+        if self.t1_us <= 0 or self.t2_us <= 0:
+            raise ConfigError("decoherence times must be positive")
+
+    @property
+    def drive_limit_ghz(self) -> float:
+        """Single-qubit control-field limit in GHz."""
+        return self.coupling_limit_ghz * self.drive_ratio
+
+    @property
+    def coupling_rate(self) -> float:
+        """Angular rate ``2*pi*mu_max`` of the coupling field (rad/ns)."""
+        return TWO_PI * self.coupling_limit_ghz
+
+    @property
+    def drive_rate(self) -> float:
+        """Angular rate ``2*pi*mu_1q`` of the drive fields (rad/ns)."""
+        return TWO_PI * self.drive_limit_ghz
+
+
+@dataclasses.dataclass(frozen=True)
+class CompilerConfig:
+    """Knobs of the aggregated-instruction compiler.
+
+    Attributes:
+        max_instruction_width: Largest number of qubits the optimal-control
+            unit accepts (paper: 10).
+        fidelity_threshold: GRAPE convergence target for pulse synthesis.
+        grape_dt_ns: Time-step of the piecewise-constant GRAPE controls.
+        diagonal_block_width: Width (in qubits) of the blocks searched by
+            the diagonal-unitary commutativity detector (paper Sec. 4.2: 2).
+        diagonal_block_depth: Longest run of gates considered when searching
+            a diagonal block (paper: "typically no longer than 10 gates").
+        max_aggregation_rounds: Safety cap on the aggregate/re-latency loop.
+        exact_commutation_qubits: Largest joint support (in qubits) for
+            which commutation is decided by explicitly comparing ``AB`` and
+            ``BA``; larger pairs fall back to the conservative
+            disjoint-or-both-diagonal rule.
+    """
+
+    max_instruction_width: int = 10
+    fidelity_threshold: float = 0.999
+    grape_dt_ns: float = 0.5
+    diagonal_block_width: int = 2
+    diagonal_block_depth: int = 10
+    max_aggregation_rounds: int = 8
+    exact_commutation_qubits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_instruction_width < 2:
+            raise ConfigError("max_instruction_width must be at least 2")
+        if not 0.0 < self.fidelity_threshold <= 1.0:
+            raise ConfigError("fidelity_threshold must be in (0, 1]")
+        if self.grape_dt_ns <= 0:
+            raise ConfigError("grape_dt_ns must be positive")
+        if self.diagonal_block_width < 2:
+            raise ConfigError("diagonal_block_width must be at least 2")
+        if self.diagonal_block_depth < 1:
+            raise ConfigError("diagonal_block_depth must be at least 1")
+        if self.max_aggregation_rounds < 1:
+            raise ConfigError("max_aggregation_rounds must be at least 1")
+        if self.exact_commutation_qubits < 2:
+            raise ConfigError("exact_commutation_qubits must be at least 2")
+
+
+DEFAULT_DEVICE = DeviceConfig()
+DEFAULT_COMPILER = CompilerConfig()

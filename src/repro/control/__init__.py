@@ -1,0 +1,21 @@
+"""Quantum optimal control: Hamiltonians, GRAPE, latency model, OCU."""
+
+from repro.control.grape import GrapeOptimizer, GrapeResult
+from repro.control.hamiltonian import ControlHamiltonian, ControlTerm, xy_hamiltonian
+from repro.control.latency_model import AnalyticLatencyModel
+from repro.control.pulse import Pulse, PulseSequence
+from repro.control.time_search import minimal_pulse_time
+from repro.control.unit import OptimalControlUnit
+
+__all__ = [
+    "AnalyticLatencyModel",
+    "ControlHamiltonian",
+    "ControlTerm",
+    "GrapeOptimizer",
+    "GrapeResult",
+    "OptimalControlUnit",
+    "Pulse",
+    "PulseSequence",
+    "minimal_pulse_time",
+    "xy_hamiltonian",
+]

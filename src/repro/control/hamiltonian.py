@@ -1,0 +1,128 @@
+"""Control Hamiltonians of the superconducting XY architecture.
+
+The device (paper Sec. 5.1, Appendix A) drives each qubit with microwave
+fields coupling to ``X`` and ``Y`` and couples neighbouring qubits with an
+XY (iSWAP-type) interaction::
+
+    H(t) = sum_j  u_xj(t) X_j / 2  +  u_yj(t) Y_j / 2
+         + sum_(j,k)  u_jk(t) (X_j X_k + Y_j Y_k) / 2
+
+Amplitudes ``u`` are angular rates in rad/ns; the drive limit is
+``2*pi * 5*mu_max`` and the coupling limit ``2*pi * mu_max`` with
+``mu_max = 0.02 GHz`` (drives 5x stronger than couplings, as in the
+paper's experimental setting).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.config import DeviceConfig, DEFAULT_DEVICE
+from repro.errors import ControlError
+from repro.linalg.embed import embed_operator
+from repro.linalg.paulis import PAULI_X, PAULI_Y
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlTerm:
+    """One tunable field: ``u(t) * operator`` with ``|u| <= limit``."""
+
+    name: str
+    operator: np.ndarray
+    limit: float
+
+
+class ControlHamiltonian:
+    """The set of control fields available to one (aggregated) instruction.
+
+    Attributes:
+        num_qubits: Width of the instruction.
+        terms: Drive and coupling control terms.
+    """
+
+    def __init__(self, num_qubits: int, terms: Sequence[ControlTerm]) -> None:
+        if num_qubits < 1:
+            raise ControlError("need at least one qubit")
+        if not terms:
+            raise ControlError("need at least one control term")
+        self.num_qubits = int(num_qubits)
+        self.dim = 2**self.num_qubits
+        self.terms = list(terms)
+        for term in self.terms:
+            if term.operator.shape != (self.dim, self.dim):
+                raise ControlError(
+                    f"term {term.name} has shape {term.operator.shape}, "
+                    f"expected {(self.dim, self.dim)}"
+                )
+            if term.limit <= 0:
+                raise ControlError(f"term {term.name} has non-positive limit")
+
+    @property
+    def num_controls(self) -> int:
+        return len(self.terms)
+
+    def limits(self) -> np.ndarray:
+        """Per-control amplitude limits (rad/ns)."""
+        return np.array([term.limit for term in self.terms])
+
+    def hamiltonian(self, amplitudes: Sequence[float]) -> np.ndarray:
+        """Assemble ``H = sum_k u_k * O_k`` for one time step."""
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        if amplitudes.shape != (self.num_controls,):
+            raise ControlError(
+                f"expected {self.num_controls} amplitudes, got {amplitudes.shape}"
+            )
+        total = np.zeros((self.dim, self.dim), dtype=complex)
+        for amplitude, term in zip(amplitudes, self.terms):
+            total += amplitude * term.operator
+        return total
+
+    def control_names(self) -> list[str]:
+        return [term.name for term in self.terms]
+
+
+def xy_hamiltonian(
+    num_qubits: int,
+    coupling_edges: Sequence[tuple[int, int]] | None = None,
+    device: DeviceConfig = DEFAULT_DEVICE,
+) -> ControlHamiltonian:
+    """Build the XY-architecture control Hamiltonian for an instruction.
+
+    Args:
+        num_qubits: Instruction width (local qubit indices 0..k-1).
+        coupling_edges: Coupled pairs in local indices; defaults to a
+            linear chain.
+        device: Field limits.
+
+    Returns:
+        A :class:`ControlHamiltonian` with 2 drive terms per qubit and one
+        XY coupling term per edge.
+    """
+    if coupling_edges is None:
+        coupling_edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    terms: list[ControlTerm] = []
+    for q in range(num_qubits):
+        x_full = embed_operator(PAULI_X / 2.0, [q], num_qubits)
+        y_full = embed_operator(PAULI_Y / 2.0, [q], num_qubits)
+        terms.append(ControlTerm(f"x{q}", x_full, device.drive_rate))
+        terms.append(ControlTerm(f"y{q}", y_full, device.drive_rate))
+    seen: set[tuple[int, int]] = set()
+    for a, b in coupling_edges:
+        a, b = int(a), int(b)
+        if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+            raise ControlError(f"bad coupling edge ({a}, {b})")
+        key = (min(a, b), max(a, b))
+        if key in seen:
+            continue
+        seen.add(key)
+        xx = embed_operator(np.kron(PAULI_X, PAULI_X), [a, b], num_qubits)
+        yy = embed_operator(np.kron(PAULI_Y, PAULI_Y), [a, b], num_qubits)
+        terms.append(
+            ControlTerm(
+                f"xy{key[0]}_{key[1]}", (xx + yy) / 2.0, device.coupling_rate
+            )
+        )
+    return ControlHamiltonian(num_qubits, terms)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses map one-to-one onto the
+major subsystems (circuit IR, scheduling, mapping, control, ...).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid device or compiler configuration."""
+
+
+class LinalgError(ReproError):
+    """A linear-algebra routine received an invalid operand."""
+
+
+class GateError(ReproError):
+    """Invalid gate construction or decomposition request."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction or manipulation."""
+
+
+class QasmError(CircuitError):
+    """Failure while parsing or emitting the QASM dialect."""
+
+
+class ProgramError(ReproError):
+    """Invalid program-level IR (modules, loops, calls)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced or received an inconsistent state."""
+
+
+class MappingError(ReproError):
+    """Qubit placement or routing failure."""
+
+
+class AggregationError(ReproError):
+    """Invalid instruction-aggregation action."""
+
+
+class ControlError(ReproError):
+    """Quantum-optimal-control (GRAPE / latency model) failure."""
+
+
+class VerificationError(ReproError):
+    """A pulse sequence failed to reproduce its target unitary."""
+
+
+class BenchmarkError(ReproError):
+    """Invalid benchmark-generator parameters."""

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure9 import Figure9Row, run_figure9
+from repro.experiments.figure10 import Figure10Series, run_figure10
+from repro.experiments.figure11 import Figure11Row, run_figure11
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.table3 import Table3Row, run_table3
+
+__all__ = [
+    "Figure4Result",
+    "Figure9Row",
+    "Figure10Series",
+    "Figure11Row",
+    "Table1Row",
+    "Table3Row",
+    "run_figure4",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_table1",
+    "run_table3",
+]

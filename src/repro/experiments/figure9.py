@@ -1,0 +1,121 @@
+"""Figure 9: normalized circuit latency of every strategy per benchmark.
+
+The paper's headline result: across the Table 3 suite, CLS+aggregation
+reduces pulse latency by a geometric-mean 5.07x (max ~10x) relative to
+gate-based (ISA) compilation, with CLS+hand at 2.34x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+
+from repro.benchmarks.registry import table3_suite
+from repro.compiler.pipeline import compile_circuit
+from repro.compiler.strategies import Strategy, all_strategies
+from repro.control.unit import OptimalControlUnit
+
+PAPER_GEOMEAN_CLS_AGGREGATION = 5.07
+PAPER_GEOMEAN_CLS_HAND = 2.338
+PAPER_MAX_SPEEDUP = 10.0
+
+
+@dataclasses.dataclass
+class Figure9Row:
+    """One benchmark's latency under every strategy."""
+
+    benchmark: str
+    qubits: int
+    latencies_ns: dict[str, float]
+    seconds: dict[str, float]
+
+    def normalized(self) -> dict[str, float]:
+        """Latency over the ISA baseline (the paper's y-axis)."""
+        baseline = self.latencies_ns["isa"]
+        return {
+            key: value / baseline for key, value in self.latencies_ns.items()
+        }
+
+    def speedup(self, strategy_key: str) -> float:
+        return self.latencies_ns["isa"] / self.latencies_ns[strategy_key]
+
+
+def run_figure9(
+    scale: str = "paper",
+    strategies: list[Strategy] | None = None,
+    ocu: OptimalControlUnit | None = None,
+    benchmark_keys: list[str] | None = None,
+) -> list[Figure9Row]:
+    """Compile the suite under every strategy.
+
+    Args:
+        scale: ``"paper"`` (Table 3 sizes) or ``"small"`` (fast).
+        strategies: Defaults to all five Figure 9 strategies.
+        ocu: Shared latency oracle (pulse cache amortizes across runs).
+        benchmark_keys: Restrict to a subset of the suite.
+    """
+    strategies = strategies or all_strategies()
+    ocu = ocu or OptimalControlUnit(backend="model")
+    rows: list[Figure9Row] = []
+    for spec in table3_suite(scale):
+        if benchmark_keys and spec.key not in benchmark_keys:
+            continue
+        circuit = spec.build()
+        latencies: dict[str, float] = {}
+        seconds: dict[str, float] = {}
+        for strategy in strategies:
+            started = time.perf_counter()
+            result = compile_circuit(circuit, strategy, ocu=ocu)
+            seconds[strategy.key] = time.perf_counter() - started
+            latencies[strategy.key] = result.latency_ns
+        rows.append(
+            Figure9Row(
+                benchmark=spec.key,
+                qubits=spec.qubits,
+                latencies_ns=latencies,
+                seconds=seconds,
+            )
+        )
+    return rows
+
+
+def geometric_mean_speedups(rows: list[Figure9Row]) -> dict[str, float]:
+    """Geomean speedup over ISA per strategy (the paper's 5.07x metric)."""
+    if not rows:
+        return {}
+    keys = [k for k in rows[0].latencies_ns if k != "isa"]
+    means: dict[str, float] = {}
+    for key in keys:
+        log_sum = sum(math.log(row.speedup(key)) for row in rows)
+        means[key] = math.exp(log_sum / len(rows))
+    return means
+
+
+def max_speedup(rows: list[Figure9Row], strategy_key: str) -> float:
+    """Best single-benchmark speedup of a strategy."""
+    return max(row.speedup(strategy_key) for row in rows)
+
+
+def format_figure9(rows: list[Figure9Row]) -> str:
+    """Paper-style text table of normalized latencies."""
+    if not rows:
+        return "Figure 9: (no rows)"
+    keys = list(rows[0].latencies_ns)
+    header = f"{'benchmark':22s}" + "".join(f"{k:>16s}" for k in keys)
+    lines = ["Figure 9: normalized latency (ISA = 1.0)", header]
+    for row in rows:
+        normalized = row.normalized()
+        lines.append(
+            f"{row.benchmark:22s}"
+            + "".join(f"{normalized[k]:16.3f}" for k in keys)
+        )
+    means = geometric_mean_speedups(rows)
+    lines.append("")
+    for key, value in means.items():
+        lines.append(f"geomean speedup {key}: {value:.2f}x")
+    lines.append(
+        f"paper: cls+aggregation {PAPER_GEOMEAN_CLS_AGGREGATION}x, "
+        f"cls+hand {PAPER_GEOMEAN_CLS_HAND}x, max {PAPER_MAX_SPEEDUP}x"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Run every experiment and print a paper-style report.
+
+Usage::
+
+    python -m repro.experiments.runner --scale small
+    python -m repro.experiments.runner --experiment figure9 --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.control.unit import OptimalControlUnit
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure9 import format_figure9, run_figure9
+from repro.experiments.figure10 import format_figure10, run_figure10
+from repro.experiments.figure11 import format_figure11, run_figure11
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table3 import format_table3, run_table3
+
+_EXPERIMENTS = ("table1", "table3", "figure4", "figure9", "figure10", "figure11")
+
+
+def run_experiment(name: str, scale: str, ocu: OptimalControlUnit) -> str:
+    """Run one experiment by name, returning its formatted report."""
+    if name == "table1":
+        return format_table1(run_table1(ocu=ocu))
+    if name == "table3":
+        return format_table3(run_table3(scale=scale))
+    if name == "figure4":
+        return format_figure4(run_figure4(ocu=ocu))
+    if name == "figure9":
+        return format_figure9(run_figure9(scale=scale, ocu=ocu))
+    if name == "figure10":
+        if scale == "small":
+            benchmarks = {
+                "maxcut-line-6": "parallel",
+                "ising-6": "parallel",
+                "sqrt-9": "serial",
+                "uccsd-4": "serial",
+            }
+            return format_figure10(
+                run_figure10(
+                    benchmarks=benchmarks,
+                    widths=range(2, 7),
+                    scale=scale,
+                    ocu=ocu,
+                )
+            )
+        return format_figure10(run_figure10(scale=scale, ocu=ocu))
+    if name == "figure11":
+        return format_figure11(run_figure11(scale=scale, ocu=ocu))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        choices=_EXPERIMENTS + ("all",),
+        default="all",
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("paper", "small"),
+        default="paper",
+        help="benchmark sizes: the paper's or fast reduced instances",
+    )
+    args = parser.parse_args(argv)
+    ocu = OptimalControlUnit(backend="model")
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        started = time.perf_counter()
+        report = run_experiment(name, args.scale, ocu)
+        elapsed = time.perf_counter() - started
+        print(report)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

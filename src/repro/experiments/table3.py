@@ -1,0 +1,87 @@
+"""Table 3: the benchmark suite with its program characteristics.
+
+Reproduces the qualitative Table 3 labels from quantitative metrics
+computed on the actual circuits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.benchmarks.registry import (
+    circuit_characteristics,
+    classify,
+    table3_suite,
+)
+
+_PARALLELISM_THRESHOLDS = (0.10, 0.35)
+_LOCALITY_THRESHOLDS = (0.35, 0.50)
+_COMMUTATIVITY_THRESHOLDS = (0.30, 0.55)
+
+
+@dataclasses.dataclass
+class Table3Row:
+    """One benchmark with measured and paper-reported characteristics."""
+
+    key: str
+    purpose: str
+    qubits: int
+    gates: int
+    parallelism: float
+    spatial_locality: float
+    commutativity: float
+    paper_parallelism: str
+    paper_locality: str
+    paper_commutativity: str
+
+    @property
+    def parallelism_label(self) -> str:
+        return classify(self.parallelism, *_PARALLELISM_THRESHOLDS)
+
+    @property
+    def locality_label(self) -> str:
+        return classify(self.spatial_locality, *_LOCALITY_THRESHOLDS)
+
+    @property
+    def commutativity_label(self) -> str:
+        return classify(self.commutativity, *_COMMUTATIVITY_THRESHOLDS)
+
+
+def run_table3(scale: str = "paper") -> list[Table3Row]:
+    """Build every benchmark and measure its characteristics."""
+    rows = []
+    for spec in table3_suite(scale):
+        circuit = spec.build()
+        traits = circuit_characteristics(circuit)
+        rows.append(
+            Table3Row(
+                key=spec.key,
+                purpose=spec.purpose,
+                qubits=circuit.num_qubits,
+                gates=len(circuit),
+                parallelism=traits["parallelism"],
+                spatial_locality=traits["spatial_locality"],
+                commutativity=traits["commutativity"],
+                paper_parallelism=spec.parallelism,
+                paper_locality=spec.spatial_locality,
+                paper_commutativity=spec.commutativity,
+            )
+        )
+    return rows
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    """Paper-style text table with measured labels beside paper labels."""
+    lines = [
+        "Table 3: benchmarks (measured label / paper label)",
+        f"{'benchmark':20s} {'qb':>3s} {'gates':>6s} "
+        f"{'parallel':>12s} {'locality':>12s} {'commute':>12s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.key:20s} {row.qubits:3d} {row.gates:6d} "
+            f"{row.parallelism_label + '/' + row.paper_parallelism:>12s} "
+            f"{row.locality_label + '/' + row.paper_locality:>12s} "
+            f"{row.commutativity_label + '/' + row.paper_commutativity:>12s}"
+        )
+    return "\n".join(lines)

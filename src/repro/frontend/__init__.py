@@ -1,0 +1,6 @@
+"""Compiler frontend: program IR, loop unrolling, module flattening."""
+
+from repro.frontend.program import Block, Module, Program
+from repro.frontend.passes import flatten_program, unroll_loops
+
+__all__ = ["Block", "Module", "Program", "flatten_program", "unroll_loops"]

@@ -1,0 +1,158 @@
+"""Frontend passes: loop unrolling and module flattening (paper Sec. 3.3).
+
+``unroll_loops`` rewrites a program so no ``ForStatement`` remains;
+``flatten_program`` additionally inlines every module call and produces the
+flattened logical assembly as a :class:`~repro.circuit.circuit.Circuit`.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.errors import ProgramError
+from repro.frontend.program import (
+    Block,
+    CallStatement,
+    ForStatement,
+    GateStatement,
+    Program,
+    evaluate_expression,
+    evaluate_qubit,
+)
+from repro.gates.library import gate_from_name
+
+_MAX_UNROLLED_STATEMENTS = 2_000_000
+
+
+def unroll_loops(program: Program) -> Program:
+    """Expand every counted loop; module bodies are unrolled too.
+
+    Loop bounds must be evaluable without module parameters (literals or
+    expressions over enclosing loop variables).
+    """
+    unrolled = Program(program.name, program.num_qubits)
+    _unroll_block(program, unrolled, {})
+    for name, module in program.modules.items():
+        clone = unrolled.module(name, module.qubit_params, module.angle_params)
+        # Module-local loops may reference module parameters; those are
+        # left to flattening, so only parameter-free loops unroll here.
+        _unroll_block(module, clone, {}, allow_unbound=True)
+    return unrolled
+
+
+def _unroll_block(
+    source: Block,
+    destination: Block,
+    env: dict[str, float],
+    allow_unbound: bool = False,
+) -> None:
+    for statement in source.statements:
+        if isinstance(statement, ForStatement):
+            try:
+                start = int(evaluate_expression(statement.start, env))
+                stop = int(evaluate_expression(statement.stop, env))
+            except ProgramError:
+                if allow_unbound:
+                    # Bounds depend on module parameters: keep the loop.
+                    kept = destination.for_range(
+                        statement.var, statement.start, statement.stop
+                    )
+                    _unroll_block(statement.body, kept, env, allow_unbound)
+                    continue
+                raise
+            for value in range(start, stop):
+                inner_env = dict(env)
+                inner_env[statement.var] = value
+                _unroll_block(statement.body, destination, inner_env, allow_unbound)
+                if destination.statement_count() > _MAX_UNROLLED_STATEMENTS:
+                    raise ProgramError("loop unrolling exceeded statement limit")
+        elif isinstance(statement, GateStatement):
+            destination.gate(
+                statement.name,
+                [_substitute(e, env) for e in statement.qubits],
+                [_substitute(e, env) for e in statement.params],
+            )
+        elif isinstance(statement, CallStatement):
+            destination.call(
+                statement.module,
+                [_substitute(e, env) for e in statement.qubits],
+                [_substitute(e, env) for e in statement.params],
+            )
+        else:
+            raise ProgramError(f"unknown statement {statement!r}")
+
+
+def _substitute(expression, env: dict[str, float]):
+    """Resolve an expression now if possible, else keep it symbolic."""
+    if isinstance(expression, (int, float)):
+        return expression
+    try:
+        return evaluate_expression(expression, env)
+    except ProgramError:
+        return expression
+
+
+def flatten_program(program: Program, name: str | None = None) -> Circuit:
+    """Inline all calls and loops, producing the flattened gate stream."""
+    circuit = Circuit(program.num_qubits, name=name or program.name)
+    _flatten_block(program, program, circuit, {}, call_stack=())
+    return circuit
+
+
+def _flatten_block(
+    program: Program,
+    block: Block,
+    circuit: Circuit,
+    env: dict[str, float],
+    call_stack: tuple[str, ...],
+) -> None:
+    for statement in block.statements:
+        if isinstance(statement, GateStatement):
+            qubits = [evaluate_qubit(e, env) for e in statement.qubits]
+            params = [evaluate_expression(e, env) for e in statement.params]
+            try:
+                circuit.append(gate_from_name(statement.name, qubits, params))
+            except Exception as error:
+                raise ProgramError(
+                    f"bad gate statement {statement.name} {qubits}: {error}"
+                ) from error
+        elif isinstance(statement, ForStatement):
+            start = int(evaluate_expression(statement.start, env))
+            stop = int(evaluate_expression(statement.stop, env))
+            for value in range(start, stop):
+                inner_env = dict(env)
+                inner_env[statement.var] = value
+                _flatten_block(program, statement.body, circuit, inner_env, call_stack)
+        elif isinstance(statement, CallStatement):
+            if statement.module in call_stack:
+                raise ProgramError(
+                    f"recursive module call: {' -> '.join(call_stack)} "
+                    f"-> {statement.module}"
+                )
+            module = program.modules.get(statement.module)
+            if module is None:
+                raise ProgramError(f"unknown module {statement.module!r}")
+            if len(statement.qubits) != len(module.qubit_params) or len(
+                statement.params
+            ) != len(module.angle_params):
+                raise ProgramError(
+                    f"call to {module.name!r} has wrong arity"
+                )
+            module_env = {
+                formal: evaluate_qubit(actual, env)
+                for formal, actual in zip(module.qubit_params, statement.qubits)
+            }
+            module_env.update(
+                {
+                    formal: evaluate_expression(actual, env)
+                    for formal, actual in zip(module.angle_params, statement.params)
+                }
+            )
+            _flatten_block(
+                program,
+                module,
+                circuit,
+                module_env,
+                call_stack + (statement.module,),
+            )
+        else:
+            raise ProgramError(f"unknown statement {statement!r}")

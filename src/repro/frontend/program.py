@@ -1,0 +1,198 @@
+"""Program-level IR: modules, calls and classical loops.
+
+This is the high-level language the compiler frontend accepts (the paper
+uses ScaffCC; this IR covers the constructs its frontend passes need:
+module flattening and loop unrolling).  Example::
+
+    program = Program("ring", num_qubits=4)
+    layer = program.module("layer", qubits=["a", "b"], angles=["g"])
+    layer.gate("cnot", ["a", "b"])
+    layer.gate("rz", ["b"], ["2*g"])
+    layer.gate("cnot", ["a", "b"])
+    loop = program.for_range("i", 0, 3)
+    loop.call("layer", ["i", "i+1"], [0.7])
+
+Qubit and angle arguments are integers/floats or strings holding simple
+arithmetic expressions over loop variables and module parameters
+(``+ - * //`` and parentheses).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from collections.abc import Sequence
+
+from repro.errors import ProgramError
+
+Expr = int | float | str
+
+
+@dataclasses.dataclass
+class GateStatement:
+    """A primitive gate application."""
+
+    name: str
+    qubits: tuple[Expr, ...]
+    params: tuple[Expr, ...] = ()
+
+
+@dataclasses.dataclass
+class CallStatement:
+    """A call to a named module."""
+
+    module: str
+    qubits: tuple[Expr, ...]
+    params: tuple[Expr, ...] = ()
+
+
+@dataclasses.dataclass
+class ForStatement:
+    """A classical counted loop; ``var`` ranges over [start, stop)."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: Block
+
+
+class Block:
+    """A sequence of statements with builder helpers."""
+
+    def __init__(self) -> None:
+        self.statements: list = []
+
+    def gate(self, name: str, qubits: Sequence[Expr], params: Sequence[Expr] = ()) -> Block:
+        """Append a gate statement; returns self for chaining."""
+        self.statements.append(
+            GateStatement(name, tuple(qubits), tuple(params))
+        )
+        return self
+
+    def call(
+        self, module: str, qubits: Sequence[Expr], params: Sequence[Expr] = ()
+    ) -> Block:
+        """Append a module call; returns self for chaining."""
+        self.statements.append(
+            CallStatement(module, tuple(qubits), tuple(params))
+        )
+        return self
+
+    def for_range(self, var: str, start: Expr, stop: Expr) -> Block:
+        """Append a counted loop and return its (empty) body block."""
+        if not var.isidentifier():
+            raise ProgramError(f"loop variable {var!r} is not an identifier")
+        body = Block()
+        self.statements.append(ForStatement(var, start, stop, body))
+        return body
+
+    def statement_count(self) -> int:
+        """Total statements including nested loop bodies."""
+        count = 0
+        for statement in self.statements:
+            count += 1
+            if isinstance(statement, ForStatement):
+                count += statement.body.statement_count()
+        return count
+
+
+class Module(Block):
+    """A named, parameterized subroutine."""
+
+    def __init__(
+        self,
+        name: str,
+        qubits: Sequence[str] = (),
+        angles: Sequence[str] = (),
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.qubit_params = tuple(qubits)
+        self.angle_params = tuple(angles)
+        for param in (*self.qubit_params, *self.angle_params):
+            if not param.isidentifier():
+                raise ProgramError(f"parameter {param!r} is not an identifier")
+        if len(set(self.qubit_params) | set(self.angle_params)) != len(
+            self.qubit_params
+        ) + len(self.angle_params):
+            raise ProgramError(f"module {name!r} has duplicate parameter names")
+
+
+class Program(Block):
+    """Top-level program: a main block plus named modules."""
+
+    def __init__(self, name: str, num_qubits: int) -> None:
+        super().__init__()
+        if num_qubits < 1:
+            raise ProgramError("a program needs at least one qubit")
+        self.name = name
+        self.num_qubits = int(num_qubits)
+        self.modules: dict[str, Module] = {}
+
+    def module(
+        self,
+        name: str,
+        qubits: Sequence[str] = (),
+        angles: Sequence[str] = (),
+    ) -> Module:
+        """Define (and return) a new module."""
+        if name in self.modules:
+            raise ProgramError(f"module {name!r} already defined")
+        module = Module(name, qubits, angles)
+        self.modules[name] = module
+        return module
+
+
+_ALLOWED_BINOPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Div, ast.Mod)
+
+
+def evaluate_expression(expression: Expr, env: dict[str, float]) -> float:
+    """Evaluate an integer/float literal or a restricted arithmetic string.
+
+    Only ``+ - * / // %``, unary minus, parentheses, numeric literals and
+    names bound in ``env`` are allowed.
+    """
+    if isinstance(expression, (int, float)):
+        return expression
+    try:
+        tree = ast.parse(str(expression), mode="eval")
+    except SyntaxError as error:
+        raise ProgramError(f"cannot parse expression {expression!r}") from error
+    return _evaluate_node(tree.body, env, expression)
+
+
+def _evaluate_node(node: ast.AST, env: dict[str, float], source: Expr) -> float:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float)):
+            return node.value
+        raise ProgramError(f"non-numeric literal in {source!r}")
+    if isinstance(node, ast.Name):
+        if node.id not in env:
+            raise ProgramError(f"unbound variable {node.id!r} in {source!r}")
+        return env[node.id]
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        value = _evaluate_node(node.operand, env, source)
+        return -value if isinstance(node.op, ast.USub) else value
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _ALLOWED_BINOPS):
+        left = _evaluate_node(node.left, env, source)
+        right = _evaluate_node(node.right, env, source)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.FloorDiv):
+            return left // right
+        if isinstance(node.op, ast.Mod):
+            return left % right
+        return left / right
+    raise ProgramError(f"unsupported construct in expression {source!r}")
+
+
+def evaluate_qubit(expression: Expr, env: dict[str, float]) -> int:
+    """Evaluate an expression that must produce a qubit index."""
+    value = evaluate_expression(expression, env)
+    if abs(value - round(value)) > 1e-9:
+        raise ProgramError(f"qubit expression {expression!r} is not an integer")
+    return int(round(value))

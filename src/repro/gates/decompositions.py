@@ -1,0 +1,187 @@
+"""Decomposition of multi-qubit gates into the standard logical set.
+
+The gate-based baseline and all benchmark generators express circuits over
+{1-qubit rotations, H, CNOT, SWAP}; SWAP is kept as a first-class gate
+because the paper optimizes its pulse individually instead of expanding it
+into three CNOTs (Table 1).  Toffoli and friends are lowered here with the
+standard Clifford+T constructions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GateError
+from repro.gates.gate import Gate
+from repro.gates import library
+
+
+def decompose_swap_to_cnots(gate: Gate) -> list[Gate]:
+    """SWAP as three alternating CNOTs (the classical-XOR analogy)."""
+    if gate.name != "SWAP":
+        raise GateError(f"expected a SWAP gate, got {gate.name}")
+    a, b = gate.qubits
+    return [library.CNOT(a, b), library.CNOT(b, a), library.CNOT(a, b)]
+
+
+def decompose_toffoli(gate: Gate) -> list[Gate]:
+    """Standard 15-gate Clifford+T Toffoli decomposition."""
+    if gate.name != "TOFFOLI":
+        raise GateError(f"expected a TOFFOLI gate, got {gate.name}")
+    a, b, c = gate.qubits
+    return [
+        library.H(c),
+        library.CNOT(b, c),
+        library.TDG(c),
+        library.CNOT(a, c),
+        library.T(c),
+        library.CNOT(b, c),
+        library.TDG(c),
+        library.CNOT(a, c),
+        library.T(b),
+        library.T(c),
+        library.CNOT(a, b),
+        library.H(c),
+        library.T(a),
+        library.TDG(b),
+        library.CNOT(a, b),
+    ]
+
+
+def decompose_ccz(gate: Gate) -> list[Gate]:
+    """CCZ as H-conjugated Toffoli."""
+    if gate.name != "CCZ":
+        raise GateError(f"expected a CCZ gate, got {gate.name}")
+    a, b, c = gate.qubits
+    return [
+        library.H(c),
+        *decompose_toffoli(library.TOFFOLI(a, b, c)),
+        library.H(c),
+    ]
+
+
+def decompose_fredkin(gate: Gate) -> list[Gate]:
+    """Controlled SWAP via CNOT-conjugated Toffoli."""
+    if gate.name != "FREDKIN":
+        raise GateError(f"expected a FREDKIN gate, got {gate.name}")
+    control, target_a, target_b = gate.qubits
+    return [
+        library.CNOT(target_b, target_a),
+        *decompose_toffoli(library.TOFFOLI(control, target_a, target_b)),
+        library.CNOT(target_b, target_a),
+    ]
+
+
+def decompose_cphase(gate: Gate) -> list[Gate]:
+    """CPhase(theta) via two CNOTs and Rz rotations (up to global phase)."""
+    if gate.name != "CPHASE":
+        raise GateError(f"expected a CPHASE gate, got {gate.name}")
+    (theta,) = gate.params
+    control, target = gate.qubits
+    return [
+        library.RZ(theta / 2.0, control),
+        library.RZ(theta / 2.0, target),
+        library.CNOT(control, target),
+        library.RZ(-theta / 2.0, target),
+        library.CNOT(control, target),
+    ]
+
+
+def decompose_rzz(gate: Gate) -> list[Gate]:
+    """``exp(-i theta/2 ZZ)`` as the CNOT-Rz-CNOT chain."""
+    if gate.name != "RZZ":
+        raise GateError(f"expected an RZZ gate, got {gate.name}")
+    (theta,) = gate.params
+    a, b = gate.qubits
+    return [
+        library.CNOT(a, b),
+        library.RZ(theta, b),
+        library.CNOT(a, b),
+    ]
+
+
+def decompose_cz(gate: Gate) -> list[Gate]:
+    """CZ as H-conjugated CNOT."""
+    if gate.name != "CZ":
+        raise GateError(f"expected a CZ gate, got {gate.name}")
+    control, target = gate.qubits
+    return [library.H(target), library.CNOT(control, target), library.H(target)]
+
+
+def decompose_iswap(gate: Gate) -> list[Gate]:
+    """iSWAP over the logical set: SWAP then S on both then CZ.
+
+    ``iSWAP = CZ . (S (x) S) . SWAP`` (all factors commute appropriately).
+    """
+    if gate.name != "ISWAP":
+        raise GateError(f"expected an ISWAP gate, got {gate.name}")
+    a, b = gate.qubits
+    return [
+        library.SWAP(a, b),
+        library.S(a),
+        library.S(b),
+        *decompose_cz(library.CZ(a, b)),
+    ]
+
+
+_STANDARD_SET = frozenset(
+    {"I", "X", "Y", "Z", "H", "S", "SDG", "T", "TDG", "RX", "RY", "RZ",
+     "PHASE", "CNOT", "SWAP"}
+)
+
+_DECOMPOSERS = {
+    "TOFFOLI": decompose_toffoli,
+    "CCZ": decompose_ccz,
+    "FREDKIN": decompose_fredkin,
+    "CPHASE": decompose_cphase,
+    "RZZ": decompose_rzz,
+    "CZ": decompose_cz,
+    "ISWAP": decompose_iswap,
+}
+
+
+def decompose_gate(gate: Gate) -> list[Gate]:
+    """One decomposition step for ``gate`` (non-recursive)."""
+    if gate.name in _DECOMPOSERS:
+        return _DECOMPOSERS[gate.name](gate)
+    raise GateError(f"no decomposition registered for {gate.name}")
+
+
+def lower_to_standard_set(gates, max_passes: int = 4) -> list[Gate]:
+    """Rewrite a gate sequence over the standard logical set.
+
+    Repeatedly expands every gate with a registered decomposer until all
+    remaining gates are in the standard set.
+    """
+    current = list(gates)
+    for _ in range(max_passes):
+        if all(gate.name in _STANDARD_SET for gate in current):
+            return current
+        lowered: list[Gate] = []
+        for gate in current:
+            if gate.name in _STANDARD_SET:
+                lowered.append(gate)
+            elif gate.name in _DECOMPOSERS:
+                lowered.extend(_DECOMPOSERS[gate.name](gate))
+            else:
+                raise GateError(
+                    f"cannot lower {gate.name}: not standard, no decomposer"
+                )
+        current = lowered
+    raise GateError(f"lowering did not converge in {max_passes} passes")
+
+
+def is_standard(gate: Gate) -> bool:
+    """True when the gate is in the standard logical set."""
+    return gate.name in _STANDARD_SET
+
+
+def standard_set() -> frozenset[str]:
+    """The standard logical gate names."""
+    return _STANDARD_SET
+
+
+def rotation_gate_time_estimate(theta: float, drive_rate: float) -> float:
+    """Busy time of a bare rotation pulse at the drive limit (ns)."""
+    wrapped = abs(math.remainder(theta, 2.0 * math.pi))
+    return wrapped / drive_rate

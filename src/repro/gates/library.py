@@ -1,0 +1,238 @@
+"""Constructors for the logical and physical gate sets.
+
+The logical ISA matches the paper's standard set (Sec. 2.2): rotations
+``Rx/Ry/Rz``, Hadamard, CNOT, plus the common Cliffords and Toffoli for
+benchmark synthesis.  The physical set for the superconducting XY
+architecture (Appendix A) is ``iSWAP`` (and its square root); ``CPhase``
+and ``RZZ`` appear as physical gates of other platforms and as convenient
+intermediate instructions.
+
+Conventions: big-endian qubit order (qubit 0 = most significant index bit);
+controls come first in multi-qubit gate signatures;
+``Rz(t) = diag(e^{-it/2}, e^{it/2})``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.errors import GateError
+from repro.gates.gate import Gate
+from repro.linalg.su2 import rx_matrix, ry_matrix, rz_matrix
+
+_SQRT2 = math.sqrt(2.0)
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.diag([1.0, -1.0]).astype(complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+_S = np.diag([1.0, 1.0j]).astype(complex)
+_SDG = np.diag([1.0, -1.0j]).astype(complex)
+_T = np.diag([1.0, cmath.exp(1j * math.pi / 4)]).astype(complex)
+_TDG = np.diag([1.0, cmath.exp(-1j * math.pi / 4)]).astype(complex)
+
+_CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+_CZ = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_SQRT_ISWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1 / _SQRT2, 1j / _SQRT2, 0],
+        [0, 1j / _SQRT2, 1 / _SQRT2, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+_TOFFOLI = np.eye(8, dtype=complex)
+_TOFFOLI[[6, 7], :] = _TOFFOLI[[7, 6], :]
+_CCZ = np.diag([1.0] * 7 + [-1.0]).astype(complex)
+_FREDKIN = np.eye(8, dtype=complex)
+_FREDKIN[[5, 6], :] = _FREDKIN[[6, 5], :]
+
+
+def I(qubit: int) -> Gate:  # noqa: E743 - conventional gate name
+    """Identity gate (used as the virtual GDG root)."""
+    return Gate("I", (qubit,), _I)
+
+
+def X(qubit: int) -> Gate:
+    """Pauli X (NOT)."""
+    return Gate("X", (qubit,), _X)
+
+
+def Y(qubit: int) -> Gate:
+    """Pauli Y."""
+    return Gate("Y", (qubit,), _Y)
+
+
+def Z(qubit: int) -> Gate:
+    """Pauli Z."""
+    return Gate("Z", (qubit,), _Z)
+
+
+def H(qubit: int) -> Gate:
+    """Hadamard."""
+    return Gate("H", (qubit,), _H)
+
+
+def S(qubit: int) -> Gate:
+    """Phase gate ``diag(1, i)``."""
+    return Gate("S", (qubit,), _S)
+
+
+def SDG(qubit: int) -> Gate:
+    """Inverse phase gate ``diag(1, -i)``."""
+    return Gate("SDG", (qubit,), _SDG)
+
+
+def T(qubit: int) -> Gate:
+    """T gate ``diag(1, e^{i pi/4})``."""
+    return Gate("T", (qubit,), _T)
+
+
+def TDG(qubit: int) -> Gate:
+    """Inverse T gate."""
+    return Gate("TDG", (qubit,), _TDG)
+
+
+def RX(theta: float, qubit: int) -> Gate:
+    """Rotation about x by ``theta``."""
+    return Gate("RX", (qubit,), rx_matrix(theta), (theta,))
+
+
+def RY(theta: float, qubit: int) -> Gate:
+    """Rotation about y by ``theta``."""
+    return Gate("RY", (qubit,), ry_matrix(theta), (theta,))
+
+
+def RZ(theta: float, qubit: int) -> Gate:
+    """Rotation about z by ``theta``."""
+    return Gate("RZ", (qubit,), rz_matrix(theta), (theta,))
+
+
+def PHASE(theta: float, qubit: int) -> Gate:
+    """``diag(1, e^{i theta})`` (Rz up to global phase)."""
+    return Gate("PHASE", (qubit,), np.diag([1.0, cmath.exp(1j * theta)]), (theta,))
+
+
+def CNOT(control: int, target: int) -> Gate:
+    """Controlled NOT."""
+    return Gate("CNOT", (control, target), _CNOT)
+
+
+def CZ(control: int, target: int) -> Gate:
+    """Controlled Z (symmetric)."""
+    return Gate("CZ", (control, target), _CZ)
+
+
+def CPHASE(theta: float, control: int, target: int) -> Gate:
+    """Controlled phase ``diag(1, 1, 1, e^{i theta})``."""
+    matrix = np.diag([1.0, 1.0, 1.0, cmath.exp(1j * theta)]).astype(complex)
+    return Gate("CPHASE", (control, target), matrix, (theta,))
+
+
+def SWAP(qubit_a: int, qubit_b: int) -> Gate:
+    """SWAP (kept as a first-class gate with its own optimized pulse)."""
+    return Gate("SWAP", (qubit_a, qubit_b), _SWAP)
+
+
+def ISWAP(qubit_a: int, qubit_b: int) -> Gate:
+    """iSWAP: the natural physical gate of the XY architecture."""
+    return Gate("ISWAP", (qubit_a, qubit_b), _ISWAP)
+
+
+def SQRT_ISWAP(qubit_a: int, qubit_b: int) -> Gate:
+    """Square root of iSWAP."""
+    return Gate("SQRT_ISWAP", (qubit_a, qubit_b), _SQRT_ISWAP)
+
+
+def RZZ(theta: float, qubit_a: int, qubit_b: int) -> Gate:
+    """``exp(-i theta/2 Z(x)Z)``: the diagonal instruction produced by
+    contracting CNOT-Rz-CNOT chains."""
+    phase = np.exp(-1j * theta / 2.0 * np.array([1.0, -1.0, -1.0, 1.0]))
+    return Gate("RZZ", (qubit_a, qubit_b), np.diag(phase), (theta,))
+
+
+def TOFFOLI(control_a: int, control_b: int, target: int) -> Gate:
+    """Doubly-controlled NOT."""
+    return Gate("TOFFOLI", (control_a, control_b, target), _TOFFOLI)
+
+
+def CCZ(qubit_a: int, qubit_b: int, qubit_c: int) -> Gate:
+    """Doubly-controlled Z (symmetric)."""
+    return Gate("CCZ", (qubit_a, qubit_b, qubit_c), _CCZ)
+
+
+def FREDKIN(control: int, target_a: int, target_b: int) -> Gate:
+    """Controlled SWAP."""
+    return Gate("FREDKIN", (control, target_a, target_b), _FREDKIN)
+
+
+_NO_PARAM_FACTORIES = {
+    "I": I,
+    "X": X,
+    "Y": Y,
+    "Z": Z,
+    "H": H,
+    "S": S,
+    "SDG": SDG,
+    "T": T,
+    "TDG": TDG,
+    "CNOT": CNOT,
+    "CX": CNOT,
+    "CZ": CZ,
+    "SWAP": SWAP,
+    "ISWAP": ISWAP,
+    "SQRT_ISWAP": SQRT_ISWAP,
+    "TOFFOLI": TOFFOLI,
+    "CCX": TOFFOLI,
+    "CCZ": CCZ,
+    "FREDKIN": FREDKIN,
+    "CSWAP": FREDKIN,
+}
+
+_PARAM_FACTORIES = {
+    "RX": RX,
+    "RY": RY,
+    "RZ": RZ,
+    "PHASE": PHASE,
+    "CPHASE": CPHASE,
+    "RZZ": RZZ,
+}
+
+
+def gate_from_name(name: str, qubits, params=()) -> Gate:
+    """Generic constructor used by the QASM parser.
+
+    Args:
+        name: Case-insensitive gate mnemonic.
+        qubits: Qubit positions, controls first.
+        params: Rotation angles for parameterized gates.
+    """
+    key = name.upper()
+    params = tuple(float(p) for p in params)
+    qubits = tuple(int(q) for q in qubits)
+    if key in _NO_PARAM_FACTORIES:
+        if params:
+            raise GateError(f"{key} takes no parameters, got {params}")
+        return _NO_PARAM_FACTORIES[key](*qubits)
+    if key in _PARAM_FACTORIES:
+        return _PARAM_FACTORIES[key](*params, *qubits)
+    raise GateError(f"unknown gate name {name!r}")
+
+
+def known_gate_names() -> frozenset[str]:
+    """All mnemonics accepted by :func:`gate_from_name`."""
+    return frozenset(_NO_PARAM_FACTORIES) | frozenset(_PARAM_FACTORIES)

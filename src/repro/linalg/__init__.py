@@ -1,0 +1,61 @@
+"""Linear-algebra substrate: Paulis, embeddings, fidelities, KAK, simulator."""
+
+from repro.linalg.embed import embed_operator, kron_all, permute_qubits
+from repro.linalg.fidelity import (
+    average_gate_fidelity,
+    state_fidelity,
+    unitary_infidelity,
+    unitary_trace_fidelity,
+)
+from repro.linalg.kak import (
+    WeylDecomposition,
+    canonical_gate,
+    interaction_time,
+    makhlin_invariants,
+    weyl_coordinates,
+)
+from repro.linalg.paulis import IDENTITY, PAULI_X, PAULI_Y, PAULI_Z, pauli_string
+from repro.linalg.predicates import (
+    allclose_up_to_global_phase,
+    commutes,
+    is_diagonal,
+    is_hermitian,
+    is_identity,
+    is_unitary,
+)
+from repro.linalg.random import random_statevector, random_unitary
+from repro.linalg.simulator import StatevectorSimulator, apply_unitary
+from repro.linalg.su2 import rotation_axis_angle, rotation_content, zyz_angles
+
+__all__ = [
+    "IDENTITY",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "StatevectorSimulator",
+    "WeylDecomposition",
+    "allclose_up_to_global_phase",
+    "apply_unitary",
+    "average_gate_fidelity",
+    "canonical_gate",
+    "commutes",
+    "embed_operator",
+    "interaction_time",
+    "is_diagonal",
+    "is_hermitian",
+    "is_identity",
+    "is_unitary",
+    "kron_all",
+    "makhlin_invariants",
+    "pauli_string",
+    "permute_qubits",
+    "random_statevector",
+    "random_unitary",
+    "rotation_axis_angle",
+    "rotation_content",
+    "state_fidelity",
+    "unitary_infidelity",
+    "unitary_trace_fidelity",
+    "weyl_coordinates",
+    "zyz_angles",
+]

@@ -1,0 +1,95 @@
+"""Embedding operators that act on a subset of qubits into a full register.
+
+Conventions: qubit 0 is the most-significant bit of the computational-basis
+index (big-endian), matching the matrix forms used in most textbooks, e.g.
+``CNOT = |0><0| (x) I + |1><1| (x) X`` with qubit 0 as control.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+
+def kron_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right."""
+    if not matrices:
+        raise LinalgError("kron_all requires at least one matrix")
+    result = np.asarray(matrices[0], dtype=complex)
+    for matrix in matrices[1:]:
+        result = np.kron(result, np.asarray(matrix, dtype=complex))
+    return result
+
+
+def permute_qubits(matrix: np.ndarray, permutation: Sequence[int]) -> np.ndarray:
+    """Reorder the qubits an operator acts on.
+
+    ``permutation[i] = j`` means input qubit ``i`` of the original operator
+    becomes qubit ``j`` of the returned operator.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    n = _qubit_count(matrix)
+    permutation = list(permutation)
+    if sorted(permutation) != list(range(n)):
+        raise LinalgError(
+            f"permutation {permutation} is not a permutation of 0..{n - 1}"
+        )
+    # View the matrix as a rank-2n tensor and transpose both row and column
+    # qubit axes according to the permutation.
+    tensor = matrix.reshape([2] * (2 * n))
+    inverse = [0] * n
+    for source, destination in enumerate(permutation):
+        inverse[destination] = source
+    axes = inverse + [n + axis for axis in inverse]
+    return tensor.transpose(axes).reshape(matrix.shape)
+
+
+def embed_operator(
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Embed an operator on ``qubits`` into a ``num_qubits`` register.
+
+    ``qubits[i]`` is the register position of the operator's ``i``-th qubit.
+    The returned matrix has shape ``(2**num_qubits, 2**num_qubits)``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    k = _qubit_count(matrix)
+    qubits = list(qubits)
+    if len(qubits) != k:
+        raise LinalgError(
+            f"operator acts on {k} qubits but {len(qubits)} positions given"
+        )
+    if len(set(qubits)) != k:
+        raise LinalgError(f"duplicate qubit positions in {qubits}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise LinalgError(
+            f"qubit positions {qubits} out of range for {num_qubits} qubits"
+        )
+    if k > num_qubits:
+        raise LinalgError(
+            f"cannot embed a {k}-qubit operator into {num_qubits} qubits"
+        )
+    # Tensor the operator with identity on the remaining qubits, then
+    # permute so each operator qubit lands on its register position.
+    identity_count = num_qubits - k
+    full = matrix
+    if identity_count:
+        full = np.kron(matrix, np.eye(2**identity_count, dtype=complex))
+    remaining = [q for q in range(num_qubits) if q not in qubits]
+    permutation = list(qubits) + remaining
+    return permute_qubits(full, permutation)
+
+
+def _qubit_count(matrix: np.ndarray) -> int:
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise LinalgError(f"expected a square matrix, got shape {matrix.shape}")
+    dim = matrix.shape[0]
+    n = int(round(np.log2(dim)))
+    if 2**n != dim:
+        raise LinalgError(f"matrix dimension {dim} is not a power of two")
+    return n

@@ -1,0 +1,49 @@
+"""Fidelity measures between unitaries and between states.
+
+The optimal-control unit maximizes the unitary trace fidelity
+``F = |Tr(U_target^dagger U)|^2 / d^2`` (paper Sec. 2.5); the verification
+module re-checks synthesized pulses against the same measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+
+def unitary_trace_fidelity(target: np.ndarray, actual: np.ndarray) -> float:
+    """Phase-insensitive unitary fidelity ``|Tr(target^dag actual)|^2/d^2``."""
+    target = np.asarray(target, dtype=complex)
+    actual = np.asarray(actual, dtype=complex)
+    if target.shape != actual.shape or target.ndim != 2:
+        raise LinalgError(
+            f"shape mismatch: {target.shape} vs {actual.shape}"
+        )
+    d = target.shape[0]
+    overlap = np.trace(target.conj().T @ actual)
+    return float(np.abs(overlap) ** 2 / d**2)
+
+
+def unitary_infidelity(target: np.ndarray, actual: np.ndarray) -> float:
+    """``1 - unitary_trace_fidelity`` (the GRAPE loss function)."""
+    return 1.0 - unitary_trace_fidelity(target, actual)
+
+
+def average_gate_fidelity(target: np.ndarray, actual: np.ndarray) -> float:
+    """Average gate fidelity ``(d*F_pro + 1)/(d + 1)`` for unitary channels."""
+    target = np.asarray(target, dtype=complex)
+    d = target.shape[0]
+    process_fidelity = unitary_trace_fidelity(target, actual)
+    return float((d * process_fidelity + 1.0) / (d + 1.0))
+
+
+def state_fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """``|<a|b>|^2`` for pure states given as 1-D complex vectors."""
+    state_a = np.asarray(state_a, dtype=complex).ravel()
+    state_b = np.asarray(state_b, dtype=complex).ravel()
+    if state_a.shape != state_b.shape:
+        raise LinalgError(
+            f"state dimension mismatch: {state_a.shape} vs {state_b.shape}"
+        )
+    return float(np.abs(np.vdot(state_a, state_b)) ** 2)

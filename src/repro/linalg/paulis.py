@@ -1,0 +1,53 @@
+"""Pauli matrices and Pauli-string operators."""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+IDENTITY = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+PAULI_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+PAULI_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+
+_PAULI_BY_LABEL = {
+    "I": IDENTITY,
+    "X": PAULI_X,
+    "Y": PAULI_Y,
+    "Z": PAULI_Z,
+}
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Return a copy of the single-qubit Pauli matrix named by ``label``."""
+    try:
+        return _PAULI_BY_LABEL[label.upper()].copy()
+    except KeyError:
+        raise LinalgError(f"unknown Pauli label {label!r}") from None
+
+
+@functools.lru_cache(maxsize=4096)
+def _pauli_string_cached(labels: str) -> np.ndarray:
+    matrix = _PAULI_BY_LABEL[labels[0]]
+    for label in labels[1:]:
+        matrix = np.kron(matrix, _PAULI_BY_LABEL[label])
+    matrix.setflags(write=False)
+    return matrix
+
+
+def pauli_string(labels: str) -> np.ndarray:
+    """Tensor product of Paulis, e.g. ``pauli_string("XZY")``.
+
+    The leftmost label acts on the most-significant qubit (qubit 0 in the
+    big-endian convention used throughout this package).
+    """
+    labels = labels.upper()
+    if not labels:
+        raise LinalgError("pauli_string requires at least one label")
+    for label in labels:
+        if label not in _PAULI_BY_LABEL:
+            raise LinalgError(f"unknown Pauli label {label!r}")
+    return _pauli_string_cached(labels)

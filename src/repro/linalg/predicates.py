@@ -1,0 +1,87 @@
+"""Numerical predicates on operators (unitarity, diagonality, commutation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+DEFAULT_ATOL = 1e-8
+
+
+def _require_square(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise LinalgError(f"expected a square matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def is_unitary(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """True when ``matrix @ matrix.conj().T`` is the identity."""
+    matrix = _require_square(matrix)
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """True when the matrix equals its own conjugate transpose."""
+    matrix = _require_square(matrix)
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def is_diagonal(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """True when all off-diagonal entries are (numerically) zero."""
+    matrix = _require_square(matrix)
+    off_diagonal = matrix - np.diag(np.diag(matrix))
+    return bool(np.all(np.abs(off_diagonal) <= atol))
+
+
+def is_identity(
+    matrix: np.ndarray,
+    atol: float = DEFAULT_ATOL,
+    up_to_global_phase: bool = True,
+) -> bool:
+    """True when the matrix is the identity, optionally up to a phase."""
+    matrix = _require_square(matrix)
+    if up_to_global_phase:
+        return allclose_up_to_global_phase(matrix, np.eye(matrix.shape[0]), atol=atol)
+    return bool(np.allclose(matrix, np.eye(matrix.shape[0]), atol=atol))
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = DEFAULT_ATOL
+) -> bool:
+    """True when ``a == exp(i*phi) * b`` for some real ``phi``.
+
+    The phase is estimated from the largest-magnitude entry of ``b`` so the
+    comparison is robust when many entries are near zero.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    pivot = b[index]
+    if abs(pivot) <= atol:
+        # b is (numerically) zero; a must be too.
+        return bool(np.all(np.abs(a) <= atol))
+    phase = a[index] / pivot
+    if abs(abs(phase) - 1.0) > max(atol, 1e-6):
+        return False
+    phase = phase / abs(phase)
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def commutes(a: np.ndarray, b: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """True when ``a @ b == b @ a`` numerically.
+
+    This is the explicit operator-equality check the paper's frontend uses
+    to resolve commutation relations (Sec. 3.3).
+    """
+    a = _require_square(a)
+    b = _require_square(b)
+    if a.shape != b.shape:
+        raise LinalgError(
+            f"operands must share a shape, got {a.shape} and {b.shape}"
+        )
+    return bool(np.allclose(a @ b, b @ a, atol=atol))

@@ -1,0 +1,31 @@
+"""Haar-random unitaries and states for tests and property checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+
+def random_unitary(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Haar-random unitary via the QR decomposition of a Ginibre matrix."""
+    if dim < 1:
+        raise LinalgError("dimension must be at least 1")
+    rng = rng or np.random.default_rng()
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    # Normalize the phases so the distribution is exactly Haar.
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases
+
+
+def random_statevector(
+    num_qubits: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Haar-random pure state on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise LinalgError("num_qubits must be at least 1")
+    rng = rng or np.random.default_rng()
+    dim = 2**num_qubits
+    state = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return state / np.linalg.norm(state)

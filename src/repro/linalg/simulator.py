@@ -1,0 +1,97 @@
+"""Statevector simulation of circuits on up to ~20 qubits.
+
+Used by tests to check that circuit generators and compiler passes preserve
+semantics (e.g. the Grover square-root oracle marks exactly the right
+states), and by the quickstart example.  Gates are applied with
+``tensordot`` on the reshaped state so memory stays at one state vector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+
+def apply_unitary(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a k-qubit unitary to ``state`` on the given qubit positions."""
+    qubits = list(qubits)
+    k = len(qubits)
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2**k, 2**k):
+        raise LinalgError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    if len(set(qubits)) != k:
+        raise LinalgError(f"duplicate qubits in {qubits}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise LinalgError(f"qubits {qubits} out of range for {num_qubits}")
+    tensor = np.asarray(state, dtype=complex).reshape([2] * num_qubits)
+    operator = matrix.reshape([2] * (2 * k))
+    # Contract the operator's input axes with the state's qubit axes.
+    moved = np.tensordot(operator, tensor, axes=(range(k, 2 * k), qubits))
+    # tensordot puts the contracted axes first; move them back into place.
+    moved = np.moveaxis(moved, range(k), qubits)
+    return moved.reshape(-1)
+
+
+class StatevectorSimulator:
+    """Simple dense statevector simulator.
+
+    Example:
+        >>> sim = StatevectorSimulator(2)
+        >>> sim.apply(H, [0]); sim.apply(CNOT_MATRIX, [0, 1])
+        >>> sim.probabilities()  # Bell state
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise LinalgError("num_qubits must be at least 1")
+        if num_qubits > 24:
+            raise LinalgError(
+                f"{num_qubits} qubits exceeds the dense-simulation limit (24)"
+            )
+        self.num_qubits = num_qubits
+        self.state = np.zeros(2**num_qubits, dtype=complex)
+        self.state[0] = 1.0
+
+    def reset(self, basis_state: int = 0) -> None:
+        """Reset to a computational basis state."""
+        if not 0 <= basis_state < 2**self.num_qubits:
+            raise LinalgError(f"basis state {basis_state} out of range")
+        self.state[:] = 0.0
+        self.state[basis_state] = 1.0
+
+    def apply(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a unitary in place."""
+        self.state = apply_unitary(self.state, matrix, qubits, self.num_qubits)
+
+    def run_circuit(self, circuit) -> None:
+        """Apply every gate of a :class:`~repro.circuit.Circuit` in order."""
+        for gate in circuit.gates:
+            self.apply(gate.matrix, gate.qubits)
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities in the computational basis."""
+        return np.abs(self.state) ** 2
+
+    def probability_of(self, basis_state: int) -> float:
+        """Probability of a single basis state."""
+        return float(np.abs(self.state[basis_state]) ** 2)
+
+    def expectation(self, operator: np.ndarray) -> complex:
+        """Expectation value ``<psi|O|psi>`` of a full-register operator."""
+        operator = np.asarray(operator, dtype=complex)
+        dim = 2**self.num_qubits
+        if operator.shape != (dim, dim):
+            raise LinalgError(
+                f"operator shape {operator.shape} does not match register"
+            )
+        return complex(np.vdot(self.state, operator @ self.state))

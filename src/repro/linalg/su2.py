@@ -1,0 +1,142 @@
+"""Single-qubit (SU(2)) decompositions and rotation-content measures.
+
+The analytic latency model costs the single-qubit part of an instruction by
+its *rotation content*: the total Bloch-sphere angle that the drive fields
+must sweep.  For a single unitary this is the rotation angle ``theta`` of
+its axis-angle form; for a product of gates the gates are collapsed first,
+so e.g. ``Rz(pi) Rz(-pi)`` costs nothing.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.linalg.predicates import is_unitary
+
+
+def _require_su2_input(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise LinalgError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+    if not is_unitary(matrix, atol=1e-6):
+        raise LinalgError("expected a unitary 2x2 matrix")
+    return matrix
+
+
+def to_su2(matrix: np.ndarray) -> np.ndarray:
+    """Rescale a 2x2 unitary to determinant one (special unitary)."""
+    matrix = _require_su2_input(matrix)
+    det = np.linalg.det(matrix)
+    return matrix / cmath.sqrt(det)
+
+
+def rotation_content(matrix: np.ndarray) -> float:
+    """Rotation angle ``theta`` in ``[0, pi]`` of a 2x2 unitary.
+
+    For ``U = exp(-i theta/2 n.sigma)`` (up to global phase) this returns
+    the wrapped ``theta``, i.e. the minimal Bloch-sphere rotation angle that
+    realizes the gate.
+    """
+    su2 = to_su2(matrix)
+    # For SU(2), tr U = 2 cos(theta/2); the +/- det branch gives the minimal
+    # angle when we take the absolute value of the half-trace.
+    half_trace = abs(np.trace(su2)) / 2.0
+    half_trace = min(1.0, max(-1.0, float(half_trace)))
+    return 2.0 * math.acos(half_trace)
+
+
+def pauli_reduced_rotation_content(matrix: np.ndarray) -> float:
+    """Rotation content modulo Pauli-frame corrections.
+
+    Returns ``min_P rotation_content(U P)`` over the four Paulis ``P``.
+    KAK local factors are only defined up to Pauli corrections (the Weyl
+    chamber symmetries are implemented by conjugating with Paulis), and
+    Pauli frame changes are free in software, so this is the well-defined
+    local cost of a two-qubit unitary's single-qubit factors.
+    """
+    from repro.linalg.paulis import IDENTITY, PAULI_X, PAULI_Y, PAULI_Z
+
+    matrix = _require_su2_input(matrix)
+    return min(
+        rotation_content(matrix @ pauli)
+        for pauli in (IDENTITY, PAULI_X, PAULI_Y, PAULI_Z)
+    )
+
+
+def rotation_axis_angle(matrix: np.ndarray) -> tuple[np.ndarray, float]:
+    """Axis (unit 3-vector) and angle of a 2x2 unitary rotation.
+
+    Returns an arbitrary axis for the identity (angle 0).
+    """
+    su2 = to_su2(matrix)
+    angle = rotation_content(matrix)
+    if angle < 1e-12:
+        return np.array([0.0, 0.0, 1.0]), 0.0
+    # U = cos(t/2) I - i sin(t/2) (n . sigma)
+    sin_half = math.sin(angle / 2.0)
+    # Fix the global sign so that the real part of the trace is positive,
+    # matching the branch chosen by rotation_content.
+    if np.real(np.trace(su2)) < 0:
+        su2 = -su2
+    nx = float(np.imag(su2[0, 1] + su2[1, 0]) / (-2.0 * sin_half))
+    ny = float(np.real(su2[1, 0] - su2[0, 1]) / (-2.0 * sin_half))
+    nz = float(np.imag(su2[0, 0] - su2[1, 1]) / (-2.0 * sin_half))
+    axis = np.array([nx, ny, nz])
+    norm = np.linalg.norm(axis)
+    if norm < 1e-9:
+        return np.array([0.0, 0.0, 1.0]), angle
+    return axis / norm, angle
+
+
+def zyz_angles(matrix: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``exp(i a) Rz(b) Ry(c) Rz(d)``.
+
+    Returns ``(a, b, c, d)`` with the convention
+    ``Rz(t) = diag(exp(-it/2), exp(it/2))`` and
+    ``Ry(t) = [[cos t/2, -sin t/2], [sin t/2, cos t/2]]``.
+    """
+    matrix = _require_su2_input(matrix)
+    det = np.linalg.det(matrix)
+    phase = cmath.phase(det) / 2.0
+    su2 = matrix / cmath.exp(1j * phase)
+    # su2 = [[cos(c/2) e^{-i(b+d)/2}, -sin(c/2) e^{-i(b-d)/2}],
+    #        [sin(c/2) e^{ i(b-d)/2},  cos(c/2) e^{ i(b+d)/2}]]
+    c = 2.0 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) > 1e-12 and abs(su2[1, 0]) > 1e-12:
+        b_plus_d = 2.0 * cmath.phase(su2[1, 1])
+        b_minus_d = 2.0 * cmath.phase(su2[1, 0])
+        b = (b_plus_d + b_minus_d) / 2.0
+        d = (b_plus_d - b_minus_d) / 2.0
+    elif abs(su2[0, 0]) > 1e-12:
+        # Diagonal: c == 0, only b + d matters.
+        b = 2.0 * cmath.phase(su2[1, 1])
+        d = 0.0
+    else:
+        # Anti-diagonal: c == pi, only b - d matters.
+        b = 2.0 * cmath.phase(su2[1, 0])
+        d = 0.0
+    return float(phase), float(b), float(c), float(d)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """``Rz(theta) = diag(exp(-i theta/2), exp(i theta/2))``."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2), 0.0], [0.0, cmath.exp(1j * theta / 2)]],
+        dtype=complex,
+    )
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about the y-axis by ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about the x-axis by ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)

@@ -1,0 +1,17 @@
+"""Qubit mapping: device topologies, placement, and SWAP routing."""
+
+from repro.mapping.topology import GridTopology, LineTopology, grid_for
+from repro.mapping.partition import balanced_min_cut_bisection
+from repro.mapping.placement import Placement, initial_placement
+from repro.mapping.router import RoutingResult, route
+
+__all__ = [
+    "GridTopology",
+    "LineTopology",
+    "Placement",
+    "RoutingResult",
+    "balanced_min_cut_bisection",
+    "grid_for",
+    "initial_placement",
+    "route",
+]

@@ -1,0 +1,126 @@
+"""SWAP-insertion routing (paper Sec. 3.4.1).
+
+Two-qubit operations between non-neighbouring physical qubits are
+prepended with SWAP rearrangements that walk the two operands toward each
+other along a shortest grid path; the placement is updated permanently
+(SWAPs are real gates, not bookkeeping).
+
+The router processes nodes in a dependence-respecting order and emits a
+new node sequence over *physical* qubits.  Any node exposing ``on()``
+(gates and 2-qubit-wide diagonal instructions alike) can be routed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import MappingError
+from repro.gates import library
+from repro.mapping.placement import Placement
+
+
+@dataclasses.dataclass
+class RoutingResult:
+    """Outcome of routing a node sequence onto a topology."""
+
+    nodes: list
+    placement: Placement
+    swap_count: int
+    initial_placement: Placement
+
+
+def route(nodes, placement: Placement, max_width: int = 2) -> RoutingResult:
+    """Insert SWAPs so every multi-qubit node acts on adjacent qubits.
+
+    Args:
+        nodes: Dependence-ordered nodes on logical qubits.
+        placement: Initial logical-to-physical placement (not mutated).
+        max_width: Largest node width the router accepts.
+
+    Returns:
+        A :class:`RoutingResult` whose ``nodes`` act on physical qubits.
+    """
+    topology = placement.topology
+    initial = placement.copy()
+    current = placement.copy()
+    routed: list = []
+    swap_count = 0
+    for node in nodes:
+        if len(node.qubits) > max_width:
+            raise MappingError(
+                f"cannot route {len(node.qubits)}-qubit node {node}; "
+                f"decompose it first"
+            )
+        if len(node.qubits) == 1:
+            routed.append(node.on((current.physical(node.qubits[0]),)))
+            continue
+        logical_a, logical_b = node.qubits
+        phys_a = current.physical(logical_a)
+        phys_b = current.physical(logical_b)
+        if not topology.are_adjacent(phys_a, phys_b):
+            swaps = _swaps_toward(topology, current, phys_a, phys_b)
+            routed.extend(swaps)
+            swap_count += len(swaps)
+            phys_a = current.physical(logical_a)
+            phys_b = current.physical(logical_b)
+        routed.append(node.on((phys_a, phys_b)))
+    return RoutingResult(
+        nodes=routed,
+        placement=current,
+        swap_count=swap_count,
+        initial_placement=initial,
+    )
+
+
+def permutation_restore_gates(placement: Placement) -> list:
+    """SWAP gates that move every logical qubit back to its home cell.
+
+    Routing leaves logical qubits scattered over the grid; appending these
+    SWAPs restores the identity mapping (``logical q`` at ``physical q``),
+    which is what a semantics check — or a caller who wants to compose
+    routed circuits — needs.  Selection sort with SWAPs: at most ``n - 1``
+    gates, each between the current and the target cell of one qubit.
+    """
+    position_of = placement.as_dict()
+    occupant: dict[int, int] = {
+        physical: logical for logical, physical in position_of.items()
+    }
+    gates = []
+    for logical in sorted(position_of):
+        source = position_of[logical]
+        target = logical
+        if source == target:
+            continue
+        gates.append(library.SWAP(source, target))
+        other = occupant.get(target)
+        occupant[source] = other
+        if other is not None:
+            position_of[other] = source
+        occupant[target] = logical
+        position_of[logical] = target
+    return gates
+
+
+def _swaps_toward(topology, placement: Placement, phys_a: int, phys_b: int):
+    """SWAP gates that walk both endpoints together along a shortest path.
+
+    The two operands advance alternately from each end toward the middle,
+    which splits the rearrangement across both sides of the path (fewer
+    serialized SWAPs on either qubit's timeline than one-sided walking).
+    """
+    path = topology.shortest_path(phys_a, phys_b)
+    swaps = []
+    left = 0
+    right = len(path) - 1
+    # Stop when the two tracked qubits are adjacent on the path.
+    while right - left > 1:
+        # Advance the left operand one step.
+        swaps.append(library.SWAP(path[left], path[left + 1]))
+        placement.swap_physical(path[left], path[left + 1])
+        left += 1
+        if right - left <= 1:
+            break
+        swaps.append(library.SWAP(path[right], path[right - 1]))
+        placement.swap_physical(path[right], path[right - 1])
+        right -= 1
+    return swaps

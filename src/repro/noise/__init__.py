@@ -1,0 +1,13 @@
+"""Decoherence modeling: why latency reduction matters."""
+
+from repro.noise.decoherence import (
+    circuit_survival_probability,
+    schedule_survival_probability,
+    speedup_fidelity_gain,
+)
+
+__all__ = [
+    "circuit_survival_probability",
+    "schedule_survival_probability",
+    "speedup_fidelity_gain",
+]

@@ -1,0 +1,78 @@
+"""First-order decoherence model: output fidelity decays with latency.
+
+The paper's central motivation (Sec. 1) is that "output fidelity decays
+at least exponentially with latency".  We model each qubit as decohering
+with the combined rate ``Gamma = 1/T1 + 1/T2`` while the computation
+runs, giving the standard first-order estimate::
+
+    F(T) = exp(-Gamma * sum_q T_q)
+
+where ``T_q`` is how long qubit ``q`` must stay coherent (the schedule
+makespan for every active qubit).  The absolute numbers are crude, but
+the *ratio* between two schedules of the same circuit — which is what
+the latency-reduction argument needs — only depends on the makespans.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import DeviceConfig, DEFAULT_DEVICE
+from repro.errors import ConfigError
+
+_NS_PER_US = 1000.0
+
+
+def _decoherence_rate_per_ns(device: DeviceConfig) -> float:
+    return (1.0 / device.t1_us + 1.0 / device.t2_us) / _NS_PER_US
+
+
+def circuit_survival_probability(
+    latency_ns: float,
+    num_qubits: int,
+    device: DeviceConfig = DEFAULT_DEVICE,
+) -> float:
+    """Probability that no qubit decoheres during the computation."""
+    if latency_ns < 0:
+        raise ConfigError("latency must be non-negative")
+    if num_qubits < 1:
+        raise ConfigError("need at least one qubit")
+    rate = _decoherence_rate_per_ns(device)
+    return math.exp(-rate * latency_ns * num_qubits)
+
+
+def schedule_survival_probability(
+    schedule,
+    device: DeviceConfig = DEFAULT_DEVICE,
+) -> float:
+    """Survival probability of a schedule's active qubits.
+
+    Every qubit touched by at least one operation must stay coherent for
+    the full makespan (idle qubits still decohere while they wait).
+    """
+    active: set[int] = set()
+    for operation in schedule.operations:
+        active.update(operation.node.qubits)
+    if not active:
+        return 1.0
+    return circuit_survival_probability(
+        schedule.makespan, len(active), device
+    )
+
+
+def speedup_fidelity_gain(
+    baseline_latency_ns: float,
+    optimized_latency_ns: float,
+    num_qubits: int,
+    device: DeviceConfig = DEFAULT_DEVICE,
+) -> float:
+    """Multiplicative output-fidelity gain from a latency reduction."""
+    baseline = circuit_survival_probability(
+        baseline_latency_ns, num_qubits, device
+    )
+    optimized = circuit_survival_probability(
+        optimized_latency_ns, num_qubits, device
+    )
+    if baseline <= 0:
+        return math.inf
+    return optimized / baseline

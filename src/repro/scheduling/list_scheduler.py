@@ -1,0 +1,26 @@
+"""Plain list scheduling: the gate-based baseline's scheduler.
+
+Nodes are placed greedily in the DAG's current execution order; each node
+starts as soon as all its qubits are free.  This realizes exactly the
+chain-DAG ASAP times, i.e. standard gate-based logical scheduling with no
+commutativity awareness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.scheduling.schedule import Schedule
+
+
+def list_schedule(dag, latency_fn: Callable[[object], float]) -> Schedule:
+    """Schedule the DAG's nodes in their current order, ASAP."""
+    schedule = Schedule(dag.num_qubits)
+    qubit_free = [0.0] * dag.num_qubits
+    for node in dag.stable_topological_order():
+        start = max((qubit_free[q] for q in node.qubits), default=0.0)
+        duration = latency_fn(node)
+        schedule.add(node, start, duration)
+        for q in node.qubits:
+            qubit_free[q] = start + duration
+    return schedule

@@ -1,0 +1,114 @@
+"""Schedule data structures: timed operations with validation."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.errors import SchedulingError
+
+
+@dataclasses.dataclass(frozen=True)
+class TimedOperation:
+    """A node placed on the time axis."""
+
+    node: object
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, other: TimedOperation) -> bool:
+        """True when the two operations' time windows intersect."""
+        return self.start < other.end - 1e-12 and other.start < self.end - 1e-12
+
+
+class Schedule:
+    """An ordered collection of timed operations on a qubit register."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = int(num_qubits)
+        self.operations: list[TimedOperation] = []
+
+    def add(self, node, start: float, duration: float) -> TimedOperation:
+        """Place a node; durations must be non-negative."""
+        if start < 0 or duration < 0:
+            raise SchedulingError(
+                f"negative time placing {node}: start={start}, duration={duration}"
+            )
+        operation = TimedOperation(node, float(start), float(duration))
+        self.operations.append(operation)
+        return operation
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last operation."""
+        return max((op.end for op in self.operations), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def qubit_timeline(self, qubit: int) -> list[TimedOperation]:
+        """Operations touching ``qubit``, sorted by start time."""
+        timeline = [
+            op for op in self.operations if qubit in op.node.qubits
+        ]
+        return sorted(timeline, key=lambda op: op.start)
+
+    def busy_time(self) -> float:
+        """Total qubit-time occupied by operations."""
+        return sum(
+            op.duration * len(op.node.qubits) for op in self.operations
+        )
+
+    def utilization(self) -> float:
+        """Busy qubit-time over total qubit-time (0 for empty schedules)."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.busy_time() / (span * self.num_qubits)
+
+    def validate(self, dag=None) -> None:
+        """Check physical consistency; raises SchedulingError on violation.
+
+        Verifies that no two operations overlap on a qubit and — when a
+        DAG is given — that every chain dependence is respected.
+        """
+        per_qubit: dict[int, list[TimedOperation]] = defaultdict(list)
+        for operation in self.operations:
+            for q in operation.node.qubits:
+                per_qubit[q].append(operation)
+        for qubit, timeline in per_qubit.items():
+            timeline.sort(key=lambda op: op.start)
+            for first, second in zip(timeline, timeline[1:]):
+                if first.overlaps(second):
+                    raise SchedulingError(
+                        f"operations overlap on qubit {qubit}: "
+                        f"{first.node} and {second.node}"
+                    )
+        if dag is not None:
+            finish = {id(op.node): op.end for op in self.operations}
+            start = {id(op.node): op.start for op in self.operations}
+            for operation in self.operations:
+                for predecessor in dag.predecessors(operation.node):
+                    if id(predecessor) not in finish:
+                        raise SchedulingError(
+                            f"{operation.node} scheduled without its "
+                            f"predecessor {predecessor}"
+                        )
+                    if finish[id(predecessor)] > start[id(operation.node)] + 1e-9:
+                        raise SchedulingError(
+                            f"{operation.node} starts before predecessor "
+                            f"{predecessor} finishes"
+                        )
+
+    def ordered_nodes(self) -> list:
+        """Nodes sorted by (start time, insertion order)."""
+        indexed = list(enumerate(self.operations))
+        indexed.sort(key=lambda pair: (pair[1].start, pair[0]))
+        return [operation.node for _, operation in indexed]

@@ -1,0 +1,17 @@
+"""Verification of synthesized pulses against their target unitaries."""
+
+from repro.verification.propagator import propagate_pulse
+from repro.verification.verify import (
+    VerificationResult,
+    verify_instruction,
+    verify_pulse,
+    verify_sampled_instructions,
+)
+
+__all__ = [
+    "VerificationResult",
+    "propagate_pulse",
+    "verify_instruction",
+    "verify_pulse",
+    "verify_sampled_instructions",
+]

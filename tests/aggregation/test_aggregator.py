@@ -1,0 +1,178 @@
+"""Tests for the action space and the monotonic aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.action_space import candidate_actions
+from repro.aggregation.aggregator import aggregate
+from repro.aggregation.diagonal import detect_diagonal_blocks
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.circuit.circuit import Circuit
+from repro.circuit.commutation import CommutationChecker
+from repro.circuit.dag import GateDependenceGraph
+from repro.control.unit import OptimalControlUnit
+from repro.linalg.embed import embed_operator
+from repro.linalg.predicates import allclose_up_to_global_phase
+
+
+def build_dag(circuit, detect=False):
+    checker = CommutationChecker()
+    nodes = detect_diagonal_blocks(circuit.gates) if detect else circuit.gates
+    return GateDependenceGraph(circuit.num_qubits, nodes, checker.commute)
+
+
+@pytest.fixture(scope="module")
+def ocu():
+    return OptimalControlUnit(backend="model")
+
+
+def dag_unitary(dag, num_qubits):
+    total = np.eye(2**num_qubits, dtype=complex)
+    for node in dag.stable_topological_order():
+        total = embed_operator(node.matrix, node.qubits, num_qubits) @ total
+    return total
+
+
+class TestCandidateActions:
+    def test_adjacent_pair_found(self):
+        dag = build_dag(Circuit(2).cnot(0, 1).rz(0.5, 1))
+        actions = candidate_actions(dag, width_limit=10)
+        assert len(actions) == 1
+
+    def test_orientation_earlier_first(self):
+        circuit = Circuit(2).cnot(0, 1).rz(0.5, 1)
+        dag = build_dag(circuit)
+        (earlier, later), = candidate_actions(dag, width_limit=10)
+        assert earlier is circuit.gates[0]
+        assert later is circuit.gates[1]
+
+    def test_disjoint_gates_not_candidates(self):
+        dag = build_dag(Circuit(4).cnot(0, 1).cnot(2, 3))
+        assert candidate_actions(dag, width_limit=10) == []
+
+    def test_width_limit_filters(self):
+        circuit = Circuit(3).cnot(0, 1).cnot(1, 2)
+        dag = build_dag(circuit)
+        assert len(candidate_actions(dag, width_limit=3)) == 1
+        assert len(candidate_actions(dag, width_limit=2)) == 0
+
+    def test_each_pair_reported_once(self):
+        # The CNOTs share two qubits; the pair must appear once.
+        circuit = Circuit(2).cnot(0, 1).cnot(0, 1)
+        dag = build_dag(circuit)
+        assert len(candidate_actions(dag, width_limit=10)) == 1
+
+    def test_distant_groups_excluded(self):
+        circuit = Circuit(2).cnot(0, 1).h(1).x(1).cnot(0, 1)
+        dag = build_dag(circuit)
+        actions = candidate_actions(dag, width_limit=10)
+        pairs = {
+            frozenset((id(a), id(b))) for a, b in actions
+        }
+        first, h, x, last = circuit.gates
+        assert frozenset((id(first), id(last))) not in pairs
+
+
+class TestAggregate:
+    def test_triangle_qaoa_improves_makespan(self, ocu):
+        gamma = 5.67
+        circuit = Circuit(3)
+        for a, b in [(0, 1), (1, 2)]:
+            circuit.cnot(a, b).rz(2 * gamma, b).cnot(a, b)
+        dag = build_dag(circuit, detect=True)
+        report = aggregate(dag, ocu)
+        assert report.final_makespan < report.initial_makespan
+        assert report.merges >= 1
+
+    def test_unitary_preserved(self, ocu):
+        circuit = (
+            Circuit(3)
+            .h(0)
+            .cnot(0, 1)
+            .rz(0.9, 1)
+            .cnot(0, 1)
+            .cnot(1, 2)
+            .rx(0.4, 2)
+            .swap(0, 1)
+        )
+        reference = circuit.unitary()
+        dag = build_dag(circuit, detect=True)
+        aggregate(dag, ocu)
+        assert allclose_up_to_global_phase(
+            dag_unitary(dag, 3), reference, atol=1e-7
+        )
+
+    def test_width_limit_respected(self, ocu):
+        circuit = Circuit(6)
+        for i in range(5):
+            circuit.cnot(i, i + 1)
+        dag = build_dag(circuit)
+        aggregate(dag, ocu, width_limit=3)
+        for node in dag.nodes:
+            assert len(set(node.qubits)) <= 3
+
+    def test_serial_chain_fully_aggregates_with_wide_limit(self, ocu):
+        circuit = Circuit(4)
+        for i in range(3):
+            circuit.cnot(i, i + 1)
+        dag = build_dag(circuit)
+        report = aggregate(dag, ocu, width_limit=10)
+        # The whole chain folds into one instruction: one setup charge.
+        assert len(dag.nodes) == 1
+        assert report.merges == 2
+
+    def test_no_profitable_actions_no_merges(self, ocu):
+        # Disjoint parallel gates: nothing to aggregate.
+        circuit = Circuit(4).cnot(0, 1).cnot(2, 3)
+        dag = build_dag(circuit)
+        report = aggregate(dag, ocu)
+        assert report.merges == 0
+        assert report.final_makespan == pytest.approx(report.initial_makespan)
+
+    def test_monotonic_protection_of_parallelism(self, ocu):
+        # Paper Fig. 8 scenario: merging across the critical path would
+        # serialize independent work; the aggregator must not regress
+        # the makespan.
+        circuit = Circuit(4)
+        circuit.cnot(0, 1)
+        circuit.cnot(2, 3)
+        circuit.cnot(1, 2)
+        circuit.cnot(0, 1)
+        circuit.cnot(2, 3)
+        dag = build_dag(circuit)
+        before = dag.makespan(ocu.latency)
+        report = aggregate(dag, ocu)
+        assert report.final_makespan <= before + 1e-6
+
+    def test_batch_false_single_merge_per_round(self, ocu):
+        circuit = Circuit(4)
+        for i in range(3):
+            circuit.cnot(i, i + 1)
+        dag = build_dag(circuit)
+        report = aggregate(dag, ocu, batch=False)
+        assert report.rounds >= report.merges
+
+    def test_makespan_never_increases(self, ocu):
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            circuit = Circuit(5)
+            for _ in range(14):
+                a, b = rng.choice(5, size=2, replace=False)
+                kind = rng.integers(0, 3)
+                if kind == 0:
+                    circuit.cnot(int(a), int(b))
+                elif kind == 1:
+                    circuit.rzz(float(rng.uniform(0.2, 2.0)), int(a), int(b))
+                else:
+                    circuit.h(int(a))
+            dag = build_dag(circuit, detect=True)
+            report = aggregate(dag, ocu)
+            assert report.final_makespan <= report.initial_makespan + 1e-6
+
+    def test_instructions_in_dag_are_aggregates(self, ocu):
+        circuit = Circuit(2).cnot(0, 1).rz(0.4, 1).cnot(0, 1).rx(0.2, 0)
+        dag = build_dag(circuit, detect=True)
+        aggregate(dag, ocu)
+        assert any(
+            isinstance(node, AggregatedInstruction) for node in dag.nodes
+        )

@@ -1,0 +1,122 @@
+"""Tests for diagonal-block commutativity detection."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.diagonal import detect_diagonal_blocks
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.circuit.circuit import Circuit
+from repro.config import CompilerConfig
+from repro.gates import library as lib
+from repro.linalg.embed import embed_operator
+from repro.linalg.predicates import allclose_up_to_global_phase
+
+
+def _nodes_unitary(nodes, num_qubits):
+    total = np.eye(2**num_qubits, dtype=complex)
+    for node in nodes:
+        index = sorted(set(node.qubits))
+        matrix = node.matrix
+        if isinstance(node, AggregatedInstruction):
+            total = embed_operator(matrix, node.qubits, num_qubits) @ total
+        else:
+            total = embed_operator(matrix, node.qubits, num_qubits) @ total
+    return total
+
+
+class TestDetection:
+    def test_cnot_rz_cnot_contracted(self):
+        circuit = Circuit(2).cnot(0, 1).rz(0.7, 1).cnot(0, 1)
+        nodes = detect_diagonal_blocks(circuit.gates)
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], AggregatedInstruction)
+        assert nodes[0].is_diagonal
+
+    def test_trailing_rx_left_out(self):
+        circuit = Circuit(2).cnot(0, 1).rz(0.7, 1).cnot(0, 1).rx(0.3, 1)
+        nodes = detect_diagonal_blocks(circuit.gates)
+        assert len(nodes) == 2
+        assert isinstance(nodes[0], AggregatedInstruction)
+        assert nodes[1].name == "RX"
+
+    def test_leading_h_not_absorbed(self):
+        circuit = Circuit(2).h(1).cnot(0, 1).rz(0.7, 1).cnot(0, 1)
+        nodes = detect_diagonal_blocks(circuit.gates)
+        names = [
+            n.name if not isinstance(n, AggregatedInstruction) else "DIAG"
+            for n in nodes
+        ]
+        assert names == ["H", "DIAG"]
+
+    def test_plain_gates_untouched(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).rx(0.5, 1)
+        nodes = detect_diagonal_blocks(circuit.gates)
+        assert len(nodes) == 3
+        assert all(not isinstance(n, AggregatedInstruction) for n in nodes)
+
+    def test_qaoa_layer_gets_one_block_per_edge(self):
+        circuit = Circuit(3)
+        for a, b in [(0, 1), (1, 2)]:
+            circuit.cnot(a, b).rz(1.1, b).cnot(a, b)
+        nodes = detect_diagonal_blocks(circuit.gates)
+        blocks = [n for n in nodes if isinstance(n, AggregatedInstruction)]
+        assert len(blocks) == 2
+        assert all(block.width == 2 for block in blocks)
+
+    def test_blocks_commute_after_detection(self):
+        from repro.circuit.commutation import CommutationChecker
+
+        circuit = Circuit(3)
+        for a, b in [(0, 1), (1, 2)]:
+            circuit.cnot(a, b).rz(1.1, b).cnot(a, b)
+        blocks = [
+            n
+            for n in detect_diagonal_blocks(circuit.gates)
+            if isinstance(n, AggregatedInstruction)
+        ]
+        checker = CommutationChecker()
+        assert checker.commute(blocks[0], blocks[1])
+
+    def test_depth_limit_respected(self):
+        config = CompilerConfig(diagonal_block_depth=3)
+        circuit = Circuit(2)
+        for _ in range(3):
+            circuit.cnot(0, 1).rz(0.4, 1).cnot(0, 1)
+        nodes = detect_diagonal_blocks(circuit.gates, config)
+        blocks = [n for n in nodes if isinstance(n, AggregatedInstruction)]
+        assert all(len(block) <= 3 for block in blocks)
+
+    def test_longer_diagonal_chain_contracts_fully(self):
+        circuit = Circuit(2)
+        for _ in range(2):
+            circuit.cnot(0, 1).rz(0.4, 1).cnot(0, 1)
+        nodes = detect_diagonal_blocks(circuit.gates)
+        assert len(nodes) == 1
+        assert len(nodes[0]) == 6
+
+    def test_semantics_preserved(self):
+        circuit = (
+            Circuit(3)
+            .h(0)
+            .cnot(0, 1)
+            .rz(0.9, 1)
+            .cnot(0, 1)
+            .rx(0.2, 0)
+            .cnot(1, 2)
+            .rz(0.3, 2)
+            .cnot(1, 2)
+        )
+        nodes = detect_diagonal_blocks(circuit.gates)
+        total = np.eye(8, dtype=complex)
+        for node in nodes:
+            total = embed_operator(node.matrix, node.qubits, 3) @ total
+        assert allclose_up_to_global_phase(total, circuit.unitary(), atol=1e-8)
+
+    def test_pure_rz_run_not_contracted(self):
+        # Single-qubit diagonal runs stay as plain gates (no 2q member).
+        circuit = Circuit(1).rz(0.1, 0).rz(0.2, 0).rz(0.3, 0)
+        nodes = detect_diagonal_blocks(circuit.gates)
+        assert all(not isinstance(n, AggregatedInstruction) for n in nodes)
+
+    def test_empty_stream(self):
+        assert detect_diagonal_blocks([]) == []

@@ -1,0 +1,125 @@
+"""Tests for AggregatedInstruction."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.errors import AggregationError
+from repro.gates import library as lib
+from repro.linalg.embed import embed_operator
+from repro.linalg.predicates import allclose_up_to_global_phase
+
+
+class TestConstruction:
+    def test_qubit_union_sorted(self):
+        instruction = AggregatedInstruction(
+            [lib.CNOT(3, 1), lib.RZ(0.2, 3)]
+        )
+        assert instruction.qubits == (1, 3)
+        assert instruction.width == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError):
+            AggregatedInstruction([])
+
+    def test_non_gate_member_rejected(self):
+        with pytest.raises(AggregationError):
+            AggregatedInstruction([lib.H(0), "not a gate"])
+
+    def test_automatic_naming_unique(self):
+        a = AggregatedInstruction([lib.H(0)])
+        b = AggregatedInstruction([lib.H(0)])
+        assert a.name != b.name
+
+    def test_from_nodes_merges_gates(self):
+        merged = AggregatedInstruction.from_nodes(lib.H(0), lib.CNOT(0, 1))
+        assert len(merged) == 2
+        assert merged.qubits == (0, 1)
+
+    def test_from_nodes_flattens_instructions(self):
+        inner = AggregatedInstruction([lib.CNOT(0, 1), lib.RZ(0.1, 1)])
+        merged = AggregatedInstruction.from_nodes(inner, lib.CNOT(0, 1))
+        assert len(merged) == 3
+        assert all(not isinstance(g, AggregatedInstruction) for g in merged.gates)
+
+
+class TestMatrixAndDiagonality:
+    def test_matrix_equals_gate_product(self):
+        gates = [lib.CNOT(0, 1), lib.RZ(0.7, 1), lib.CNOT(0, 1)]
+        instruction = AggregatedInstruction(gates)
+        expected = np.eye(4, dtype=complex)
+        for gate in gates:
+            expected = embed_operator(gate.matrix, gate.qubits, 2) @ expected
+        assert np.allclose(instruction.matrix, expected)
+
+    def test_matrix_uses_local_indices(self):
+        # Same structure on far-apart qubits: small local matrix.
+        instruction = AggregatedInstruction([lib.CNOT(7, 2), lib.RZ(0.5, 7)])
+        assert instruction.matrix.shape == (4, 4)
+
+    def test_wide_instruction_has_no_matrix(self):
+        gates = [lib.CNOT(i, i + 1) for i in range(7)]
+        instruction = AggregatedInstruction(gates)
+        assert instruction.width == 8
+        assert instruction.matrix is None
+
+    def test_cnot_rz_cnot_is_diagonal(self):
+        instruction = AggregatedInstruction(
+            [lib.CNOT(0, 1), lib.RZ(0.7, 1), lib.CNOT(0, 1)]
+        )
+        assert instruction.is_diagonal
+
+    def test_cnot_alone_is_not_diagonal(self):
+        assert not AggregatedInstruction([lib.CNOT(0, 1)]).is_diagonal
+
+    def test_wide_diagonal_fallback(self):
+        gates = [lib.RZZ(0.3, i, i + 1) for i in range(7)]
+        instruction = AggregatedInstruction(gates)
+        assert instruction.matrix is None
+        assert instruction.is_diagonal
+
+    def test_matrix_readonly(self):
+        instruction = AggregatedInstruction([lib.H(0)])
+        with pytest.raises(ValueError):
+            instruction.matrix[0, 0] = 2.0
+
+
+class TestSignatureAndRetargeting:
+    def test_signature_translation_invariant(self):
+        a = AggregatedInstruction([lib.CNOT(0, 1), lib.RZ(0.5, 1)])
+        b = AggregatedInstruction([lib.CNOT(4, 5), lib.RZ(0.5, 5)])
+        assert a.signature == b.signature
+
+    def test_signature_sensitive_to_structure(self):
+        a = AggregatedInstruction([lib.CNOT(0, 1), lib.RZ(0.5, 1)])
+        b = AggregatedInstruction([lib.CNOT(1, 0), lib.RZ(0.5, 1)])
+        assert a.signature != b.signature
+
+    def test_on_remaps_all_gates(self):
+        instruction = AggregatedInstruction([lib.CNOT(0, 1), lib.RZ(0.5, 1)])
+        moved = instruction.on((5, 9))
+        assert moved.qubits == (5, 9)
+        assert moved.gates[0].qubits == (5, 9)
+        assert moved.gates[1].qubits == (9,)
+
+    def test_on_preserves_unitary(self):
+        instruction = AggregatedInstruction(
+            [lib.CNOT(0, 1), lib.RZ(0.9, 1), lib.CNOT(0, 1)]
+        )
+        moved = instruction.on((3, 8))
+        assert allclose_up_to_global_phase(moved.matrix, instruction.matrix)
+
+    def test_on_wrong_arity(self):
+        instruction = AggregatedInstruction([lib.CNOT(0, 1)])
+        with pytest.raises(AggregationError):
+            instruction.on((1, 2, 3))
+
+    def test_gate_counts(self):
+        instruction = AggregatedInstruction(
+            [lib.CNOT(0, 1), lib.RZ(0.5, 1), lib.CNOT(0, 1)]
+        )
+        assert instruction.gate_counts() == {"CNOT": 2, "RZ": 1}
+
+    def test_repr_contains_name(self):
+        instruction = AggregatedInstruction([lib.H(0)], name="G42")
+        assert "G42" in repr(instruction)

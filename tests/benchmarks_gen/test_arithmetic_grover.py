@@ -1,0 +1,200 @@
+"""Functional tests of reversible arithmetic and the Grover benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.arithmetic import (
+    AncillaPool,
+    controlled_increment,
+    flip_zero_bits,
+    multi_controlled_x,
+    multi_controlled_z,
+    squarer,
+    unsquarer,
+)
+from repro.benchmarks.grover import (
+    grover_iterations_for,
+    grover_sqrt_circuit,
+    sqrt_benchmark_qubits,
+)
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+from repro.linalg.simulator import StatevectorSimulator
+
+
+def _run_basis(circuit, input_bits):
+    """Run a circuit on a computational basis state given per-qubit bits."""
+    sim = StatevectorSimulator(circuit.num_qubits)
+    index = 0
+    for qubit, bit in enumerate(input_bits):
+        if bit:
+            index |= 1 << (circuit.num_qubits - 1 - qubit)
+    sim.reset(index)
+    sim.run_circuit(circuit)
+    out = int(np.argmax(sim.probabilities()))
+    assert sim.probabilities()[out] > 0.999  # classical circuit stays classical
+    return [(out >> (circuit.num_qubits - 1 - q)) & 1 for q in range(circuit.num_qubits)]
+
+
+class TestAncillaPool:
+    def test_take_and_return(self):
+        pool = AncillaPool([5, 6])
+        a = pool.take()
+        b = pool.take()
+        assert {a, b} == {5, 6}
+        with pytest.raises(BenchmarkError):
+            pool.take()
+        pool.give_back(a)
+        assert pool.available() == 1
+
+    def test_high_water_tracking(self):
+        pool = AncillaPool([1, 2, 3])
+        a = pool.take()
+        b = pool.take()
+        pool.give_back(a)
+        pool.give_back(b)
+        assert pool.high_water == 2
+
+
+class TestControlledIncrement:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_exhaustive(self, width):
+        total = 1 + width + max(0, width - 1)
+        for control in (0, 1):
+            for start in range(2**width):
+                circuit = Circuit(total)
+                pool = AncillaPool(list(range(1 + width, total)))
+                controlled_increment(
+                    circuit, 0, list(range(1, 1 + width)), pool
+                )
+                bits = [0] * total
+                bits[0] = control
+                for i in range(width):
+                    bits[1 + i] = (start >> i) & 1
+                out = _run_basis(circuit, bits)
+                value = sum(out[1 + i] << i for i in range(width))
+                assert value == (start + control) % 2**width
+                assert all(b == 0 for b in out[1 + width:]), "dirty ancilla"
+
+    def test_pool_returned_clean(self):
+        circuit = Circuit(6)
+        pool = AncillaPool([4, 5])
+        controlled_increment(circuit, 0, [1, 2, 3], pool)
+        assert pool.available() == 2
+
+
+class TestSquarer:
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_squares_all_inputs(self, m):
+        total = sqrt_benchmark_qubits(m)
+        for x in range(2**m):
+            circuit = Circuit(total)
+            pool = AncillaPool(list(range(3 * m, total)))
+            squarer(circuit, list(range(m)), list(range(m, 3 * m)), pool)
+            bits = [0] * total
+            for i in range(m):
+                bits[i] = (x >> i) & 1
+            out = _run_basis(circuit, bits)
+            accumulator = sum(out[m + i] << i for i in range(2 * m))
+            assert accumulator == x * x
+            assert all(b == 0 for b in out[3 * m:]), "dirty ancilla"
+
+    def test_unsquarer_reverses(self):
+        m = 2
+        total = sqrt_benchmark_qubits(m)
+        circuit = Circuit(total)
+        pool = AncillaPool(list(range(3 * m, total)))
+        squarer(circuit, list(range(m)), list(range(m, 3 * m)), pool)
+        unsquarer(circuit, list(range(m)), list(range(m, 3 * m)), pool)
+        for x in range(2**m):
+            bits = [0] * total
+            for i in range(m):
+                bits[i] = (x >> i) & 1
+            out = _run_basis(circuit, bits)
+            assert out == bits
+
+    def test_accumulator_width_validated(self):
+        circuit = Circuit(5)
+        pool = AncillaPool([4])
+        with pytest.raises(BenchmarkError):
+            squarer(circuit, [0, 1], [2, 3], pool)
+
+
+class TestMultiControlled:
+    @pytest.mark.parametrize("num_controls", [1, 2, 3, 4])
+    def test_mcx_truth_table(self, num_controls):
+        total = num_controls + 1 + max(0, num_controls - 2)
+        target = num_controls
+        for pattern in range(2**num_controls):
+            circuit = Circuit(total)
+            pool = AncillaPool(list(range(num_controls + 1, total)))
+            multi_controlled_x(
+                circuit, list(range(num_controls)), target, pool
+            )
+            bits = [0] * total
+            for i in range(num_controls):
+                bits[i] = (pattern >> i) & 1
+            out = _run_basis(circuit, bits)
+            expected = 1 if pattern == 2**num_controls - 1 else 0
+            assert out[target] == expected
+
+    def test_mcz_phase_flip(self):
+        # |11> gets a minus sign, others unchanged.
+        circuit = Circuit(2)
+        pool = AncillaPool([])
+        multi_controlled_z(circuit, [0, 1], pool)
+        unitary = circuit.unitary()
+        assert np.allclose(np.diag(unitary), [1, 1, 1, -1])
+
+    def test_flip_zero_bits_masks_value(self):
+        circuit = Circuit(3)
+        flip_zero_bits(circuit, [0, 1, 2], 0b101)
+        # value bit 0 = 1 (no X on qubit 0), bit 1 = 0 (X on qubit 1)...
+        flipped = {g.qubits[0] for g in circuit.gates}
+        assert flipped == {1}
+
+
+class TestGroverCircuit:
+    def test_qubit_counts_match_paper(self):
+        assert sqrt_benchmark_qubits(3) == 17
+        assert sqrt_benchmark_qubits(4) == 30
+        assert sqrt_benchmark_qubits(5) == 47
+
+    def test_search_finds_square_root(self):
+        # m=2: search for sqrt(4) = 2 with the optimal iteration count.
+        circuit = grover_sqrt_circuit(
+            2, target_value=4, iterations=grover_iterations_for(2)
+        )
+        sim = StatevectorSimulator(circuit.num_qubits)
+        sim.run_circuit(circuit)
+        probabilities = sim.probabilities()
+        n = circuit.num_qubits
+        marginal = {}
+        for index, p in enumerate(probabilities):
+            if p < 1e-12:
+                continue
+            bits = [(index >> (n - 1 - q)) & 1 for q in range(n)]
+            x = bits[0] | (bits[1] << 1)
+            marginal[x] = marginal.get(x, 0.0) + p
+        assert marginal.get(2, 0.0) > 0.95
+
+    def test_single_iteration_default(self):
+        one = grover_sqrt_circuit(3)
+        two = grover_sqrt_circuit(3, iterations=2)
+        assert len(two) > 1.8 * len(one) - 10
+
+    def test_serial_low_commutativity_character(self):
+        from repro.benchmarks.registry import circuit_characteristics
+
+        circuit = grover_sqrt_circuit(3)
+        traits = circuit_characteristics(circuit)
+        assert traits["parallelism"] < 0.2
+        assert traits["commutativity"] < 0.1
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            grover_sqrt_circuit(1)
+        with pytest.raises(BenchmarkError):
+            grover_sqrt_circuit(3, target_value=64)
+        with pytest.raises(BenchmarkError):
+            grover_sqrt_circuit(3, iterations=0)

@@ -1,0 +1,175 @@
+"""Tests for the Ising, UCCSD and QFT generators."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.benchmarks.ising import ising_model_circuit
+from repro.benchmarks.qft import qft_circuit
+from repro.benchmarks.uccsd import (
+    double_excitation,
+    pauli_exponential,
+    single_excitation,
+    uccsd_ansatz_circuit,
+)
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+from repro.linalg.embed import embed_operator
+from repro.linalg.paulis import pauli_string
+from repro.linalg.predicates import allclose_up_to_global_phase, is_unitary
+
+
+class TestIsing:
+    def test_gate_counts(self):
+        circuit = ising_model_circuit(6, trotter_steps=1)
+        counts = circuit.gate_counts()
+        assert counts["CNOT"] == 2 * 5  # 5 bonds
+        assert counts["RZ"] == 5
+        assert counts["RX"] == 6
+
+    def test_trotter_steps_scale(self):
+        one = ising_model_circuit(6, trotter_steps=1)
+        three = ising_model_circuit(6, trotter_steps=3)
+        assert len(three) == 3 * len(one)
+
+    def test_brickwork_is_parallel(self):
+        circuit = ising_model_circuit(10)
+        # Even bonds all run in the first two layers.
+        assert circuit.depth <= 8
+
+    def test_matches_exact_evolution_small(self):
+        # One fine Trotter step approximates exp(-i H dt) on 3 qubits.
+        n, j, h, dt = 3, 1.0, 0.8, 0.05
+        circuit = ising_model_circuit(n, coupling=j, field=h, dt=dt)
+        hamiltonian = np.zeros((8, 8), dtype=complex)
+        for a in range(n - 1):
+            hamiltonian += j * embed_operator(
+                pauli_string("ZZ"), [a, a + 1], n
+            )
+        for q in range(n):
+            hamiltonian += h * embed_operator(pauli_string("X"), [q], n)
+        exact = scipy.linalg.expm(-1j * dt * hamiltonian)
+        assert allclose_up_to_global_phase(circuit.unitary(), exact, atol=0.02)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            ising_model_circuit(1)
+        with pytest.raises(BenchmarkError):
+            ising_model_circuit(4, trotter_steps=0)
+
+
+class TestPauliExponential:
+    @pytest.mark.parametrize(
+        "labels", [{0: "Z"}, {0: "X", 1: "Y"}, {0: "Y", 1: "Z", 2: "X"}]
+    )
+    def test_matches_matrix_exponential(self, labels):
+        theta = 0.731
+        n = max(labels) + 1
+        circuit = Circuit(n)
+        pauli_exponential(circuit, labels, theta)
+        string = "".join(labels.get(q, "I") for q in range(n))
+        exact = scipy.linalg.expm(-0.5j * theta * pauli_string(string))
+        assert allclose_up_to_global_phase(circuit.unitary(), exact, atol=1e-8)
+
+    def test_empty_string_is_noop(self):
+        circuit = Circuit(1)
+        pauli_exponential(circuit, {}, 0.5)
+        assert len(circuit) == 0
+
+    def test_bad_letter(self):
+        circuit = Circuit(1)
+        with pytest.raises(BenchmarkError):
+            pauli_exponential(circuit, {0: "Q"}, 0.5)
+
+
+class TestExcitations:
+    def test_single_excitation_preserves_particle_number(self):
+        # exp(theta(a2^dag a0 - h.c.)) maps |100> within span{|100>,|001>}.
+        circuit = Circuit(3)
+        single_excitation(circuit, 0, 2, 0.83)
+        unitary = circuit.unitary()
+        state = np.zeros(8)
+        state[0b100] = 1.0
+        result = unitary @ state
+        support = {i for i, a in enumerate(result) if abs(a) > 1e-9}
+        assert support <= {0b100, 0b001}
+        assert abs(np.linalg.norm(result) - 1.0) < 1e-9
+
+    def test_single_excitation_angle_rotates_population(self):
+        circuit = Circuit(2)
+        single_excitation(circuit, 0, 1, math.pi)
+        state = np.zeros(4)
+        state[0b10] = 1.0
+        result = circuit.unitary() @ state
+        # Complete transfer |10> -> |01> at theta = pi in this convention.
+        assert abs(result[0b01]) ** 2 > 0.99
+
+    def test_single_excitation_half_transfer(self):
+        circuit = Circuit(2)
+        single_excitation(circuit, 0, 1, math.pi / 2)
+        state = np.zeros(4)
+        state[0b10] = 1.0
+        result = circuit.unitary() @ state
+        assert abs(result[0b01]) ** 2 == pytest.approx(0.5, abs=1e-9)
+        assert abs(result[0b10]) ** 2 == pytest.approx(0.5, abs=1e-9)
+
+    def test_double_excitation_unitary(self):
+        circuit = Circuit(4)
+        double_excitation(circuit, 0, 1, 2, 3, 0.37)
+        assert is_unitary(circuit.unitary())
+
+    def test_double_excitation_distinct_orbitals(self):
+        circuit = Circuit(4)
+        with pytest.raises(BenchmarkError):
+            double_excitation(circuit, 0, 0, 2, 3, 0.5)
+
+
+class TestUccsdAnsatz:
+    def test_qubit_count(self):
+        assert uccsd_ansatz_circuit(4).num_qubits == 4
+        assert uccsd_ansatz_circuit(6, num_electrons=3).num_qubits == 6
+
+    def test_excitation_count_n4(self):
+        # 2 electrons, 2 virtuals: 4 singles + 1 double.
+        circuit = uccsd_ansatz_circuit(4, amplitudes=np.full(5, 0.3))
+        assert len(circuit) > 0
+
+    def test_amplitude_count_validation(self):
+        with pytest.raises(BenchmarkError):
+            uccsd_ansatz_circuit(4, amplitudes=np.ones(3))
+
+    def test_electron_count_validation(self):
+        with pytest.raises(BenchmarkError):
+            uccsd_ansatz_circuit(4, num_electrons=0)
+        with pytest.raises(BenchmarkError):
+            uccsd_ansatz_circuit(4, num_electrons=4)
+
+    def test_ansatz_is_unitary_and_seeded(self):
+        a = uccsd_ansatz_circuit(4, seed=3)
+        b = uccsd_ansatz_circuit(4, seed=3)
+        assert [g.signature for g in a] == [g.signature for g in b]
+        assert is_unitary(a.unitary())
+
+    def test_low_commutativity_character(self):
+        from repro.benchmarks.registry import circuit_characteristics
+
+        traits = circuit_characteristics(uccsd_ansatz_circuit(4))
+        assert traits["commutativity"] < 0.5
+
+
+class TestQft:
+    def test_qft_matrix(self):
+        n = 3
+        circuit = qft_circuit(n, include_swaps=True)
+        dim = 2**n
+        omega = np.exp(2j * np.pi / dim)
+        expected = np.array(
+            [[omega ** (r * c) for c in range(dim)] for r in range(dim)]
+        ) / math.sqrt(dim)
+        assert allclose_up_to_global_phase(circuit.unitary(), expected, atol=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            qft_circuit(0)

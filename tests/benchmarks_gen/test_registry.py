@@ -1,0 +1,87 @@
+"""Tests for the Table 3 suite registry and characteristics."""
+
+import pytest
+
+from repro.benchmarks.registry import (
+    benchmark_by_key,
+    circuit_characteristics,
+    classify,
+    table3_suite,
+)
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+
+class TestSuite:
+    def test_paper_suite_has_ten_rows(self):
+        assert len(table3_suite("paper")) == 10
+
+    def test_paper_qubit_counts_match_table3(self):
+        qubits = [spec.qubits for spec in table3_suite("paper")]
+        assert qubits == [20, 30, 30, 30, 60, 17, 30, 47, 4, 6]
+
+    def test_small_suite_builds_quickly(self):
+        for spec in table3_suite("small"):
+            circuit = spec.build()
+            assert circuit.num_qubits == spec.qubits
+            assert len(circuit) > 0
+
+    def test_build_checks_width(self):
+        spec = table3_suite("paper")[0]
+        object.__setattr__(spec, "qubits", 999)
+        with pytest.raises(BenchmarkError):
+            spec.build()
+
+    def test_unknown_scale(self):
+        with pytest.raises(BenchmarkError):
+            table3_suite("huge")
+
+    def test_lookup_by_key(self):
+        spec = benchmark_by_key("maxcut-line-20")
+        assert spec.qubits == 20
+        with pytest.raises(BenchmarkError):
+            benchmark_by_key("nope")
+
+    def test_keys_unique(self):
+        keys = [spec.key for spec in table3_suite("paper")]
+        assert len(set(keys)) == len(keys)
+
+
+class TestCharacteristics:
+    def test_empty_circuit(self):
+        traits = circuit_characteristics(Circuit(2))
+        assert traits["parallelism"] == 0.0
+
+    def test_qaoa_is_highly_commutative(self):
+        spec = benchmark_by_key("maxcut-line-20")
+        traits = circuit_characteristics(spec.build())
+        assert traits["commutativity"] > 0.5
+
+    def test_sqrt_is_serial_and_noncommutative(self):
+        spec = benchmark_by_key("sqrt-17")
+        traits = circuit_characteristics(spec.build())
+        assert traits["commutativity"] < 0.1
+        assert traits["parallelism"] < 0.15
+
+    def test_ising_is_parallel(self):
+        spec = benchmark_by_key("ising-30")
+        traits = circuit_characteristics(spec.build())
+        assert traits["parallelism"] > 0.4
+
+    def test_locality_ordering_of_maxcut_family(self):
+        # Table 3: line > reg4 > cluster in spatial locality.
+        line = circuit_characteristics(benchmark_by_key("maxcut-line-20").build())
+        reg4 = circuit_characteristics(benchmark_by_key("maxcut-reg4-30").build())
+        cluster = circuit_characteristics(
+            benchmark_by_key("maxcut-cluster-30").build()
+        )
+        assert (
+            line["spatial_locality"]
+            > reg4["spatial_locality"]
+            > cluster["spatial_locality"]
+        )
+
+    def test_classify_thresholds(self):
+        assert classify(0.1, 0.3, 0.6) == "Low"
+        assert classify(0.4, 0.3, 0.6) == "Medium"
+        assert classify(0.9, 0.3, 0.6) == "High"

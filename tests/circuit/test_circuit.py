@@ -1,0 +1,122 @@
+"""Tests for the Circuit IR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.errors import CircuitError
+from repro.gates import library as lib
+from repro.linalg.predicates import allclose_up_to_global_phase
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = Circuit(3)
+        assert len(circuit) == 0
+        assert circuit.num_qubits == 3
+        assert circuit.depth == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_append_validates_range(self):
+        circuit = Circuit(2)
+        with pytest.raises(CircuitError):
+            circuit.append(lib.H(5))
+
+    def test_builder_chaining(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).rz(0.3, 1)
+        assert [g.name for g in circuit] == ["H", "CNOT", "RZ"]
+
+    def test_from_gates(self):
+        gates = [lib.H(0), lib.CNOT(0, 1)]
+        circuit = Circuit.from_gates(2, gates, name="bell")
+        assert circuit.name == "bell"
+        assert len(circuit) == 2
+
+    def test_copy_is_independent(self):
+        circuit = Circuit(2).h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert len(circuit) == 1
+        assert len(clone) == 2
+
+    def test_extend(self):
+        circuit = Circuit(3).extend([lib.H(0), lib.H(1), lib.H(2)])
+        assert len(circuit) == 3
+
+
+class TestInspection:
+    def test_gate_counts(self):
+        circuit = Circuit(2).h(0).h(1).cnot(0, 1)
+        counts = circuit.gate_counts()
+        assert counts["H"] == 2
+        assert counts["CNOT"] == 1
+
+    def test_qubit_gates_order(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).rz(0.1, 0)
+        names = [g.name for g in circuit.qubit_gates(0)]
+        assert names == ["H", "CNOT", "RZ"]
+
+    def test_qubit_gates_range_check(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).qubit_gates(5)
+
+    def test_used_qubits(self):
+        circuit = Circuit(4).h(0).cnot(2, 3)
+        assert circuit.used_qubits() == {0, 2, 3}
+
+    def test_depth_serial_chain(self):
+        circuit = Circuit(1).h(0).x(0).z(0)
+        assert circuit.depth == 3
+
+    def test_depth_parallel_layer(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        assert circuit.depth == 1
+
+    def test_depth_with_two_qubit_gate(self):
+        circuit = Circuit(2).h(0).h(1).cnot(0, 1)
+        assert circuit.depth == 2
+
+    def test_interaction_pairs(self):
+        circuit = Circuit(3).cnot(0, 1).cnot(1, 0).cnot(1, 2)
+        pairs = circuit.two_qubit_interaction_pairs()
+        assert pairs[(0, 1)] == 2
+        assert pairs[(1, 2)] == 1
+
+
+class TestSemantics:
+    def test_bell_unitary(self):
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        state = circuit.unitary()[:, 0]
+        expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_unitary_limit(self):
+        with pytest.raises(CircuitError):
+            Circuit(13).unitary()
+
+    def test_cnot_rz_cnot_is_diagonal(self):
+        theta = 0.77
+        circuit = Circuit(2).cnot(0, 1).rz(theta, 1).cnot(0, 1)
+        u = circuit.unitary()
+        assert allclose_up_to_global_phase(
+            u, lib.RZZ(theta, 0, 1).matrix, atol=1e-9
+        )
+
+    def test_statevector_default_initial(self):
+        circuit = Circuit(2).x(0)
+        state = circuit.statevector()
+        assert abs(state[0b10]) == pytest.approx(1.0)
+
+    def test_statevector_custom_initial(self):
+        circuit = Circuit(1).x(0)
+        state = circuit.statevector(initial=[0.0, 1.0])
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_statevector_bad_initial(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).statevector(initial=[1.0, 0.0])

@@ -1,0 +1,109 @@
+"""Tests for commutation checking — includes the paper's Table 2 relations."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.commutation import CommutationChecker
+from repro.gates import library as lib
+
+
+@pytest.fixture
+def checker():
+    return CommutationChecker()
+
+
+class TestTableTwoRelations:
+    """The four commutation relations of paper Table 2."""
+
+    def test_gates_on_different_qubits_commute(self, checker):
+        assert checker.commute(lib.H(0), lib.X(1))
+        assert checker.commute(lib.CNOT(0, 1), lib.CNOT(2, 3))
+
+    def test_control_commutes_with_rz(self, checker):
+        # Rz on the control line passes through the control.
+        assert checker.commute(lib.RZ(0.7, 0), lib.CNOT(0, 1))
+
+    def test_rz_on_target_does_not_commute(self, checker):
+        assert not checker.commute(lib.RZ(0.7, 1), lib.CNOT(0, 1))
+
+    def test_diagonal_gates_commute(self, checker):
+        assert checker.commute(lib.RZZ(0.3, 0, 1), lib.RZZ(0.9, 1, 2))
+        assert checker.commute(lib.CZ(0, 1), lib.CZ(1, 2))
+        assert checker.commute(lib.RZ(0.5, 0), lib.CZ(0, 1))
+
+    def test_cnots_with_disjoint_controls_commute(self, checker):
+        # Shared target, different controls.
+        assert checker.commute(lib.CNOT(0, 2), lib.CNOT(1, 2))
+
+    def test_cnots_sharing_control_commute(self, checker):
+        assert checker.commute(lib.CNOT(0, 1), lib.CNOT(0, 2))
+
+    def test_cnots_control_target_chain_do_not_commute(self, checker):
+        assert not checker.commute(lib.CNOT(0, 1), lib.CNOT(1, 2))
+
+
+class TestExactChecks:
+    def test_same_qubit_rotations(self, checker):
+        assert checker.commute(lib.RZ(0.1, 0), lib.RZ(0.2, 0))
+        assert not checker.commute(lib.RX(0.1, 0), lib.RZ(0.2, 0))
+
+    def test_x_on_target_commutes_with_cnot(self, checker):
+        assert checker.commute(lib.X(1), lib.CNOT(0, 1))
+
+    def test_swap_and_symmetric_pair(self, checker):
+        # SWAP commutes with a symmetric two-qubit gate on the same pair.
+        assert checker.commute(lib.SWAP(0, 1), lib.CZ(0, 1))
+        assert checker.commute(lib.SWAP(0, 1), lib.ISWAP(0, 1))
+
+    def test_three_qubit_overlap(self, checker):
+        assert checker.commute(lib.CCZ(0, 1, 2), lib.RZ(0.4, 1))
+        assert not checker.commute(lib.TOFFOLI(0, 1, 2), lib.H(2))
+
+
+class TestCacheBehaviour:
+    def test_cache_hit_on_structural_repeat(self, checker):
+        checker.commute(lib.RZ(0.7, 3), lib.CNOT(3, 4))
+        before = checker.exact_checks
+        # Same structure on different qubits: should hit the cache.
+        verdict = checker.commute(lib.RZ(0.7, 8), lib.CNOT(8, 9))
+        assert verdict
+        assert checker.exact_checks == before
+        assert checker.cache_hits >= 1
+
+    def test_cache_distinguishes_qubit_pattern(self, checker):
+        # Rz on control commutes; Rz on target does not — the union
+        # pattern differs so both verdicts are computed and cached.
+        assert checker.commute(lib.RZ(0.7, 0), lib.CNOT(0, 1))
+        assert not checker.commute(lib.RZ(0.7, 1), lib.CNOT(0, 1))
+
+    def test_cache_size_grows(self, checker):
+        checker.commute(lib.H(0), lib.X(0))
+        assert checker.cache_size() >= 1
+
+
+class TestConservativeFallback:
+    def test_wide_diagonal_operands_commute(self):
+        checker = CommutationChecker(exact_qubits=2)
+
+        class WideDiagonal:
+            qubits = tuple(range(5))
+            is_diagonal = True
+            signature = ("WIDE_DIAG",)
+            matrix = None
+
+        class OtherDiagonal:
+            qubits = tuple(range(3, 8))
+            is_diagonal = True
+            signature = ("OTHER_DIAG",)
+            matrix = None
+
+        assert checker.commute(WideDiagonal(), OtherDiagonal())
+
+    def test_wide_non_diagonal_falls_back_to_false(self):
+        checker = CommutationChecker(exact_qubits=2)
+        # Three-qubit union exceeds the exact limit of 2 -> conservative.
+        assert not checker.commute(lib.CNOT(0, 2), lib.CNOT(1, 2))
+
+    def test_disjoint_always_commutes_even_when_wide(self):
+        checker = CommutationChecker(exact_qubits=2)
+        assert checker.commute(lib.TOFFOLI(0, 1, 2), lib.TOFFOLI(3, 4, 5))

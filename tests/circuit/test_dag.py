@@ -1,0 +1,246 @@
+"""Tests for the gate-dependence graph."""
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.commutation import CommutationChecker
+from repro.circuit.dag import GateDependenceGraph
+from repro.errors import SchedulingError
+from repro.gates import library as lib
+
+
+def build_dag(circuit):
+    return GateDependenceGraph.from_circuit(circuit, CommutationChecker())
+
+
+def unit_latency(_node) -> float:
+    return 1.0
+
+
+class TestConstruction:
+    def test_qubit_sequences(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).rz(0.3, 1)
+        dag = build_dag(circuit)
+        assert [g.name for g in dag.qubit_sequence(0)] == ["H", "CNOT"]
+        assert [g.name for g in dag.qubit_sequence(1)] == ["CNOT", "RZ"]
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(Exception):
+            GateDependenceGraph(1, [lib.CNOT(0, 1)], lambda a, b: False)
+
+    def test_len(self):
+        circuit = Circuit(2).h(0).h(1)
+        assert len(build_dag(circuit)) == 2
+
+
+class TestCommutationGroups:
+    def test_noncommuting_chain_gives_singleton_groups(self):
+        circuit = Circuit(1).h(0).t(0).h(0)
+        dag = build_dag(circuit)
+        groups = dag.commutation_groups(0)
+        assert [len(g) for g in groups] == [1, 1, 1]
+
+    def test_commuting_rz_run_is_one_group(self):
+        circuit = Circuit(1).rz(0.1, 0).rz(0.2, 0).rz(0.3, 0)
+        dag = build_dag(circuit)
+        assert [len(g) for g in dag.commutation_groups(0)] == [3]
+
+    def test_cnot_rz_cnot_groups_on_control_and_target(self):
+        # Paper example: the two CNOTs share a commutation group on the
+        # control qubit but not on the target qubit (Rz intervenes).
+        circuit = Circuit(2).cnot(0, 1).rz(0.5, 1).cnot(0, 1)
+        dag = build_dag(circuit)
+        cnot_a, rz, cnot_b = circuit.gates
+        assert dag.same_group(cnot_a, cnot_b, 0)
+        assert not dag.same_group(cnot_a, cnot_b, 1)
+        assert dag.group_index(rz, 1) == 1
+
+    def test_rz_travels_through_cnot_control(self):
+        circuit = Circuit(2).cnot(0, 1).rz(0.5, 0)
+        dag = build_dag(circuit)
+        cnot, rz = circuit.gates
+        assert dag.same_group(cnot, rz, 0)
+
+    def test_group_index_for_absent_qubit(self):
+        circuit = Circuit(2).h(0)
+        dag = build_dag(circuit)
+        with pytest.raises(SchedulingError):
+            dag.group_index(circuit.gates[0], 1)
+
+    def test_commute_nodes_requires_all_shared_groups(self):
+        circuit = Circuit(2).cnot(0, 1).rz(0.5, 1).cnot(0, 1)
+        dag = build_dag(circuit)
+        cnot_a, _rz, cnot_b = circuit.gates
+        # Same group on qubit 0 but not qubit 1 -> do not commute.
+        assert not dag.commute_nodes(cnot_a, cnot_b)
+
+
+class TestTiming:
+    def test_predecessors_follow_qubit_chains(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).rz(0.3, 1)
+        dag = build_dag(circuit)
+        h, cnot, rz = circuit.gates
+        assert dag.predecessors(h) == []
+        assert dag.predecessors(cnot) == [h]
+        assert dag.predecessors(rz) == [cnot]
+        assert dag.successors(h) == [cnot]
+
+    def test_source_nodes(self):
+        circuit = Circuit(3).h(0).h(1).cnot(0, 1).h(2)
+        dag = build_dag(circuit)
+        sources = dag.source_nodes()
+        assert len(sources) == 3
+
+    def test_topological_order_is_consistent(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).cnot(1, 2).h(2)
+        dag = build_dag(circuit)
+        order = dag.topological_order()
+        position = {id(node): i for i, node in enumerate(order)}
+        for node in dag.nodes:
+            for successor in dag.successors(node):
+                assert position[id(node)] < position[id(successor)]
+
+    def test_makespan_serial(self):
+        circuit = Circuit(1).h(0).t(0).h(0)
+        dag = build_dag(circuit)
+        assert dag.makespan(unit_latency) == pytest.approx(3.0)
+
+    def test_makespan_parallel(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        dag = build_dag(circuit)
+        assert dag.makespan(unit_latency) == pytest.approx(1.0)
+
+    def test_makespan_weighted(self):
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        dag = build_dag(circuit)
+        latency = {id(circuit.gates[0]): 2.0, id(circuit.gates[1]): 5.0}
+        assert dag.makespan(lambda n: latency[id(n)]) == pytest.approx(7.0)
+
+    def test_commuting_gates_on_same_qubit_still_serialize(self):
+        # Chain edges model hardware resource exclusivity.
+        circuit = Circuit(1).rz(0.1, 0).rz(0.2, 0)
+        dag = build_dag(circuit)
+        assert dag.makespan(unit_latency) == pytest.approx(2.0)
+
+    def test_empty_dag_makespan(self):
+        dag = build_dag(Circuit(2))
+        assert dag.makespan(unit_latency) == 0.0
+
+    def test_critical_path_identifies_long_chain(self):
+        circuit = Circuit(3).h(0).t(0).h(0).h(1)
+        dag = build_dag(circuit)
+        path = dag.critical_path(unit_latency)
+        assert len(path) == 3
+        assert all(node.qubits == (0,) for node in path)
+
+
+class TestReorder:
+    def test_reorder_within_group_allowed(self):
+        circuit = Circuit(1).rz(0.1, 0).rz(0.2, 0)
+        dag = build_dag(circuit)
+        a, b = circuit.gates
+        dag.reorder([b, a])
+        assert [g for g in dag.qubit_sequence(0)] == [b, a]
+
+    def test_reorder_across_group_rejected(self):
+        circuit = Circuit(1).h(0).t(0)
+        dag = build_dag(circuit)
+        h, t = circuit.gates
+        with pytest.raises(SchedulingError):
+            dag.reorder([t, h])
+
+    def test_reorder_wrong_nodes_rejected(self):
+        circuit = Circuit(1).h(0)
+        dag = build_dag(circuit)
+        with pytest.raises(SchedulingError):
+            dag.reorder([lib.H(0)])
+
+    def test_reorder_preserves_makespan_semantics(self):
+        circuit = Circuit(2).rzz(0.1, 0, 1).rzz(0.2, 0, 1)
+        dag = build_dag(circuit)
+        a, b = circuit.gates
+        dag.reorder([b, a])
+        assert dag.makespan(unit_latency) == pytest.approx(2.0)
+
+
+class TestMerge:
+    def _diagonal_instruction(self, gates, qubits):
+        """Minimal stand-in for an aggregated instruction."""
+
+        class Node:
+            def __init__(self):
+                self.qubits = tuple(qubits)
+                self.is_diagonal = all(g.is_diagonal for g in gates)
+                self.signature = ("MERGED",) + tuple(g.signature for g in gates)
+                self.matrix = None
+
+            def __repr__(self):
+                return f"Merged{self.qubits}"
+
+        return Node()
+
+    def test_merge_adjacent_pair(self):
+        circuit = Circuit(2).cnot(0, 1).rz(0.5, 1)
+        dag = build_dag(circuit)
+        cnot, rz = circuit.gates
+        merged = self._diagonal_instruction([cnot, rz], [0, 1])
+        dag.merge(cnot, rz, merged)
+        assert len(dag) == 1
+        assert dag.qubit_sequence(0) == [merged]
+        assert dag.qubit_sequence(1) == [merged]
+
+    def test_merge_disjoint_rejected(self):
+        circuit = Circuit(4).cnot(0, 1).cnot(2, 3)
+        dag = build_dag(circuit)
+        a, b = circuit.gates
+        assert not dag.can_merge(a, b)
+        with pytest.raises(SchedulingError):
+            dag.merge(a, b, self._diagonal_instruction([a, b], [0, 1, 2, 3]))
+
+    def test_merge_distant_groups_rejected(self):
+        circuit = Circuit(2).cnot(0, 1).h(1).x(1).cnot(0, 1)
+        dag = build_dag(circuit)
+        first, *_rest, last = circuit.gates
+        # H then X put the CNOTs three groups apart on qubit 1 and the
+        # CNOTs share a group on qubit 0, so group distance on qubit 1 > 1.
+        assert not dag.can_merge(first, last)
+
+    def test_merge_wrong_union_rejected(self):
+        circuit = Circuit(3).cnot(0, 1).rz(0.5, 1)
+        dag = build_dag(circuit)
+        cnot, rz = circuit.gates
+        with pytest.raises(SchedulingError):
+            dag.merge(cnot, rz, self._diagonal_instruction([cnot, rz], [0, 1, 2]))
+
+    def test_merge_reduces_makespan_with_unit_latency(self):
+        circuit = Circuit(2).cnot(0, 1).rz(0.5, 1).cnot(0, 1)
+        dag = build_dag(circuit)
+        before = dag.makespan(unit_latency)
+        cnot_a, rz, _ = circuit.gates
+        merged = self._diagonal_instruction([cnot_a, rz], [0, 1])
+        dag.merge(cnot_a, rz, merged)
+        assert dag.makespan(unit_latency) < before
+
+    def test_merge_preserves_other_dependencies(self):
+        circuit = Circuit(3).cnot(0, 1).rz(0.5, 1).cnot(1, 2)
+        dag = build_dag(circuit)
+        cnot_a, rz, cnot_b = circuit.gates
+        merged = self._diagonal_instruction([cnot_a, rz], [0, 1])
+        dag.merge(cnot_a, rz, merged)
+        assert dag.predecessors(cnot_b) == [merged]
+
+    def test_cycle_inducing_merge_rejected_and_rolled_back(self):
+        # A -> C on qubit 1, C -> B on qubit 2; merging A and B would
+        # need the merged node both before and after C: a cycle.
+        circuit = Circuit(3).cnot(0, 1).cnot(1, 2).cnot(2, 0)
+        dag = build_dag(circuit)
+        a, c, b = circuit.gates
+        assert dag.can_merge(a, b)  # structurally adjacent on qubit 0
+        merged = self._diagonal_instruction([a, b], [0, 1, 2])
+        with pytest.raises(SchedulingError):
+            dag.merge(a, b, merged)
+        # Original structure intact after the failure.
+        assert len(dag) == 3
+        assert dag.predecessors(c) == [a]
+        assert set(map(id, dag.predecessors(b))) == {id(a), id(c)}
+        dag.topological_order()  # still acyclic and consistent

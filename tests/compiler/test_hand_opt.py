@@ -1,0 +1,97 @@
+"""Tests for the hand-optimization rules."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.compiler.hand_opt import (
+    HandOptimizedInstruction,
+    hand_optimize,
+    hand_zz_latency,
+)
+from repro.config import DEFAULT_DEVICE
+from repro.control.latency_model import AnalyticLatencyModel
+from repro.gates import library as lib
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticLatencyModel()
+
+
+class TestHandZzRule:
+    def test_cnot_rz_cnot_replaced(self):
+        nodes = [lib.CNOT(0, 1), lib.RZ(0.7, 1), lib.CNOT(0, 1)]
+        optimized = hand_optimize(nodes)
+        assert len(optimized) == 1
+        assert isinstance(optimized[0], HandOptimizedInstruction)
+
+    def test_hand_latency_between_serial_and_optimal(self, model):
+        nodes = [lib.CNOT(0, 1), lib.RZ(0.7, 1), lib.CNOT(0, 1)]
+        optimized = hand_optimize(nodes)
+        hand = optimized[0].hand_latency_ns
+        serial = sum(model.gate_latency(g) for g in nodes)
+        optimal = model.sequence_latency(nodes)
+        assert optimal < hand < serial
+
+    def test_two_setup_charges(self):
+        unitary = AggregatedInstruction(
+            [lib.CNOT(0, 1), lib.RZ(0.7, 1), lib.CNOT(0, 1)], name="p"
+        ).matrix
+        latency = hand_zz_latency(unitary, DEFAULT_DEVICE)
+        assert latency >= 2 * DEFAULT_DEVICE.setup_time_2q_ns
+
+    def test_detected_diagonal_block_converted(self):
+        block = AggregatedInstruction(
+            [lib.CNOT(0, 1), lib.RZ(0.7, 1), lib.CNOT(0, 1)]
+        )
+        optimized = hand_optimize([block])
+        assert isinstance(optimized[0], HandOptimizedInstruction)
+        assert optimized[0].hand_latency_ns > 0
+
+    def test_wide_instruction_passes_through(self):
+        wide = AggregatedInstruction(
+            [lib.CNOT(i, i + 1) for i in range(4)]
+        )
+        optimized = hand_optimize([wide])
+        assert optimized[0] is wide
+
+    def test_non_diagonal_pattern_untouched(self):
+        nodes = [lib.CNOT(0, 1), lib.RX(0.7, 1), lib.CNOT(0, 1)]
+        optimized = hand_optimize(nodes)
+        two_qubit = [n for n in optimized if len(n.qubits) == 2]
+        assert len(two_qubit) == 2
+
+
+class TestSingleQubitFusion:
+    def test_consecutive_run_fused(self):
+        nodes = [lib.H(0), lib.T(0), lib.H(0)]
+        optimized = hand_optimize(nodes)
+        assert len(optimized) == 1
+        assert isinstance(optimized[0], HandOptimizedInstruction)
+
+    def test_fused_latency_collapses_rotations(self, model):
+        # H then H cancels: almost free after fusion.
+        optimized = hand_optimize([lib.H(0), lib.H(0)])
+        assert optimized[0].hand_latency_ns <= (
+            DEFAULT_DEVICE.setup_time_1q_ns + 1e-6
+        )
+
+    def test_runs_on_different_qubits_not_fused(self):
+        nodes = [lib.H(0), lib.H(1)]
+        optimized = hand_optimize(nodes)
+        assert len(optimized) == 2
+
+    def test_two_qubit_gate_breaks_run(self):
+        nodes = [lib.H(0), lib.CNOT(0, 1), lib.H(0)]
+        optimized = hand_optimize(nodes)
+        assert len(optimized) == 3
+
+    def test_retarget_preserves_hand_latency(self):
+        optimized = hand_optimize([lib.H(0), lib.T(0)])
+        moved = optimized[0].on((5,))
+        assert isinstance(moved, HandOptimizedInstruction)
+        assert moved.hand_latency_ns == pytest.approx(
+            optimized[0].hand_latency_ns
+        )
+        assert moved.qubits == (5,)

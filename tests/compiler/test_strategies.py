@@ -1,0 +1,53 @@
+"""Tests for the strategy definitions."""
+
+import pytest
+
+from repro.compiler.strategies import (
+    AGGREGATION,
+    CLS,
+    CLS_AGGREGATION,
+    CLS_HAND,
+    ISA,
+    Strategy,
+    all_strategies,
+    strategy_by_key,
+)
+from repro.errors import ConfigError
+
+
+class TestStrategies:
+    def test_five_strategies(self):
+        assert len(all_strategies()) == 5
+
+    def test_baseline_first(self):
+        assert all_strategies()[0] is ISA
+
+    def test_isa_has_nothing_enabled(self):
+        assert not ISA.commutativity_detection
+        assert not ISA.cls_scheduling
+        assert not ISA.aggregation
+        assert not ISA.hand_optimization
+
+    def test_full_flow_flags(self):
+        assert CLS_AGGREGATION.commutativity_detection
+        assert CLS_AGGREGATION.cls_scheduling
+        assert CLS_AGGREGATION.aggregation
+
+    def test_aggregation_without_cls(self):
+        assert AGGREGATION.aggregation
+        assert not AGGREGATION.cls_scheduling
+
+    def test_hand_excludes_aggregation(self):
+        assert CLS_HAND.hand_optimization
+        assert not CLS_HAND.aggregation
+        with pytest.raises(ConfigError):
+            Strategy("bad", "", True, True, True, True)
+
+    def test_lookup(self):
+        assert strategy_by_key("cls") is CLS
+        with pytest.raises(ConfigError):
+            strategy_by_key("nope")
+
+    def test_keys_unique(self):
+        keys = [s.key for s in all_strategies()]
+        assert len(set(keys)) == len(keys)

@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.embed import embed_operator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded random generator for reproducible tests."""
+    return np.random.default_rng(20190413)  # ASPLOS'19 dates
+
+
+def sequence_unitary(gates, num_qubits: int) -> np.ndarray:
+    """Total unitary of a gate sequence on ``num_qubits`` qubits."""
+    total = np.eye(2**num_qubits, dtype=complex)
+    for gate in gates:
+        total = embed_operator(gate.matrix, gate.qubits, num_qubits) @ total
+    return total

@@ -1,0 +1,130 @@
+"""Tests for the GRAPE optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.control.grape import GrapeOptimizer, _loss_and_gradient, _propagate
+from repro.control.hamiltonian import xy_hamiltonian
+from repro.errors import ControlError
+from repro.linalg.fidelity import unitary_trace_fidelity
+
+CNOT = np.eye(4)[[0, 1, 3, 2]].astype(complex)
+ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+@pytest.fixture(scope="module")
+def two_qubit_ham():
+    return xy_hamiltonian(2)
+
+
+@pytest.fixture(scope="module")
+def one_qubit_ham():
+    return xy_hamiltonian(1)
+
+
+class TestGradient:
+    def test_exact_gradient_matches_finite_differences(self, two_qubit_ham):
+        operators = np.stack([t.operator for t in two_qubit_ham.terms])
+        rng = np.random.default_rng(3)
+        amplitudes = 0.1 * rng.standard_normal((5, two_qubit_ham.num_controls))
+        _, gradient = _loss_and_gradient(amplitudes, operators, CNOT, 0.5)
+        eps = 1e-6
+        for j, k in [(0, 0), (2, 2), (4, 4), (3, 1)]:
+            plus = amplitudes.copy()
+            plus[j, k] += eps
+            minus = amplitudes.copy()
+            minus[j, k] -= eps
+            loss_plus, _ = _loss_and_gradient(plus, operators, CNOT, 0.5)
+            loss_minus, _ = _loss_and_gradient(minus, operators, CNOT, 0.5)
+            finite = (loss_plus - loss_minus) / (2 * eps)
+            assert gradient[j, k] == pytest.approx(finite, abs=1e-7)
+
+    def test_zero_pulse_propagates_to_identity(self, two_qubit_ham):
+        operators = np.stack([t.operator for t in two_qubit_ham.terms])
+        amplitudes = np.zeros((4, two_qubit_ham.num_controls))
+        total = _propagate(amplitudes, operators, 0.5)
+        assert np.allclose(total, np.eye(4), atol=1e-12)
+
+    def test_loss_in_unit_interval(self, two_qubit_ham):
+        operators = np.stack([t.operator for t in two_qubit_ham.terms])
+        rng = np.random.default_rng(1)
+        amplitudes = 0.1 * rng.standard_normal((6, two_qubit_ham.num_controls))
+        loss, _ = _loss_and_gradient(amplitudes, operators, CNOT, 0.5)
+        assert 0.0 <= loss <= 1.0
+
+
+class TestOptimization:
+    def test_single_qubit_x_gate(self, one_qubit_ham):
+        optimizer = GrapeOptimizer(one_qubit_ham, max_iterations=200)
+        # Pi rotation at the drive limit needs pi/0.628 ~ 5 ns; allow 8.
+        result = optimizer.optimize(X, duration=8.0)
+        assert result.converged
+        assert result.fidelity >= 0.999
+
+    def test_cnot_converges_with_slack(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=400)
+        result = optimizer.optimize(CNOT, duration=20.0)
+        assert result.converged
+        assert result.fidelity >= 0.999
+
+    def test_iswap_below_speed_limit_fails(self, two_qubit_ham):
+        # Minimal iSWAP time at the coupling limit is pi/(2g) = 12.5 ns.
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=250)
+        result = optimizer.optimize(ISWAP, duration=9.0)
+        assert not result.converged
+        assert result.fidelity < 0.999
+
+    def test_respects_amplitude_limits(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=150)
+        result = optimizer.optimize(CNOT, duration=20.0)
+        limits = two_qubit_ham.limits()
+        assert np.all(np.abs(result.pulse.amplitudes) <= limits + 1e-12)
+
+    def test_final_unitary_matches_reported_fidelity(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=100)
+        result = optimizer.optimize(CNOT, duration=20.0)
+        recomputed = unitary_trace_fidelity(CNOT, result.final_unitary)
+        assert recomputed == pytest.approx(result.fidelity, abs=1e-9)
+
+    def test_loss_history_weakly_improves(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=150)
+        result = optimizer.optimize(CNOT, duration=20.0)
+        assert min(result.loss_history) <= result.loss_history[0]
+
+    def test_deterministic_given_seed(self, two_qubit_ham):
+        first = GrapeOptimizer(two_qubit_ham, max_iterations=50, seed=9).optimize(
+            CNOT, 18.0
+        )
+        second = GrapeOptimizer(two_qubit_ham, max_iterations=50, seed=9).optimize(
+            CNOT, 18.0
+        )
+        assert np.allclose(first.pulse.amplitudes, second.pulse.amplitudes)
+
+    def test_warm_start(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=60)
+        cold = optimizer.optimize(CNOT, duration=20.0)
+        warm = optimizer.optimize(
+            CNOT, duration=20.0, initial_amplitudes=cold.pulse.amplitudes
+        )
+        assert warm.fidelity >= cold.fidelity - 1e-6
+
+    def test_target_shape_validation(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham)
+        with pytest.raises(ControlError):
+            optimizer.optimize(np.eye(2), duration=10.0)
+
+    def test_bad_initial_shape(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham)
+        with pytest.raises(ControlError):
+            optimizer.optimize(
+                CNOT, duration=10.0, initial_amplitudes=np.zeros((3, 2))
+            )
+
+    def test_constructor_validation(self, two_qubit_ham):
+        with pytest.raises(ControlError):
+            GrapeOptimizer(two_qubit_ham, dt=0.0)
+        with pytest.raises(ControlError):
+            GrapeOptimizer(two_qubit_ham, max_iterations=0)

@@ -1,0 +1,87 @@
+"""Tests for control Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig
+from repro.control.hamiltonian import ControlHamiltonian, ControlTerm, xy_hamiltonian
+from repro.errors import ControlError
+from repro.linalg.paulis import pauli_string
+from repro.linalg.predicates import is_hermitian
+
+
+class TestXyHamiltonian:
+    def test_control_count_chain(self):
+        # k qubits: 2k drives + (k-1) couplings on a chain.
+        ham = xy_hamiltonian(3)
+        assert ham.num_controls == 2 * 3 + 2
+
+    def test_control_count_custom_edges(self):
+        ham = xy_hamiltonian(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert ham.num_controls == 2 * 4 + 4
+
+    def test_duplicate_edges_collapsed(self):
+        ham = xy_hamiltonian(2, [(0, 1), (1, 0)])
+        assert ham.num_controls == 2 * 2 + 1
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ControlError):
+            xy_hamiltonian(2, [(0, 0)])
+        with pytest.raises(ControlError):
+            xy_hamiltonian(2, [(0, 5)])
+
+    def test_drive_limits_are_five_times_coupling(self):
+        device = DeviceConfig()
+        ham = xy_hamiltonian(2, device=device)
+        drive = next(t for t in ham.terms if t.name == "x0")
+        coupling = next(t for t in ham.terms if t.name.startswith("xy"))
+        assert drive.limit == pytest.approx(5 * coupling.limit)
+        assert coupling.limit == pytest.approx(2 * np.pi * 0.02)
+
+    def test_all_operators_hermitian(self):
+        ham = xy_hamiltonian(3)
+        for term in ham.terms:
+            assert is_hermitian(term.operator), term.name
+
+    def test_coupling_operator_matrix(self):
+        ham = xy_hamiltonian(2)
+        coupling = next(t for t in ham.terms if t.name == "xy0_1")
+        expected = (pauli_string("XX") + pauli_string("YY")) / 2.0
+        assert np.allclose(coupling.operator, expected)
+
+    def test_drive_embedding(self):
+        ham = xy_hamiltonian(2)
+        x1 = next(t for t in ham.terms if t.name == "x1")
+        assert np.allclose(x1.operator, pauli_string("IX") / 2.0)
+
+    def test_assemble_hamiltonian(self):
+        ham = xy_hamiltonian(1)
+        matrix = ham.hamiltonian([0.3, 0.0])
+        assert np.allclose(matrix, 0.3 * pauli_string("X") / 2.0)
+
+    def test_assemble_wrong_length(self):
+        ham = xy_hamiltonian(1)
+        with pytest.raises(ControlError):
+            ham.hamiltonian([0.1])
+
+    def test_limits_vector(self):
+        ham = xy_hamiltonian(2)
+        limits = ham.limits()
+        assert limits.shape == (5,)
+        assert np.all(limits > 0)
+
+
+class TestControlHamiltonianValidation:
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ControlError):
+            ControlHamiltonian(1, [])
+
+    def test_shape_mismatch_rejected(self):
+        term = ControlTerm("bad", np.eye(2), 1.0)
+        with pytest.raises(ControlError):
+            ControlHamiltonian(2, [term])
+
+    def test_non_positive_limit_rejected(self):
+        term = ControlTerm("bad", np.eye(2), 0.0)
+        with pytest.raises(ControlError):
+            ControlHamiltonian(1, [term])

@@ -1,0 +1,150 @@
+"""Tests for the analytic latency model (incl. Table 1 calibration)."""
+
+import math
+
+import pytest
+
+from repro.config import DeviceConfig
+from repro.control.latency_model import AnalyticLatencyModel, _collapse_runs
+from repro.errors import ControlError
+from repro.gates import library as lib
+
+GAMMA, BETA = 5.67, 1.26  # the paper's QAOA angles
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticLatencyModel()
+
+
+class TestSingleGateLatencies:
+    """Shape agreement with paper Table 1."""
+
+    def test_cnot_near_paper_value(self, model):
+        assert model.gate_latency(lib.CNOT(0, 1)) == pytest.approx(47.1, rel=0.06)
+
+    def test_swap_near_paper_value(self, model):
+        assert model.gate_latency(lib.SWAP(0, 1)) == pytest.approx(50.1, rel=0.06)
+
+    def test_swap_slower_than_cnot(self, model):
+        assert model.gate_latency(lib.SWAP(0, 1)) > model.gate_latency(
+            lib.CNOT(0, 1)
+        )
+
+    def test_rx_matches_paper(self, model):
+        assert model.gate_latency(lib.RX(2 * BETA, 0)) == pytest.approx(
+            6.1, rel=0.05
+        )
+
+    def test_one_qubit_gates_much_cheaper_than_two_qubit(self, model):
+        for gate in (lib.H(0), lib.RZ(1.0, 0), lib.RX(0.5, 0), lib.T(0)):
+            assert model.gate_latency(gate) < 15.0
+
+    def test_identity_is_cheap(self, model):
+        assert model.gate_latency(lib.I(0)) == pytest.approx(2.1, abs=1e-6)
+
+    def test_latency_scales_with_rotation_angle(self, model):
+        assert model.gate_latency(lib.RZ(2.0, 0)) > model.gate_latency(
+            lib.RZ(1.0, 0)
+        )
+
+    def test_small_rzz_cheaper_than_cnot(self, model):
+        assert model.gate_latency(lib.RZZ(0.3, 0, 1)) < model.gate_latency(
+            lib.CNOT(0, 1)
+        )
+
+    def test_wide_gate_rejected(self, model):
+        with pytest.raises(ControlError):
+            model.gate_latency(lib.TOFFOLI(0, 1, 2))
+
+    def test_empty_sequence_free(self, model):
+        assert model.sequence_latency([]) == 0.0
+
+
+class TestAggregatedLatencies:
+    def test_cnot_rz_cnot_folds_to_single_interaction(self, model):
+        block = [lib.CNOT(0, 1), lib.RZ(2 * GAMMA, 1), lib.CNOT(0, 1)]
+        aggregated = model.sequence_latency(block)
+        serial = sum(model.gate_latency(g) for g in block)
+        assert aggregated < 0.6 * serial
+        # Paper Table 1: G3 (this block) takes 42.0 ns.
+        assert aggregated == pytest.approx(42.0, rel=0.08)
+
+    def test_setup_amortization(self, model):
+        pair = [lib.CNOT(0, 1), lib.CNOT(1, 2)]
+        aggregated = model.sequence_latency(pair)
+        serial = sum(model.gate_latency(g) for g in pair)
+        # One setup charge instead of two.
+        assert serial - aggregated >= 0.9 * model.device.setup_time_2q_ns
+
+    def test_cancelling_cnots_cost_almost_nothing(self, model):
+        block = [lib.CNOT(0, 1), lib.CNOT(0, 1)]
+        assert model.sequence_latency(block) <= model.device.setup_time_1q_ns + 1e-6
+
+    def test_disjoint_pairs_run_in_parallel(self, model):
+        parallel = model.sequence_latency(
+            [lib.CNOT(0, 1), lib.CNOT(2, 3)]
+        )
+        single = model.gate_latency(lib.CNOT(0, 1))
+        assert parallel == pytest.approx(single, rel=1e-6)
+
+    def test_shared_qubit_serializes(self, model):
+        chained = model.sequence_latency([lib.CNOT(0, 1), lib.CNOT(1, 2)])
+        single = model.gate_latency(lib.CNOT(0, 1))
+        assert chained > 1.5 * single - model.device.setup_time_2q_ns
+
+    def test_one_qubit_run_collapse(self, model):
+        # H H = identity: the pair costs only the setup overhead.
+        block = [lib.H(0), lib.H(0)]
+        assert model.sequence_latency(block) == pytest.approx(
+            model.device.setup_time_1q_ns, abs=1e-9
+        )
+
+    def test_triangle_qaoa_aggregate_beats_serial(self, model):
+        gates = []
+        for a, b in [(0, 1), (1, 2)]:
+            gates += [lib.CNOT(a, b), lib.RZ(2 * GAMMA, b), lib.CNOT(a, b)]
+        aggregated = model.sequence_latency(gates)
+        serial = sum(model.gate_latency(g) for g in gates)
+        assert aggregated < 0.55 * serial
+
+    def test_custom_device_scaling(self):
+        fast = AnalyticLatencyModel(DeviceConfig(coupling_limit_ghz=0.04))
+        slow = AnalyticLatencyModel(DeviceConfig(coupling_limit_ghz=0.02))
+        gate = lib.SWAP(0, 1)
+        fast_busy = fast.gate_latency(gate) - fast.device.setup_time_2q_ns
+        slow_busy = slow.gate_latency(gate) - slow.device.setup_time_2q_ns
+        assert slow_busy == pytest.approx(2 * fast_busy)
+
+
+class TestRunCollapsing:
+    def test_single_gate_single_run(self):
+        runs = _collapse_runs([lib.CNOT(0, 1)])
+        assert len(runs) == 1
+        assert runs[0].support == (0, 1)
+
+    def test_same_pair_gates_merge(self):
+        runs = _collapse_runs(
+            [lib.CNOT(0, 1), lib.RZ(0.3, 1), lib.CNOT(0, 1)]
+        )
+        assert len(runs) == 1
+
+    def test_disjoint_pairs_stay_separate(self):
+        runs = _collapse_runs([lib.CNOT(0, 1), lib.CNOT(2, 3)])
+        assert len(runs) == 2
+
+    def test_chain_breaks_runs(self):
+        runs = _collapse_runs(
+            [lib.CNOT(0, 1), lib.CNOT(1, 2), lib.CNOT(0, 1)]
+        )
+        # Qubit 1 is shared: the middle gate closes the first run.
+        assert len(runs) == 3
+
+    def test_one_qubit_gate_absorbed_into_pair_run(self):
+        runs = _collapse_runs([lib.CNOT(0, 1), lib.H(1), lib.H(0)])
+        assert len(runs) == 1
+
+    def test_one_qubit_runs_grow_to_pairs(self):
+        runs = _collapse_runs([lib.H(0), lib.CNOT(0, 1)])
+        assert len(runs) == 1
+        assert runs[0].support == (0, 1)

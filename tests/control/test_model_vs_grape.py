@@ -1,0 +1,69 @@
+"""Cross-validation: the analytic model against real GRAPE optima.
+
+These tests pin the property the whole compilation study rests on: the
+analytic model's latencies track what numeric optimal control actually
+achieves (same ordering, comparable magnitudes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.control.grape import GrapeOptimizer
+from repro.control.hamiltonian import xy_hamiltonian
+from repro.control.latency_model import AnalyticLatencyModel
+from repro.gates import library as lib
+from repro.linalg.embed import embed_operator
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticLatencyModel()
+
+
+@pytest.fixture(scope="module")
+def two_qubit_ham():
+    return xy_hamiltonian(2)
+
+
+def _target_of(gates, width):
+    total = np.eye(2**width, dtype=complex)
+    for gate in gates:
+        total = embed_operator(gate.matrix, gate.qubits, width) @ total
+    return total
+
+
+class TestModelTracksGrape:
+    def test_model_busy_time_is_feasible_for_cnot(self, model, two_qubit_ham):
+        # GRAPE must reach the target within the model's busy-time
+        # estimate plus a discretization allowance (dt = 0.5 ns steps
+        # cap fidelity very close to the speed limit).
+        gates = [lib.CNOT(0, 1)]
+        busy = model.sequence_latency(gates) - model.device.setup_time_2q_ns
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=500)
+        result = optimizer.optimize(_target_of(gates, 2), duration=busy + 6.0)
+        assert result.converged
+
+    def test_model_busy_time_feasible_for_folded_block(self, model, two_qubit_ham):
+        gates = [lib.CNOT(0, 1), lib.RZ(1.1, 1), lib.CNOT(0, 1)]
+        busy = model.sequence_latency(gates) - model.device.setup_time_2q_ns
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=500)
+        result = optimizer.optimize(_target_of(gates, 2), duration=busy + 6.0)
+        assert result.converged
+
+    def test_grape_confirms_swap_slower_than_cnot(self, two_qubit_ham):
+        # At a duration between the two speed limits, CNOT converges and
+        # SWAP does not: the model's ordering is physical.
+        duration = 17.0  # CNOT limit 12.5 < 17.0 < SWAP limit 18.75
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=500)
+        cnot = optimizer.optimize(_target_of([lib.CNOT(0, 1)], 2), duration)
+        swap = optimizer.optimize(_target_of([lib.SWAP(0, 1)], 2), duration)
+        assert cnot.converged
+        assert not swap.converged
+
+    def test_small_angle_rzz_fast_in_grape_too(self, model, two_qubit_ham):
+        gates = [lib.RZZ(0.4, 0, 1)]
+        busy = model.sequence_latency(gates) - model.device.setup_time_2q_ns
+        assert busy < 6.0  # far below a CNOT's 12.5 ns
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=500)
+        result = optimizer.optimize(_target_of(gates, 2), duration=busy + 4.5)
+        assert result.converged

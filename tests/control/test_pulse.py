@@ -1,0 +1,64 @@
+"""Tests for pulse containers."""
+
+import numpy as np
+import pytest
+
+from repro.control.pulse import Pulse, PulseSequence
+from repro.errors import ControlError
+
+
+def _pulse(steps=4, controls=2, dt=0.5):
+    return Pulse(
+        control_names=[f"c{i}" for i in range(controls)],
+        amplitudes=np.ones((steps, controls)),
+        dt=dt,
+    )
+
+
+class TestPulse:
+    def test_duration(self):
+        assert _pulse(steps=8, dt=0.25).duration == pytest.approx(2.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ControlError):
+            Pulse(["a"], np.ones((3, 2)), 0.5)
+        with pytest.raises(ControlError):
+            Pulse(["a"], np.ones(3), 0.5)
+
+    def test_dt_validation(self):
+        with pytest.raises(ControlError):
+            Pulse(["a"], np.ones((3, 1)), 0.0)
+
+    def test_ghz_conversion(self):
+        pulse = _pulse()
+        assert np.allclose(pulse.amplitudes_ghz(), 1.0 / (2 * np.pi))
+
+    def test_time_axis(self):
+        pulse = _pulse(steps=3, dt=2.0)
+        assert np.allclose(pulse.time_axis(), [0.0, 2.0, 4.0])
+
+    def test_channel_lookup(self):
+        pulse = _pulse()
+        assert np.allclose(pulse.channel("c1"), 1.0)
+        with pytest.raises(ControlError):
+            pulse.channel("missing")
+
+    def test_max_amplitude(self):
+        pulse = Pulse(["a"], np.array([[0.5], [-2.0], [1.0]]), 0.5)
+        assert pulse.max_amplitude() == pytest.approx(2.0)
+
+
+class TestPulseSequence:
+    def test_total_duration(self):
+        sequence = PulseSequence()
+        sequence.add("G1", _pulse(steps=4, dt=0.5))
+        sequence.add("G2", _pulse(steps=2, dt=0.5))
+        assert sequence.total_duration == pytest.approx(3.0)
+        assert len(sequence) == 2
+
+    def test_iteration_preserves_order(self):
+        sequence = PulseSequence()
+        sequence.add("first", _pulse())
+        sequence.add("second", _pulse())
+        labels = [label for label, _ in sequence]
+        assert labels == ["first", "second"]

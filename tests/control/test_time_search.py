@@ -1,0 +1,50 @@
+"""Tests for minimal-pulse-time search."""
+
+import numpy as np
+import pytest
+
+from repro.control.hamiltonian import xy_hamiltonian
+from repro.control.time_search import minimal_pulse_time
+from repro.errors import ControlError
+
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+class TestMinimalPulseTime:
+    def test_x_gate_near_drive_speed_limit(self):
+        # Pi rotation at drive limit 2*pi*0.1 rad/ns: minimum 5 ns.
+        ham = xy_hamiltonian(1)
+        result = minimal_pulse_time(
+            X, ham, estimate=6.0, max_iterations=250
+        )
+        assert result.grape.converged
+        assert 4.0 <= result.duration <= 9.0
+
+    def test_iswap_respects_quantum_speed_limit(self):
+        # iSWAP minimum is pi/(2g) = 12.5 ns: the search must not return
+        # a faster pulse.
+        ham = xy_hamiltonian(2)
+        result = minimal_pulse_time(
+            ISWAP, ham, estimate=13.0, max_iterations=300
+        )
+        assert result.grape.converged
+        assert result.duration >= 11.5
+
+    def test_bad_estimate_rejected(self):
+        ham = xy_hamiltonian(1)
+        with pytest.raises(ControlError):
+            minimal_pulse_time(X, ham, estimate=0.0)
+
+    def test_impossible_budget_raises(self):
+        ham = xy_hamiltonian(2)
+        with pytest.raises(ControlError, match="did not converge"):
+            minimal_pulse_time(
+                ISWAP,
+                ham,
+                estimate=1.0,
+                max_attempts=2,
+                max_iterations=30,
+            )

@@ -1,0 +1,106 @@
+"""Tests for the OptimalControlUnit facade."""
+
+import pytest
+
+from repro.control.unit import OptimalControlUnit, _signature_of
+from repro.errors import ControlError
+from repro.gates import library as lib
+
+
+class _FakeInstruction:
+    """Minimal aggregated-instruction stand-in."""
+
+    def __init__(self, gates):
+        self.gates = list(gates)
+        qubits: set[int] = set()
+        for gate in gates:
+            qubits.update(gate.qubits)
+        self.qubits = tuple(sorted(qubits))
+
+
+class TestModelBackend:
+    def test_gate_latency_positive(self):
+        ocu = OptimalControlUnit()
+        assert ocu.latency(lib.CNOT(0, 1)) > 0
+
+    def test_instruction_latency_less_than_serial(self):
+        ocu = OptimalControlUnit()
+        gates = [lib.CNOT(0, 1), lib.RZ(0.7, 1), lib.CNOT(0, 1)]
+        instruction = _FakeInstruction(gates)
+        serial = sum(ocu.latency(g) for g in gates)
+        assert ocu.latency(instruction) < serial
+
+    def test_cache_hits_on_repeated_structure(self):
+        ocu = OptimalControlUnit()
+        ocu.latency(lib.CNOT(0, 1))
+        before = ocu.cache_hits
+        ocu.latency(lib.CNOT(5, 6))  # same structure elsewhere
+        assert ocu.cache_hits == before + 1
+
+    def test_cache_distinguishes_direction(self):
+        ocu = OptimalControlUnit()
+        a = ocu.latency(lib.CNOT(0, 1))
+        b = ocu.latency(lib.CNOT(1, 0))
+        # Same class, same latency value, but cached under distinct keys.
+        assert a == pytest.approx(b)
+        assert ocu.cache_info()["latency_entries"] == 2
+
+    def test_model_latency_helper(self):
+        ocu = OptimalControlUnit(backend="model")
+        assert ocu.model_latency(lib.SWAP(0, 1)) == pytest.approx(
+            ocu.latency(lib.SWAP(0, 1))
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ControlError):
+            OptimalControlUnit(backend="quantum_magic")
+
+
+class TestSignature:
+    def test_same_structure_same_signature(self):
+        a = _signature_of(lib.CNOT(0, 1))
+        b = _signature_of(lib.CNOT(7, 9))
+        assert a == b
+
+    def test_qubit_order_matters(self):
+        assert _signature_of(lib.CNOT(0, 1)) != _signature_of(lib.CNOT(1, 0))
+
+    def test_params_matter(self):
+        assert _signature_of(lib.RZ(0.5, 0)) != _signature_of(lib.RZ(0.6, 0))
+
+    def test_instruction_signature_includes_layout(self):
+        chain = _FakeInstruction([lib.CNOT(0, 1), lib.CNOT(1, 2)])
+        fan = _FakeInstruction([lib.CNOT(0, 1), lib.CNOT(0, 2)])
+        assert _signature_of(chain) != _signature_of(fan)
+
+
+class TestGrapeBackend:
+    def test_grape_latency_close_to_model(self):
+        grape_ocu = OptimalControlUnit(backend="grape", seed=11)
+        model_ocu = OptimalControlUnit(backend="model")
+        gate = lib.CNOT(0, 1)
+        grape_latency = grape_ocu.latency(gate)
+        model_latency = model_ocu.latency(gate)
+        assert grape_latency == pytest.approx(model_latency, rel=0.25)
+
+    def test_grape_pulse_cached(self):
+        ocu = OptimalControlUnit(backend="grape", seed=11)
+        ocu.latency(lib.CNOT(0, 1))
+        calls_before = ocu.grape_calls
+        ocu.synthesize_pulse(lib.CNOT(2, 3))  # structurally identical
+        assert ocu.grape_calls == calls_before
+
+    def test_wide_instruction_falls_back_to_model(self):
+        ocu = OptimalControlUnit(backend="grape", grape_qubit_limit=2)
+        wide = _FakeInstruction(
+            [lib.CNOT(0, 1), lib.CNOT(1, 2), lib.CNOT(2, 3)]
+        )
+        latency = ocu.latency(wide)
+        assert latency == pytest.approx(ocu.model_latency(wide))
+        assert ocu.grape_fallbacks == 1
+
+    def test_synthesize_pulse_width_check(self):
+        ocu = OptimalControlUnit(backend="grape", grape_qubit_limit=2)
+        wide = _FakeInstruction([lib.CNOT(0, 1), lib.CNOT(1, 2)])
+        with pytest.raises(ControlError):
+            ocu.synthesize_pulse(wide)

@@ -1,0 +1,38 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.control.unit import OptimalControlUnit
+from repro.experiments.runner import main, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ocu():
+    return OptimalControlUnit(backend="model")
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize(
+        "name", ["table1", "table3", "figure4", "figure11"]
+    )
+    def test_fast_experiments_produce_reports(self, name, ocu):
+        report = run_experiment(name, scale="small", ocu=ocu)
+        assert isinstance(report, str)
+        assert len(report.splitlines()) >= 3
+
+    def test_unknown_experiment(self, ocu):
+        with pytest.raises(ValueError):
+            run_experiment("figure99", scale="small", ocu=ocu)
+
+
+class TestCli:
+    def test_single_experiment_cli(self, capsys):
+        exit_code = main(["--experiment", "table1", "--scale", "small"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "finished in" in captured.out
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "nope"])

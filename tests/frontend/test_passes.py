@@ -1,0 +1,153 @@
+"""Tests for loop unrolling and module flattening."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.errors import ProgramError
+from repro.frontend.passes import flatten_program, unroll_loops
+from repro.frontend.program import ForStatement, Program
+
+
+class TestUnrollLoops:
+    def test_simple_loop_expands(self):
+        program = Program("p", num_qubits=4)
+        loop = program.for_range("i", 0, 4)
+        loop.gate("h", ["i"])
+        unrolled = unroll_loops(program)
+        assert len(unrolled.statements) == 4
+        assert not any(
+            isinstance(s, ForStatement) for s in unrolled.statements
+        )
+        assert [s.qubits for s in unrolled.statements] == [(0,), (1,), (2,), (3,)]
+
+    def test_nested_loops(self):
+        program = Program("p", num_qubits=9)
+        outer = program.for_range("i", 0, 2)
+        inner = outer.for_range("j", 0, 3)
+        inner.gate("h", ["3*i+j"])
+        unrolled = unroll_loops(program)
+        assert len(unrolled.statements) == 6
+
+    def test_loop_bounds_from_enclosing_variable(self):
+        program = Program("p", num_qubits=8)
+        outer = program.for_range("i", 1, 3)
+        inner = outer.for_range("j", 0, "i")
+        inner.gate("h", ["j"])
+        unrolled = unroll_loops(program)
+        # i=1 -> 1 statement; i=2 -> 2 statements.
+        assert len(unrolled.statements) == 3
+
+    def test_module_loops_with_free_parameters_kept(self):
+        program = Program("p", num_qubits=4)
+        module = program.module("m", qubits=["a"])
+        body = module.for_range("i", 0, "a")
+        body.gate("h", ["i"])
+        unrolled = unroll_loops(program)
+        kept = unrolled.modules["m"].statements
+        assert len(kept) == 1 and isinstance(kept[0], ForStatement)
+
+    def test_empty_loop_vanishes(self):
+        program = Program("p", num_qubits=2)
+        loop = program.for_range("i", 3, 3)
+        loop.gate("h", ["i"])
+        assert unroll_loops(program).statements == []
+
+
+class TestFlattenProgram:
+    def test_flatten_plain_gates(self):
+        program = Program("p", num_qubits=2)
+        program.gate("h", [0]).gate("cnot", [0, 1])
+        circuit = flatten_program(program)
+        assert [g.name for g in circuit] == ["H", "CNOT"]
+
+    def test_flatten_loop(self):
+        program = Program("p", num_qubits=3)
+        loop = program.for_range("i", 0, 3)
+        loop.gate("x", ["i"])
+        circuit = flatten_program(program)
+        assert [g.qubits for g in circuit] == [(0,), (1,), (2,)]
+
+    def test_flatten_module_call(self):
+        program = Program("p", num_qubits=4)
+        layer = program.module("zz", qubits=["a", "b"], angles=["g"])
+        layer.gate("cnot", ["a", "b"])
+        layer.gate("rz", ["b"], ["2*g"])
+        layer.gate("cnot", ["a", "b"])
+        program.call("zz", [1, 2], [0.35])
+        circuit = flatten_program(program)
+        assert [g.name for g in circuit] == ["CNOT", "RZ", "CNOT"]
+        assert circuit.gates[1].params == (0.7,)
+        assert circuit.gates[1].qubits == (2,)
+
+    def test_flatten_matches_hand_written_circuit(self):
+        # QAOA-style ring: the flattened program equals the direct build.
+        program = Program("ring", num_qubits=4)
+        layer = program.module("layer", qubits=["a", "b"], angles=["g"])
+        layer.gate("cnot", ["a", "b"])
+        layer.gate("rz", ["b"], ["g"])
+        layer.gate("cnot", ["a", "b"])
+        loop = program.for_range("i", 0, 3)
+        loop.call("layer", ["i", "i+1"], [0.9])
+        flattened = flatten_program(program)
+
+        direct = Circuit(4)
+        for i in range(3):
+            direct.cnot(i, i + 1).rz(0.9, i + 1).cnot(i, i + 1)
+        assert np.allclose(flattened.unitary(), direct.unitary())
+
+    def test_module_loop_bound_from_parameter(self):
+        program = Program("p", num_qubits=5)
+        module = program.module("ladder", qubits=["n"])
+        body = module.for_range("i", 0, "n")
+        body.gate("h", ["i"])
+        program.call("ladder", [4])
+        circuit = flatten_program(program)
+        assert len(circuit) == 4
+
+    def test_nested_module_calls(self):
+        program = Program("p", num_qubits=2)
+        inner = program.module("inner", qubits=["q"])
+        inner.gate("h", ["q"])
+        outer = program.module("outer", qubits=["q"])
+        outer.call("inner", ["q"])
+        outer.call("inner", ["q"])
+        program.call("outer", [1])
+        circuit = flatten_program(program)
+        assert len(circuit) == 2
+        assert all(g.qubits == (1,) for g in circuit)
+
+    def test_recursion_detected(self):
+        program = Program("p", num_qubits=1)
+        module = program.module("loop", qubits=["q"])
+        module.call("loop", ["q"])
+        program.call("loop", [0])
+        with pytest.raises(ProgramError, match="recursive"):
+            flatten_program(program)
+
+    def test_unknown_module(self):
+        program = Program("p", num_qubits=1)
+        program.call("nope", [0])
+        with pytest.raises(ProgramError, match="unknown module"):
+            flatten_program(program)
+
+    def test_wrong_arity(self):
+        program = Program("p", num_qubits=2)
+        program.module("m", qubits=["a", "b"])
+        program.call("m", [0])
+        with pytest.raises(ProgramError, match="arity"):
+            flatten_program(program)
+
+    def test_bad_gate_reported(self):
+        program = Program("p", num_qubits=1)
+        program.gate("frobnicate", [0])
+        with pytest.raises(ProgramError, match="bad gate"):
+            flatten_program(program)
+
+    def test_unroll_then_flatten_equals_direct_flatten(self):
+        program = Program("p", num_qubits=6)
+        loop = program.for_range("i", 0, 5)
+        loop.gate("cnot", ["i", "i+1"])
+        direct = flatten_program(program)
+        staged = flatten_program(unroll_loops(program))
+        assert [g.qubits for g in staged] == [g.qubits for g in direct]

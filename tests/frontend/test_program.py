@@ -1,0 +1,84 @@
+"""Tests for the program IR and expression evaluator."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.frontend.program import (
+    Block,
+    Module,
+    Program,
+    evaluate_expression,
+    evaluate_qubit,
+)
+
+
+class TestExpressionEvaluator:
+    def test_literal_int(self):
+        assert evaluate_expression(7, {}) == 7
+
+    def test_literal_float(self):
+        assert evaluate_expression(0.5, {}) == 0.5
+
+    def test_variable_lookup(self):
+        assert evaluate_expression("i", {"i": 3}) == 3
+
+    def test_arithmetic(self):
+        env = {"i": 4, "g": 0.5}
+        assert evaluate_expression("2*i+1", env) == 9
+        assert evaluate_expression("i-2", env) == 2
+        assert evaluate_expression("2*g", env) == 1.0
+        assert evaluate_expression("i//3", env) == 1
+        assert evaluate_expression("i%3", env) == 1
+        assert evaluate_expression("-i", env) == -4
+        assert evaluate_expression("(i+1)*2", env) == 10
+
+    def test_unbound_variable(self):
+        with pytest.raises(ProgramError):
+            evaluate_expression("j", {"i": 1})
+
+    def test_disallowed_constructs(self):
+        for bad in ("__import__('os')", "i**2", "f(1)", "[1,2]", "i if 1 else 2"):
+            with pytest.raises(ProgramError):
+                evaluate_expression(bad, {"i": 1})
+
+    def test_malformed_expression(self):
+        with pytest.raises(ProgramError):
+            evaluate_expression("2 +", {})
+
+    def test_qubit_must_be_integer(self):
+        assert evaluate_qubit("2*i", {"i": 3}) == 6
+        with pytest.raises(ProgramError):
+            evaluate_qubit("i/2", {"i": 3})
+
+
+class TestBuilders:
+    def test_block_builders_chain(self):
+        block = Block()
+        block.gate("h", [0]).gate("cnot", [0, 1])
+        assert len(block.statements) == 2
+
+    def test_for_range_returns_body(self):
+        block = Block()
+        body = block.for_range("i", 0, 4)
+        body.gate("h", ["i"])
+        assert block.statement_count() == 2
+
+    def test_bad_loop_variable(self):
+        with pytest.raises(ProgramError):
+            Block().for_range("2i", 0, 4)
+
+    def test_module_parameter_validation(self):
+        with pytest.raises(ProgramError):
+            Module("m", qubits=["a", "a"])
+        with pytest.raises(ProgramError):
+            Module("m", qubits=["1bad"])
+
+    def test_program_module_registry(self):
+        program = Program("p", num_qubits=3)
+        program.module("layer", qubits=["a"])
+        with pytest.raises(ProgramError):
+            program.module("layer")
+
+    def test_program_width_validation(self):
+        with pytest.raises(ProgramError):
+            Program("p", num_qubits=0)

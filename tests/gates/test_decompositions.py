@@ -1,0 +1,125 @@
+"""Tests for gate decompositions (unitary equivalence)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError
+from repro.gates import library as lib
+from repro.gates.decompositions import (
+    decompose_ccz,
+    decompose_cphase,
+    decompose_cz,
+    decompose_fredkin,
+    decompose_gate,
+    decompose_iswap,
+    decompose_rzz,
+    decompose_swap_to_cnots,
+    decompose_toffoli,
+    is_standard,
+    lower_to_standard_set,
+    rotation_gate_time_estimate,
+    standard_set,
+)
+from repro.linalg.embed import embed_operator
+from repro.linalg.predicates import allclose_up_to_global_phase
+
+from tests.conftest import sequence_unitary
+
+
+def _check(gate, decomposition, num_qubits):
+    actual = sequence_unitary(decomposition, num_qubits)
+    expected = embed_operator(gate.matrix, gate.qubits, num_qubits)
+    assert allclose_up_to_global_phase(actual, expected, atol=1e-8)
+
+
+class TestDecompositions:
+    def test_swap_to_cnots(self):
+        gate = lib.SWAP(0, 1)
+        _check(gate, decompose_swap_to_cnots(gate), 2)
+
+    def test_toffoli(self):
+        gate = lib.TOFFOLI(0, 1, 2)
+        _check(gate, decompose_toffoli(gate), 3)
+
+    def test_toffoli_scrambled_qubits(self):
+        gate = lib.TOFFOLI(2, 0, 1)
+        _check(gate, decompose_toffoli(gate), 3)
+
+    def test_ccz(self):
+        gate = lib.CCZ(0, 1, 2)
+        _check(gate, decompose_ccz(gate), 3)
+
+    def test_fredkin(self):
+        gate = lib.FREDKIN(0, 1, 2)
+        _check(gate, decompose_fredkin(gate), 3)
+
+    @pytest.mark.parametrize("theta", [0.1, 1.234, -2.2, np.pi])
+    def test_cphase(self, theta):
+        gate = lib.CPHASE(theta, 0, 1)
+        _check(gate, decompose_cphase(gate), 2)
+
+    @pytest.mark.parametrize("theta", [0.3, -1.5, 2 * np.pi - 0.01])
+    def test_rzz(self, theta):
+        gate = lib.RZZ(theta, 0, 1)
+        _check(gate, decompose_rzz(gate), 2)
+
+    def test_cz(self):
+        gate = lib.CZ(0, 1)
+        _check(gate, decompose_cz(gate), 2)
+
+    def test_iswap(self):
+        gate = lib.ISWAP(0, 1)
+        _check(gate, decompose_iswap(gate), 2)
+
+    def test_wrong_gate_rejected(self):
+        with pytest.raises(GateError):
+            decompose_toffoli(lib.CNOT(0, 1))
+
+    def test_decompose_gate_dispatch(self):
+        parts = decompose_gate(lib.CZ(0, 1))
+        assert [g.name for g in parts] == ["H", "CNOT", "H"]
+
+    def test_decompose_gate_unknown(self):
+        with pytest.raises(GateError):
+            decompose_gate(lib.H(0))
+
+
+class TestLowering:
+    def test_lower_keeps_standard_gates(self):
+        gates = [lib.H(0), lib.CNOT(0, 1), lib.RZ(0.3, 1)]
+        assert lower_to_standard_set(gates) == gates
+
+    def test_lower_expands_toffoli(self):
+        lowered = lower_to_standard_set([lib.TOFFOLI(0, 1, 2)])
+        assert all(is_standard(gate) for gate in lowered)
+        _check(lib.TOFFOLI(0, 1, 2), lowered, 3)
+
+    def test_lower_nested(self):
+        # iSWAP lowers through CZ, which lowers through CNOT.
+        lowered = lower_to_standard_set([lib.ISWAP(0, 1)])
+        assert all(is_standard(gate) for gate in lowered)
+        _check(lib.ISWAP(0, 1), lowered, 2)
+
+    def test_lower_preserves_semantics_of_mixed_sequence(self):
+        gates = [lib.TOFFOLI(0, 1, 2), lib.RZZ(0.4, 1, 2), lib.H(0)]
+        lowered = lower_to_standard_set(gates)
+        actual = sequence_unitary(lowered, 3)
+        expected = sequence_unitary(gates, 3)
+        assert allclose_up_to_global_phase(actual, expected, atol=1e-8)
+
+    def test_standard_set_contents(self):
+        names = standard_set()
+        assert "CNOT" in names and "SWAP" in names and "TOFFOLI" not in names
+
+
+class TestRotationTimeEstimate:
+    def test_proportional_to_angle(self):
+        rate = 0.628
+        assert rotation_gate_time_estimate(1.0, rate) == pytest.approx(1.0 / rate)
+
+    def test_wraps_large_angles(self):
+        rate = 1.0
+        assert rotation_gate_time_estimate(2 * np.pi, rate) == pytest.approx(0.0)
+        assert rotation_gate_time_estimate(1.5 * np.pi, rate) == pytest.approx(
+            0.5 * np.pi
+        )

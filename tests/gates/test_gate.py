@@ -1,0 +1,88 @@
+"""Tests for the Gate object."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError
+from repro.gates import library as lib
+from repro.gates.gate import Gate
+
+
+class TestGateConstruction:
+    def test_basic_properties(self):
+        gate = lib.CNOT(2, 5)
+        assert gate.name == "CNOT"
+        assert gate.qubits == (2, 5)
+        assert gate.num_qubits == 2
+        assert gate.params == ()
+
+    def test_matrix_is_readonly(self):
+        gate = lib.H(0)
+        with pytest.raises(ValueError):
+            gate.matrix[0, 0] = 9.0
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(GateError):
+            lib.CNOT(1, 1)
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(GateError):
+            lib.H(-1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GateError):
+            Gate("BAD", (0, 1), np.eye(2))
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(GateError):
+            Gate("BAD", (0,), np.array([[1.0, 1.0], [0.0, 1.0]]))
+
+
+class TestGateIdentity:
+    def test_instances_compare_by_identity(self):
+        a = lib.H(0)
+        b = lib.H(0)
+        assert a is not b
+        assert a != b  # eq=False: identity comparison
+
+    def test_signatures_compare_by_value(self):
+        assert lib.H(0).signature == lib.H(7).signature
+        assert lib.RZ(0.5, 0).signature == lib.RZ(0.5, 3).signature
+        assert lib.RZ(0.5, 0).signature != lib.RZ(0.6, 0).signature
+
+    def test_signature_captures_qubit_order(self):
+        # CNOT(0,1) and CNOT(1,0) differ even though both touch {0,1}.
+        assert lib.CNOT(0, 1).signature != lib.CNOT(1, 0).signature
+        # CNOT(2,5) has the same pattern as CNOT(0,1).
+        assert lib.CNOT(2, 5).signature == lib.CNOT(0, 1).signature
+
+    def test_gates_are_hashable(self):
+        gates = {lib.H(0), lib.H(0), lib.X(1)}
+        assert len(gates) == 3  # identity hashing: each instance distinct
+
+
+class TestGateMethods:
+    def test_on_retargets_qubits(self):
+        moved = lib.CNOT(0, 1).on((3, 4))
+        assert moved.qubits == (3, 4)
+        assert np.allclose(moved.matrix, lib.CNOT(0, 1).matrix)
+
+    def test_dagger_inverts(self):
+        gate = lib.RX(0.7, 0)
+        product = gate.matrix @ gate.dagger().matrix
+        assert np.allclose(product, np.eye(2), atol=1e-12)
+
+    def test_double_dagger_name(self):
+        assert lib.T(0).dagger().name == "T_DG"
+        assert lib.T(0).dagger().dagger().name == "T"
+
+    def test_is_diagonal(self):
+        assert lib.RZ(0.3, 0).is_diagonal
+        assert lib.CZ(0, 1).is_diagonal
+        assert lib.RZZ(0.3, 0, 1).is_diagonal
+        assert not lib.CNOT(0, 1).is_diagonal
+        assert not lib.H(0).is_diagonal
+
+    def test_repr_contains_name_and_qubits(self):
+        text = repr(lib.RZ(0.5, 3))
+        assert "RZ" in text and "3" in text

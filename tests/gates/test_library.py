@@ -1,0 +1,108 @@
+"""Tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError
+from repro.gates import library as lib
+from repro.linalg.predicates import allclose_up_to_global_phase, is_unitary
+
+
+class TestMatrices:
+    def test_all_no_param_gates_are_unitary(self):
+        gates = [
+            lib.I(0), lib.X(0), lib.Y(0), lib.Z(0), lib.H(0), lib.S(0),
+            lib.SDG(0), lib.T(0), lib.TDG(0), lib.CNOT(0, 1), lib.CZ(0, 1),
+            lib.SWAP(0, 1), lib.ISWAP(0, 1), lib.SQRT_ISWAP(0, 1),
+            lib.TOFFOLI(0, 1, 2), lib.CCZ(0, 1, 2), lib.FREDKIN(0, 1, 2),
+        ]
+        for gate in gates:
+            assert is_unitary(gate.matrix), gate.name
+
+    def test_cnot_truth_table(self):
+        cnot = lib.CNOT(0, 1).matrix
+        # |10> -> |11>, |11> -> |10>
+        assert cnot[0b11, 0b10] == 1.0
+        assert cnot[0b10, 0b11] == 1.0
+        assert cnot[0b00, 0b00] == 1.0
+
+    def test_toffoli_truth_table(self):
+        toffoli = lib.TOFFOLI(0, 1, 2).matrix
+        assert toffoli[0b111, 0b110] == 1.0
+        assert toffoli[0b110, 0b111] == 1.0
+        assert toffoli[0b101, 0b101] == 1.0
+
+    def test_fredkin_swaps_targets(self):
+        fredkin = lib.FREDKIN(0, 1, 2).matrix
+        assert fredkin[0b110, 0b101] == 1.0
+        assert fredkin[0b101, 0b110] == 1.0
+        assert fredkin[0b010, 0b010] == 1.0
+
+    def test_sqrt_iswap_squares_to_iswap(self):
+        sqrt = lib.SQRT_ISWAP(0, 1).matrix
+        assert np.allclose(sqrt @ sqrt, lib.ISWAP(0, 1).matrix, atol=1e-12)
+
+    def test_s_squares_to_z(self):
+        s = lib.S(0).matrix
+        assert np.allclose(s @ s, lib.Z(0).matrix)
+
+    def test_t_squares_to_s(self):
+        t = lib.T(0).matrix
+        assert np.allclose(t @ t, lib.S(0).matrix)
+
+    def test_h_conjugates_x_to_z(self):
+        h = lib.H(0).matrix
+        assert np.allclose(h @ lib.X(0).matrix @ h, lib.Z(0).matrix, atol=1e-12)
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert allclose_up_to_global_phase(
+            lib.RZ(math.pi, 0).matrix, lib.Z(0).matrix
+        )
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert allclose_up_to_global_phase(
+            lib.RX(math.pi, 0).matrix, lib.X(0).matrix
+        )
+
+    def test_phase_matches_rz_up_to_phase(self):
+        assert allclose_up_to_global_phase(
+            lib.PHASE(0.7, 0).matrix, lib.RZ(0.7, 0).matrix
+        )
+
+    def test_cphase_pi_is_cz(self):
+        assert np.allclose(lib.CPHASE(math.pi, 0, 1).matrix, lib.CZ(0, 1).matrix)
+
+    def test_rzz_diagonal_phases(self):
+        theta = 0.62
+        rzz = lib.RZZ(theta, 0, 1).matrix
+        assert rzz[0, 0] == pytest.approx(np.exp(-1j * theta / 2))
+        assert rzz[1, 1] == pytest.approx(np.exp(1j * theta / 2))
+
+
+class TestGateFromName:
+    def test_simple_gate(self):
+        gate = lib.gate_from_name("h", [3])
+        assert gate.name == "H" and gate.qubits == (3,)
+
+    def test_aliases(self):
+        assert lib.gate_from_name("cx", [0, 1]).name == "CNOT"
+        assert lib.gate_from_name("ccx", [0, 1, 2]).name == "TOFFOLI"
+        assert lib.gate_from_name("cswap", [0, 1, 2]).name == "FREDKIN"
+
+    def test_parameterized_gate(self):
+        gate = lib.gate_from_name("rz", [2], [0.5])
+        assert gate.name == "RZ" and gate.params == (0.5,)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GateError):
+            lib.gate_from_name("FROBNICATE", [0])
+
+    def test_unexpected_params_rejected(self):
+        with pytest.raises(GateError):
+            lib.gate_from_name("H", [0], [0.5])
+
+    def test_known_gate_names_nonempty(self):
+        names = lib.known_gate_names()
+        assert "CNOT" in names and "RZ" in names

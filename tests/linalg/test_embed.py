@@ -1,0 +1,115 @@
+"""Tests for operator embedding and qubit permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinalgError
+from repro.linalg.embed import embed_operator, kron_all, permute_qubits
+from repro.linalg.paulis import IDENTITY, PAULI_X, PAULI_Z, pauli_string
+from repro.linalg.random import random_unitary
+
+CNOT = np.eye(4)[[0, 1, 3, 2]].astype(complex)
+
+
+class TestKronAll:
+    def test_two_factors(self):
+        assert np.allclose(kron_all([PAULI_X, PAULI_Z]), np.kron(PAULI_X, PAULI_Z))
+
+    def test_single_factor(self):
+        assert np.allclose(kron_all([PAULI_X]), PAULI_X)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LinalgError):
+            kron_all([])
+
+
+class TestPermuteQubits:
+    def test_identity_permutation(self, rng):
+        u = random_unitary(8, rng)
+        assert np.allclose(permute_qubits(u, [0, 1, 2]), u)
+
+    def test_swap_two_qubits_of_xz(self):
+        xz = pauli_string("XZ")
+        zx = pauli_string("ZX")
+        assert np.allclose(permute_qubits(xz, [1, 0]), zx)
+
+    def test_three_qubit_cycle(self):
+        xyz = pauli_string("XYZ")
+        # X goes to position 1, Y to 2, Z to 0 -> "ZXY"
+        assert np.allclose(permute_qubits(xyz, [1, 2, 0]), pauli_string("ZXY"))
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(LinalgError):
+            permute_qubits(np.eye(4), [0, 0])
+
+    def test_permutation_is_unitary_conjugation(self, rng):
+        u = random_unitary(8, rng)
+        v = permute_qubits(u, [2, 0, 1])
+        assert np.allclose(v @ v.conj().T, np.eye(8))
+
+
+class TestEmbedOperator:
+    def test_single_qubit_on_first(self):
+        embedded = embed_operator(PAULI_X, [0], 2)
+        assert np.allclose(embedded, pauli_string("XI"))
+
+    def test_single_qubit_on_last(self):
+        embedded = embed_operator(PAULI_X, [1], 2)
+        assert np.allclose(embedded, pauli_string("IX"))
+
+    def test_cnot_adjacent(self):
+        embedded = embed_operator(CNOT, [0, 1], 2)
+        assert np.allclose(embedded, CNOT)
+
+    def test_cnot_reversed_flips_control(self):
+        embedded = embed_operator(CNOT, [1, 0], 2)
+        # Control on qubit 1, target on qubit 0: |x y> -> |x^y, y>
+        expected = np.zeros((4, 4))
+        for x in range(2):
+            for y in range(2):
+                expected[((x ^ y) << 1) | y, (x << 1) | y] = 1.0
+        assert np.allclose(embedded, expected)
+
+    def test_cnot_non_adjacent(self):
+        embedded = embed_operator(CNOT, [0, 2], 3)
+        # Apply to basis state |101>: control=1 -> flips qubit 2 -> |100>
+        state = np.zeros(8)
+        state[0b101] = 1.0
+        result = embedded @ state
+        assert result[0b100] == pytest.approx(1.0)
+
+    def test_composition_matches_matrix_product(self, rng):
+        a = random_unitary(4, rng)
+        b = random_unitary(4, rng)
+        full_a = embed_operator(a, [0, 2], 3)
+        full_b = embed_operator(b, [0, 2], 3)
+        product = embed_operator(b @ a, [0, 2], 3)
+        assert np.allclose(full_b @ full_a, product)
+
+    def test_disjoint_embeddings_commute(self, rng):
+        a = embed_operator(random_unitary(2, rng), [0], 3)
+        b = embed_operator(random_unitary(4, rng), [1, 2], 3)
+        assert np.allclose(a @ b, b @ a)
+
+    def test_wrong_qubit_count_rejected(self):
+        with pytest.raises(LinalgError):
+            embed_operator(CNOT, [0], 2)
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(LinalgError):
+            embed_operator(CNOT, [1, 1], 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(LinalgError):
+            embed_operator(PAULI_X, [5], 2)
+
+    def test_identity_embeds_to_identity(self):
+        assert np.allclose(embed_operator(IDENTITY, [3], 5), np.eye(32))
+
+    @given(position=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_embedded_operator_is_unitary(self, position):
+        embedded = embed_operator(PAULI_X, [position], 5)
+        assert np.allclose(embedded @ embedded.conj().T, np.eye(32))

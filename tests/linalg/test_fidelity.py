@@ -1,0 +1,71 @@
+"""Tests for fidelity measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.linalg.fidelity import (
+    average_gate_fidelity,
+    state_fidelity,
+    unitary_infidelity,
+    unitary_trace_fidelity,
+)
+from repro.linalg.paulis import PAULI_X, PAULI_Z
+from repro.linalg.random import random_statevector, random_unitary
+
+
+class TestUnitaryTraceFidelity:
+    def test_self_fidelity_is_one(self, rng):
+        u = random_unitary(4, rng)
+        assert unitary_trace_fidelity(u, u) == pytest.approx(1.0)
+
+    def test_global_phase_invariant(self, rng):
+        u = random_unitary(4, rng)
+        assert unitary_trace_fidelity(u, np.exp(0.5j) * u) == pytest.approx(1.0)
+
+    def test_orthogonal_paulis_have_zero_fidelity(self):
+        assert unitary_trace_fidelity(PAULI_X, PAULI_Z) == pytest.approx(0.0)
+
+    def test_bounded_in_unit_interval(self, rng):
+        for _ in range(10):
+            f = unitary_trace_fidelity(random_unitary(4, rng), random_unitary(4, rng))
+            assert 0.0 <= f <= 1.0 + 1e-12
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(LinalgError):
+            unitary_trace_fidelity(np.eye(2), np.eye(4))
+
+    def test_infidelity_complements(self, rng):
+        u, v = random_unitary(4, rng), random_unitary(4, rng)
+        assert unitary_infidelity(u, v) == pytest.approx(
+            1.0 - unitary_trace_fidelity(u, v)
+        )
+
+
+class TestAverageGateFidelity:
+    def test_perfect_gate(self, rng):
+        u = random_unitary(4, rng)
+        assert average_gate_fidelity(u, u) == pytest.approx(1.0)
+
+    def test_worst_case_above_inverse_dim(self):
+        # For d=2, average fidelity of orthogonal gates is 1/(d+1).
+        assert average_gate_fidelity(PAULI_X, PAULI_Z) == pytest.approx(1.0 / 3.0)
+
+
+class TestStateFidelity:
+    def test_same_state(self, rng):
+        psi = random_statevector(3, rng)
+        assert state_fidelity(psi, psi) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert state_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_phase_invariant(self, rng):
+        psi = random_statevector(2, rng)
+        assert state_fidelity(psi, np.exp(2.1j) * psi) == pytest.approx(1.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(LinalgError):
+            state_fidelity(np.ones(2), np.ones(4))

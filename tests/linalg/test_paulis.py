@@ -1,0 +1,66 @@
+"""Tests for Pauli matrices and Pauli strings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.linalg.paulis import (
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    pauli_matrix,
+    pauli_string,
+)
+
+
+class TestSingleQubitPaulis:
+    def test_squares_are_identity(self):
+        for pauli in (PAULI_X, PAULI_Y, PAULI_Z):
+            assert np.allclose(pauli @ pauli, IDENTITY)
+
+    def test_anticommutation(self):
+        assert np.allclose(PAULI_X @ PAULI_Y, -PAULI_Y @ PAULI_X)
+        assert np.allclose(PAULI_Y @ PAULI_Z, -PAULI_Z @ PAULI_Y)
+        assert np.allclose(PAULI_Z @ PAULI_X, -PAULI_X @ PAULI_Z)
+
+    def test_xy_product_is_iz(self):
+        assert np.allclose(PAULI_X @ PAULI_Y, 1j * PAULI_Z)
+
+    def test_pauli_matrix_lookup(self):
+        assert np.allclose(pauli_matrix("x"), PAULI_X)
+        assert np.allclose(pauli_matrix("I"), IDENTITY)
+
+    def test_pauli_matrix_unknown_label(self):
+        with pytest.raises(LinalgError):
+            pauli_matrix("Q")
+
+
+class TestPauliStrings:
+    def test_two_qubit_string(self):
+        expected = np.kron(PAULI_X, PAULI_Z)
+        assert np.allclose(pauli_string("XZ"), expected)
+
+    def test_three_qubit_string(self):
+        expected = np.kron(np.kron(PAULI_Y, IDENTITY), PAULI_X)
+        assert np.allclose(pauli_string("YIX"), expected)
+
+    def test_strings_are_traceless_unless_identity(self):
+        assert abs(np.trace(pauli_string("XY"))) < 1e-12
+        assert np.trace(pauli_string("II")) == pytest.approx(4.0)
+
+    def test_lower_case_accepted(self):
+        assert np.allclose(pauli_string("zz"), pauli_string("ZZ"))
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(LinalgError):
+            pauli_string("")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(LinalgError):
+            pauli_string("XQ")
+
+    def test_cached_matrix_is_readonly(self):
+        matrix = pauli_string("XX")
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 5.0

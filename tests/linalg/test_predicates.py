@@ -1,0 +1,107 @@
+"""Tests for operator predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinalgError
+from repro.linalg.paulis import PAULI_X, PAULI_Z, pauli_string
+from repro.linalg.predicates import (
+    allclose_up_to_global_phase,
+    commutes,
+    is_diagonal,
+    is_hermitian,
+    is_identity,
+    is_unitary,
+)
+from repro.linalg.random import random_unitary
+
+
+class TestIsUnitary:
+    def test_identity_is_unitary(self):
+        assert is_unitary(np.eye(4))
+
+    def test_pauli_is_unitary(self):
+        assert is_unitary(PAULI_X)
+
+    def test_projector_is_not_unitary(self):
+        assert not is_unitary(np.diag([1.0, 0.0]))
+
+    def test_random_unitary_is_unitary(self, rng):
+        assert is_unitary(random_unitary(8, rng))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(LinalgError):
+            is_unitary(np.ones((2, 3)))
+
+
+class TestIsHermitian:
+    def test_pauli_is_hermitian(self):
+        assert is_hermitian(PAULI_X)
+
+    def test_phase_matrix_is_not_hermitian(self):
+        assert not is_hermitian(np.diag([1.0, 1.0j]))
+
+
+class TestIsDiagonal:
+    def test_rz_is_diagonal(self):
+        assert is_diagonal(np.diag([1.0, np.exp(0.3j)]))
+
+    def test_cnot_is_not_diagonal(self):
+        cnot = np.eye(4)[[0, 1, 3, 2]]
+        assert not is_diagonal(cnot)
+
+    def test_zz_string_is_diagonal(self):
+        assert is_diagonal(pauli_string("ZZ"))
+
+
+class TestIsIdentity:
+    def test_plain_identity(self):
+        assert is_identity(np.eye(8))
+
+    def test_global_phase_identity(self):
+        assert is_identity(np.exp(0.77j) * np.eye(4))
+
+    def test_global_phase_rejected_when_strict(self):
+        assert not is_identity(
+            np.exp(0.77j) * np.eye(4), up_to_global_phase=False
+        )
+
+    def test_pauli_is_not_identity(self):
+        assert not is_identity(PAULI_Z)
+
+
+class TestGlobalPhaseComparison:
+    def test_equal_up_to_phase(self, rng):
+        u = random_unitary(4, rng)
+        assert allclose_up_to_global_phase(np.exp(1.23j) * u, u)
+
+    def test_different_matrices(self, rng):
+        assert not allclose_up_to_global_phase(
+            random_unitary(4, rng), random_unitary(4, rng)
+        )
+
+    def test_shape_mismatch_is_false(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))
+
+    @given(phase=st.floats(min_value=-np.pi, max_value=np.pi))
+    @settings(max_examples=25, deadline=None)
+    def test_any_phase_detected(self, phase):
+        u = pauli_string("XY")
+        assert allclose_up_to_global_phase(np.exp(1j * phase) * u, u)
+
+
+class TestCommutes:
+    def test_diagonal_matrices_commute(self):
+        assert commutes(np.diag([1.0, 2.0]), np.diag([3.0, 4.0]))
+
+    def test_x_and_z_anticommute(self):
+        assert not commutes(PAULI_X, PAULI_Z)
+
+    def test_xx_and_zz_commute(self):
+        assert commutes(pauli_string("XX"), pauli_string("ZZ"))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(LinalgError):
+            commutes(np.eye(2), np.eye(4))

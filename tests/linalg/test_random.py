@@ -1,0 +1,38 @@
+"""Tests for random unitaries and states."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.linalg.random import random_statevector, random_unitary
+
+
+class TestRandomUnitary:
+    def test_is_unitary(self, rng):
+        u = random_unitary(8, rng)
+        assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-10)
+
+    def test_seeded_reproducibility(self):
+        a = random_unitary(4, np.random.default_rng(7))
+        b = random_unitary(4, np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+    def test_different_draws_differ(self, rng):
+        assert not np.allclose(random_unitary(4, rng), random_unitary(4, rng))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(LinalgError):
+            random_unitary(0)
+
+
+class TestRandomStatevector:
+    def test_is_normalized(self, rng):
+        psi = random_statevector(4, rng)
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    def test_dimension(self, rng):
+        assert random_statevector(3, rng).shape == (8,)
+
+    def test_invalid_qubits(self):
+        with pytest.raises(LinalgError):
+            random_statevector(0)

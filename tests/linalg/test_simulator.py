@@ -1,0 +1,89 @@
+"""Tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.linalg.embed import embed_operator
+from repro.linalg.random import random_statevector, random_unitary
+from repro.linalg.simulator import StatevectorSimulator, apply_unitary
+
+H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+CNOT = np.eye(4)[[0, 1, 3, 2]].astype(complex)
+
+
+class TestApplyUnitary:
+    def test_matches_embedded_matrix(self, rng):
+        state = random_statevector(4, rng)
+        u = random_unitary(4, rng)
+        direct = apply_unitary(state, u, [1, 3], 4)
+        embedded = embed_operator(u, [1, 3], 4) @ state
+        assert np.allclose(direct, embedded)
+
+    def test_reversed_qubit_order(self, rng):
+        state = random_statevector(3, rng)
+        u = random_unitary(4, rng)
+        direct = apply_unitary(state, u, [2, 0], 3)
+        embedded = embed_operator(u, [2, 0], 3) @ state
+        assert np.allclose(direct, embedded)
+
+    def test_shape_validation(self):
+        with pytest.raises(LinalgError):
+            apply_unitary(np.ones(4), CNOT, [0], 2)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(LinalgError):
+            apply_unitary(np.ones(4), CNOT, [0, 0], 2)
+
+
+class TestStatevectorSimulator:
+    def test_initial_state(self):
+        sim = StatevectorSimulator(2)
+        assert sim.probability_of(0) == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        sim = StatevectorSimulator(2)
+        sim.apply(H, [0])
+        sim.apply(CNOT, [0, 1])
+        probs = sim.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+
+    def test_x_flips_bit(self):
+        sim = StatevectorSimulator(3)
+        sim.apply(X, [1])
+        assert sim.probability_of(0b010) == pytest.approx(1.0)
+
+    def test_reset_to_basis_state(self):
+        sim = StatevectorSimulator(2)
+        sim.reset(0b10)
+        assert sim.probability_of(0b10) == pytest.approx(1.0)
+
+    def test_reset_out_of_range(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(LinalgError):
+            sim.reset(4)
+
+    def test_expectation_of_projector(self):
+        sim = StatevectorSimulator(1)
+        sim.apply(H, [0])
+        z = np.diag([1.0, -1.0])
+        assert sim.expectation(z) == pytest.approx(0.0, abs=1e-12)
+
+    def test_expectation_shape_check(self):
+        sim = StatevectorSimulator(1)
+        with pytest.raises(LinalgError):
+            sim.expectation(np.eye(4))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(LinalgError):
+            StatevectorSimulator(25)
+
+    def test_norm_preserved(self, rng):
+        sim = StatevectorSimulator(4)
+        for _ in range(5):
+            sim.apply(random_unitary(4, rng), [0, 2])
+        assert np.linalg.norm(sim.state) == pytest.approx(1.0)

@@ -1,0 +1,130 @@
+"""Tests for SU(2) decompositions and rotation content."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinalgError
+from repro.linalg.paulis import PAULI_X, PAULI_Z
+from repro.linalg.predicates import allclose_up_to_global_phase
+from repro.linalg.random import random_unitary
+from repro.linalg.su2 import (
+    rotation_axis_angle,
+    rotation_content,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    zyz_angles,
+)
+
+angles = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+class TestRotationContent:
+    def test_identity_has_zero_content(self):
+        assert rotation_content(np.eye(2)) == pytest.approx(0.0)
+
+    def test_pauli_x_is_pi_rotation(self):
+        assert rotation_content(PAULI_X) == pytest.approx(math.pi)
+
+    @given(theta=angles)
+    @settings(max_examples=30, deadline=None)
+    def test_rz_content_matches_angle(self, theta):
+        assert rotation_content(rz_matrix(theta)) == pytest.approx(
+            abs(theta), abs=1e-6
+        )
+
+    def test_content_wraps_beyond_two_pi(self):
+        # Rz(2*pi) == -I: zero net rotation.
+        assert rotation_content(rz_matrix(2 * math.pi)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_content_takes_short_way_around(self):
+        # A 3*pi/2 rotation is the same gate as a -pi/2 rotation.
+        assert rotation_content(rz_matrix(1.5 * math.pi)) == pytest.approx(
+            0.5 * math.pi, abs=1e-9
+        )
+
+    def test_global_phase_invariant(self, rng):
+        u = random_unitary(2, rng)
+        assert rotation_content(u) == pytest.approx(
+            rotation_content(np.exp(0.3j) * u)
+        )
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(LinalgError):
+            rotation_content(np.array([[1.0, 1.0], [0.0, 1.0]]))
+
+
+class TestRotationAxisAngle:
+    def test_x_rotation_axis(self):
+        axis, angle = rotation_axis_angle(rx_matrix(0.7))
+        assert angle == pytest.approx(0.7)
+        assert np.allclose(axis, [1.0, 0.0, 0.0], atol=1e-9)
+
+    def test_z_rotation_axis(self):
+        axis, angle = rotation_axis_angle(rz_matrix(1.1))
+        assert angle == pytest.approx(1.1)
+        assert np.allclose(axis, [0.0, 0.0, 1.0], atol=1e-9)
+
+    def test_hadamard_axis_is_x_plus_z(self):
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        axis, angle = rotation_axis_angle(h)
+        assert angle == pytest.approx(math.pi)
+        expected = np.array([1.0, 0.0, 1.0]) / math.sqrt(2)
+        assert np.allclose(np.abs(axis), expected, atol=1e-9)
+
+    def test_identity_angle_zero(self):
+        _, angle = rotation_axis_angle(np.eye(2))
+        assert angle == pytest.approx(0.0)
+
+
+class TestZyzDecomposition:
+    def _reconstruct(self, a, b, c, d):
+        return np.exp(1j * a) * (rz_matrix(b) @ ry_matrix(c) @ rz_matrix(d))
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_product_reconstructs(self, data):
+        b = data.draw(angles, label="b")
+        c = data.draw(st.floats(min_value=0.05, max_value=3.0), label="c")
+        d = data.draw(angles, label="d")
+        u = rz_matrix(b) @ ry_matrix(c) @ rz_matrix(d)
+        decomposed = zyz_angles(u)
+        assert np.allclose(self._reconstruct(*decomposed), u, atol=1e-8)
+
+    def test_haar_random_reconstructs(self, rng):
+        for _ in range(20):
+            u = random_unitary(2, rng)
+            decomposed = zyz_angles(u)
+            assert np.allclose(self._reconstruct(*decomposed), u, atol=1e-8)
+
+    def test_diagonal_gate(self):
+        u = rz_matrix(0.9)
+        assert np.allclose(self._reconstruct(*zyz_angles(u)), u, atol=1e-9)
+
+    def test_antidiagonal_gate(self):
+        assert np.allclose(
+            self._reconstruct(*zyz_angles(PAULI_X)), PAULI_X, atol=1e-9
+        )
+
+    def test_phase_only(self):
+        u = np.exp(0.4j) * np.eye(2)
+        assert np.allclose(self._reconstruct(*zyz_angles(u)), u, atol=1e-9)
+
+
+class TestRotationMatrices:
+    @given(theta=angles)
+    @settings(max_examples=20, deadline=None)
+    def test_rx_equals_h_rz_h(self, theta):
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert allclose_up_to_global_phase(
+            rx_matrix(theta), h @ rz_matrix(theta) @ h
+        )
+
+    def test_rotations_compose(self):
+        assert np.allclose(
+            rz_matrix(0.3) @ rz_matrix(0.4), rz_matrix(0.7), atol=1e-12
+        )

@@ -1,0 +1,76 @@
+"""Tests for balanced min-cut bisection."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.partition import balanced_min_cut_bisection, cut_weight
+
+
+def _two_cliques(size=4, bridge_weight=0.5):
+    graph = nx.Graph()
+    for base in (0, size):
+        for i in range(base, base + size):
+            for j in range(i + 1, base + size):
+                graph.add_edge(i, j, weight=10.0)
+    graph.add_edge(0, size, weight=bridge_weight)
+    return graph
+
+
+class TestBisection:
+    def test_separates_two_cliques(self):
+        graph = _two_cliques()
+        part_a, part_b = balanced_min_cut_bisection(graph, range(8), 4, 4)
+        assert {frozenset(part_a), frozenset(part_b)} == {
+            frozenset(range(4)),
+            frozenset(range(4, 8)),
+        }
+
+    def test_cut_weight_of_clique_split(self):
+        graph = _two_cliques()
+        part_a, part_b = balanced_min_cut_bisection(graph, range(8), 4, 4)
+        assert cut_weight(graph, part_a, part_b) == pytest.approx(0.5)
+
+    def test_unequal_sizes(self):
+        graph = _two_cliques()
+        part_a, part_b = balanced_min_cut_bisection(graph, range(8), 3, 5)
+        assert len(part_a) == 3 and len(part_b) == 5
+        assert set(part_a) | set(part_b) == set(range(8))
+
+    def test_size_validation(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(MappingError):
+            balanced_min_cut_bisection(graph, range(4), 1, 2)
+
+    def test_zero_size_part(self):
+        graph = nx.path_graph(3)
+        part_a, part_b = balanced_min_cut_bisection(graph, range(3), 0, 3)
+        assert part_a == [] and len(part_b) == 3
+
+    def test_path_graph_contiguous_split(self):
+        graph = nx.path_graph(8)
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        part_a, part_b = balanced_min_cut_bisection(graph, range(8), 4, 4)
+        assert cut_weight(graph, part_a, part_b) == pytest.approx(1.0)
+
+    def test_isolated_vertices_handled(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(6))
+        graph.add_edge(0, 1, weight=3.0)
+        part_a, part_b = balanced_min_cut_bisection(graph, range(6), 3, 3)
+        assert len(part_a) == 3 and len(part_b) == 3
+        # The connected pair should stay together.
+        same_side = (0 in part_a) == (1 in part_a)
+        assert same_side
+
+    def test_deterministic(self):
+        graph = _two_cliques()
+        first = balanced_min_cut_bisection(graph, range(8), 4, 4)
+        second = balanced_min_cut_bisection(graph, range(8), 4, 4)
+        assert first == second
+
+    def test_random_graph_respects_sizes(self):
+        graph = nx.gnm_random_graph(12, 30, seed=3)
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        part_a, part_b = balanced_min_cut_bisection(graph, range(12), 5, 7)
+        assert len(part_a) == 5 and len(part_b) == 7

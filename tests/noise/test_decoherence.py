@@ -1,0 +1,68 @@
+"""Tests for the decoherence model."""
+
+import math
+
+import pytest
+
+from repro.config import DeviceConfig
+from repro.errors import ConfigError
+from repro.gates import library as lib
+from repro.noise.decoherence import (
+    circuit_survival_probability,
+    schedule_survival_probability,
+    speedup_fidelity_gain,
+)
+from repro.scheduling.schedule import Schedule
+
+
+class TestSurvivalProbability:
+    def test_zero_latency_is_perfect(self):
+        assert circuit_survival_probability(0.0, 10) == pytest.approx(1.0)
+
+    def test_decays_exponentially_with_latency(self):
+        f1 = circuit_survival_probability(1000.0, 1)
+        f2 = circuit_survival_probability(2000.0, 1)
+        assert f2 == pytest.approx(f1**2)
+
+    def test_decays_with_qubit_count(self):
+        f1 = circuit_survival_probability(1000.0, 1)
+        f4 = circuit_survival_probability(1000.0, 4)
+        assert f4 == pytest.approx(f1**4)
+
+    def test_known_value(self):
+        device = DeviceConfig(t1_us=50.0, t2_us=50.0)
+        # Gamma = 2/50us = 0.04 /us = 4e-5 /ns; T = 1000 ns, n = 1.
+        assert circuit_survival_probability(
+            1000.0, 1, device
+        ) == pytest.approx(math.exp(-0.04))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            circuit_survival_probability(-1.0, 1)
+        with pytest.raises(ConfigError):
+            circuit_survival_probability(1.0, 0)
+
+
+class TestScheduleSurvival:
+    def test_empty_schedule(self):
+        assert schedule_survival_probability(Schedule(4)) == 1.0
+
+    def test_counts_active_qubits_only(self):
+        schedule = Schedule(10)
+        schedule.add(lib.CNOT(0, 1), 0.0, 100.0)
+        expected = circuit_survival_probability(100.0, 2)
+        assert schedule_survival_probability(schedule) == pytest.approx(expected)
+
+
+class TestSpeedupGain:
+    def test_five_x_speedup_improves_fidelity(self):
+        gain = speedup_fidelity_gain(50_000.0, 10_000.0, 20)
+        assert gain > 1.0
+
+    def test_no_speedup_no_gain(self):
+        assert speedup_fidelity_gain(1000.0, 1000.0, 5) == pytest.approx(1.0)
+
+    def test_gain_grows_with_circuit_size(self):
+        small = speedup_fidelity_gain(10_000.0, 2_000.0, 5)
+        large = speedup_fidelity_gain(10_000.0, 2_000.0, 50)
+        assert large > small

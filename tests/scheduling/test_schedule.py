@@ -1,0 +1,82 @@
+"""Tests for the Schedule data structure."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gates import library as lib
+from repro.scheduling.schedule import Schedule, TimedOperation
+
+
+class TestTimedOperation:
+    def test_end_time(self):
+        op = TimedOperation(lib.H(0), 1.0, 2.5)
+        assert op.end == pytest.approx(3.5)
+
+    def test_overlap_detection(self):
+        a = TimedOperation(lib.H(0), 0.0, 2.0)
+        b = TimedOperation(lib.X(0), 1.0, 2.0)
+        c = TimedOperation(lib.Z(0), 2.0, 1.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching intervals do not overlap
+
+
+class TestSchedule:
+    def test_makespan(self):
+        schedule = Schedule(2)
+        schedule.add(lib.H(0), 0.0, 2.0)
+        schedule.add(lib.H(1), 1.0, 5.0)
+        assert schedule.makespan == pytest.approx(6.0)
+
+    def test_empty_makespan(self):
+        assert Schedule(1).makespan == 0.0
+
+    def test_negative_time_rejected(self):
+        schedule = Schedule(1)
+        with pytest.raises(SchedulingError):
+            schedule.add(lib.H(0), -1.0, 1.0)
+        with pytest.raises(SchedulingError):
+            schedule.add(lib.H(0), 0.0, -1.0)
+
+    def test_qubit_timeline_sorted(self):
+        schedule = Schedule(2)
+        schedule.add(lib.X(0), 5.0, 1.0)
+        schedule.add(lib.H(0), 0.0, 1.0)
+        schedule.add(lib.H(1), 0.0, 1.0)
+        timeline = schedule.qubit_timeline(0)
+        assert [op.start for op in timeline] == [0.0, 5.0]
+
+    def test_validate_detects_qubit_overlap(self):
+        schedule = Schedule(2)
+        schedule.add(lib.H(0), 0.0, 2.0)
+        schedule.add(lib.CNOT(0, 1), 1.0, 2.0)
+        with pytest.raises(SchedulingError, match="overlap"):
+            schedule.validate()
+
+    def test_validate_accepts_disjoint(self):
+        schedule = Schedule(2)
+        schedule.add(lib.H(0), 0.0, 2.0)
+        schedule.add(lib.H(1), 0.0, 2.0)
+        schedule.add(lib.CNOT(0, 1), 2.0, 3.0)
+        schedule.validate()
+
+    def test_utilization(self):
+        schedule = Schedule(2)
+        schedule.add(lib.H(0), 0.0, 1.0)
+        schedule.add(lib.H(1), 0.0, 1.0)
+        assert schedule.utilization() == pytest.approx(1.0)
+
+    def test_utilization_empty(self):
+        assert Schedule(3).utilization() == 0.0
+
+    def test_busy_time_counts_qubit_time(self):
+        schedule = Schedule(2)
+        schedule.add(lib.CNOT(0, 1), 0.0, 3.0)
+        assert schedule.busy_time() == pytest.approx(6.0)
+
+    def test_ordered_nodes(self):
+        schedule = Schedule(2)
+        a = lib.H(0)
+        b = lib.H(1)
+        schedule.add(b, 2.0, 1.0)
+        schedule.add(a, 0.0, 1.0)
+        assert schedule.ordered_nodes() == [a, b]

@@ -1,0 +1,78 @@
+"""Tests for device and compiler configuration."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    CompilerConfig,
+    DEFAULT_COMPILER,
+    DEFAULT_DEVICE,
+    DeviceConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestDeviceConfig:
+    def test_paper_defaults(self):
+        assert DEFAULT_DEVICE.coupling_limit_ghz == pytest.approx(0.02)
+        assert DEFAULT_DEVICE.drive_ratio == pytest.approx(5.0)
+
+    def test_derived_drive_limit(self):
+        assert DEFAULT_DEVICE.drive_limit_ghz == pytest.approx(0.1)
+
+    def test_angular_rates(self):
+        assert DEFAULT_DEVICE.coupling_rate == pytest.approx(
+            2 * math.pi * 0.02
+        )
+        assert DEFAULT_DEVICE.drive_rate == pytest.approx(2 * math.pi * 0.1)
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_DEVICE.coupling_limit_ghz = 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"coupling_limit_ghz": 0.0},
+            {"drive_ratio": -1.0},
+            {"setup_time_2q_ns": -0.1},
+            {"t1_us": 0.0},
+            {"t2_us": -5.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            DeviceConfig(**kwargs)
+
+    def test_custom_device(self):
+        device = DeviceConfig(coupling_limit_ghz=0.05, drive_ratio=2.0)
+        assert device.drive_limit_ghz == pytest.approx(0.1)
+
+
+class TestCompilerConfig:
+    def test_paper_defaults(self):
+        assert DEFAULT_COMPILER.max_instruction_width == 10
+        assert DEFAULT_COMPILER.diagonal_block_width == 2
+        assert DEFAULT_COMPILER.fidelity_threshold == pytest.approx(0.999)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_instruction_width": 1},
+            {"fidelity_threshold": 0.0},
+            {"fidelity_threshold": 1.5},
+            {"grape_dt_ns": 0.0},
+            {"diagonal_block_width": 1},
+            {"diagonal_block_depth": 0},
+            {"max_aggregation_rounds": 0},
+            {"exact_commutation_qubits": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            CompilerConfig(**kwargs)
+
+    def test_custom_width(self):
+        config = CompilerConfig(max_instruction_width=4)
+        assert config.max_instruction_width == 4

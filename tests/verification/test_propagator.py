@@ -1,0 +1,75 @@
+"""Tests for the independent propagator."""
+
+import numpy as np
+import pytest
+
+from repro.control.hamiltonian import xy_hamiltonian
+from repro.control.pulse import Pulse
+from repro.errors import VerificationError
+from repro.verification.propagator import propagate_pulse
+
+
+class TestPropagatePulse:
+    def test_zero_pulse_is_identity(self):
+        ham = xy_hamiltonian(2)
+        pulse = Pulse(ham.control_names(), np.zeros((4, ham.num_controls)), 0.5)
+        total = propagate_pulse(pulse, ham)
+        assert np.allclose(total, np.eye(4), atol=1e-12)
+
+    def test_constant_x_drive_rotates(self):
+        # u_x = rate for time T rotates by theta = rate * T about X.
+        ham = xy_hamiltonian(1)
+        rate = 0.4
+        steps, dt = 10, 0.5
+        amplitudes = np.zeros((steps, ham.num_controls))
+        amplitudes[:, 0] = rate
+        pulse = Pulse(ham.control_names(), amplitudes, dt)
+        total = propagate_pulse(pulse, ham)
+        theta = rate * steps * dt
+        expected = np.array(
+            [
+                [np.cos(theta / 2), -1j * np.sin(theta / 2)],
+                [-1j * np.sin(theta / 2), np.cos(theta / 2)],
+            ]
+        )
+        assert np.allclose(total, expected, atol=1e-9)
+
+    def test_constant_coupling_produces_iswap(self):
+        # exp(-i H T) with u = -g and g * T = pi/2 under (XX+YY)/2
+        # yields iSWAP (positive sign would give its inverse).
+        ham = xy_hamiltonian(2)
+        g = ham.terms[-1].limit
+        duration = np.pi / (2 * g)
+        steps = 20
+        amplitudes = np.zeros((steps, ham.num_controls))
+        amplitudes[:, -1] = -g
+        pulse = Pulse(ham.control_names(), amplitudes, duration / steps)
+        total = propagate_pulse(pulse, ham)
+        iswap = np.array(
+            [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]
+        )
+        assert np.allclose(total, iswap, atol=1e-7)
+
+    def test_agrees_with_grape_internal_propagator(self):
+        from repro.control.grape import _propagate
+
+        ham = xy_hamiltonian(2)
+        rng = np.random.default_rng(4)
+        amplitudes = 0.05 * rng.standard_normal((8, ham.num_controls))
+        pulse = Pulse(ham.control_names(), amplitudes, 0.5)
+        independent = propagate_pulse(pulse, ham, substeps=8)
+        operators = np.stack([t.operator for t in ham.terms])
+        internal = _propagate(amplitudes, operators, 0.5)
+        assert np.allclose(independent, internal, atol=1e-9)
+
+    def test_channel_count_mismatch(self):
+        ham = xy_hamiltonian(2)
+        pulse = Pulse(["a"], np.zeros((2, 1)), 0.5)
+        with pytest.raises(VerificationError):
+            propagate_pulse(pulse, ham)
+
+    def test_substeps_validation(self):
+        ham = xy_hamiltonian(1)
+        pulse = Pulse(ham.control_names(), np.zeros((2, 2)), 0.5)
+        with pytest.raises(VerificationError):
+            propagate_pulse(pulse, ham, substeps=0)

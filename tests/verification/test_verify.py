@@ -1,0 +1,67 @@
+"""Tests for the verification procedure (paper Sec. 3.6)."""
+
+import pytest
+
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.control.unit import OptimalControlUnit
+from repro.errors import VerificationError
+from repro.gates import library as lib
+from repro.verification.verify import (
+    verify_instruction,
+    verify_sampled_instructions,
+)
+
+
+@pytest.fixture(scope="module")
+def grape_ocu():
+    return OptimalControlUnit(backend="grape", seed=5)
+
+
+class TestVerifyInstruction:
+    def test_cnot_pulse_verifies(self, grape_ocu):
+        result = verify_instruction(lib.CNOT(0, 1), grape_ocu, threshold=0.99)
+        assert result.passed
+        assert result.fidelity >= 0.99
+
+    def test_diagonal_block_pulse_verifies(self, grape_ocu):
+        block = AggregatedInstruction(
+            [lib.CNOT(0, 1), lib.RZ(0.8, 1), lib.CNOT(0, 1)], name="ZZblock"
+        )
+        result = verify_instruction(block, grape_ocu, threshold=0.99)
+        assert result.passed
+        assert result.label == "ZZblock"
+
+    def test_single_qubit_pulse_verifies(self, grape_ocu):
+        result = verify_instruction(lib.H(0), grape_ocu, threshold=0.99)
+        assert result.passed
+
+
+class TestVerifySample:
+    def test_sample_respects_size(self, grape_ocu):
+        nodes = [lib.RZ(0.1 * i, 0) for i in range(1, 6)]
+        results = verify_sampled_instructions(
+            nodes, grape_ocu, sample_size=3
+        )
+        assert len(results) == 3
+        assert all(r.passed for r in results)
+
+    def test_wide_instructions_skipped(self, grape_ocu):
+        wide = AggregatedInstruction(
+            [lib.CNOT(i, i + 1) for i in range(5)], name="wide"
+        )
+        narrow = lib.RX(0.5, 0)
+        results = verify_sampled_instructions([wide, narrow], grape_ocu)
+        assert len(results) == 1
+
+    def test_no_eligible_instruction_raises(self, grape_ocu):
+        wide = AggregatedInstruction(
+            [lib.CNOT(i, i + 1) for i in range(5)], name="wide"
+        )
+        with pytest.raises(VerificationError):
+            verify_sampled_instructions([wide], grape_ocu)
+
+    def test_deterministic_sampling(self, grape_ocu):
+        nodes = [lib.RZ(0.1 * i, 0) for i in range(1, 8)]
+        first = verify_sampled_instructions(nodes, grape_ocu, sample_size=2)
+        second = verify_sampled_instructions(nodes, grape_ocu, sample_size=2)
+        assert [r.label for r in first] == [r.label for r in second]
