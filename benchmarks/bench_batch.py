@@ -1,0 +1,61 @@
+"""Batch-compilation throughput: cold vs warm shared-cache runs.
+
+Tracks the batch engine's two headline numbers: wall-clock for a
+multi-benchmark strategy sweep, and how much optimal-control work a warm
+cache skips.  The timed round runs against the cache the cold round
+filled, so the reported time is the engine's steady-state throughput;
+the assertions pin the warm/cold contract (result parity, >= 5x fewer
+model evaluations) that `tests/compiler/test_batch.py` checks at unit
+scale.
+"""
+
+from repro.benchmarks.registry import table3_suite
+from repro.compiler.batch import BatchJob
+from repro.compiler.strategies import all_strategies
+
+_BENCH_KEYS_SMALL = ("maxcut-line-6", "ising-6", "sqrt-9", "uccsd-4")
+
+
+def _build_jobs(scale: str) -> list[BatchJob]:
+    jobs: list[BatchJob] = []
+    for spec in table3_suite(scale):
+        if scale == "small" and spec.key not in _BENCH_KEYS_SMALL:
+            continue
+        circuit = spec.build()
+        jobs.extend(
+            BatchJob(
+                circuit=circuit,
+                strategy=strategy,
+                label=f"{spec.key}/{strategy.key}",
+            )
+            for strategy in all_strategies()
+        )
+    return jobs
+
+
+def test_batch_throughput(benchmark, bench_scale, batch_engine, capsys):
+    engine = batch_engine
+    jobs = _build_jobs(bench_scale)
+    assert len(jobs) >= 8
+    cold = engine.compile_batch(jobs)
+    warm = benchmark.pedantic(
+        engine.compile_batch, args=(jobs,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            f"batch of {len(jobs)} jobs, {cold.workers} workers: "
+            f"cold {cold.wall_seconds:.2f}s "
+            f"({cold.cache_info['model_evals']} model evals), "
+            f"warm {warm.wall_seconds:.2f}s "
+            f"({warm.cache_info['model_evals']} model evals)"
+        )
+    for cold_result, warm_result in zip(cold, warm):
+        assert cold_result.latency_ns == warm_result.latency_ns
+    # The warm-cache contract: at least 5x less optimal-control work.
+    assert warm.cache_info["grape_calls"] * 5 <= max(
+        cold.cache_info["grape_calls"], 1
+    )
+    assert warm.cache_info["model_evals"] * 5 <= max(
+        cold.cache_info["model_evals"], 1
+    )

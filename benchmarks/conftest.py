@@ -6,6 +6,12 @@ reduced ("small") suite so ``pytest benchmarks/ --benchmark-only``
 finishes in minutes; set ``REPRO_BENCH_SCALE=paper`` for the full Table 3
 sizes (the committed ``results/paper_scale_report.txt`` was produced at
 paper scale).
+
+All benchmarks share one pulse/latency cache through the batch engine.
+Set ``REPRO_BENCH_CACHE=<stem>`` to persist it across pytest sessions
+(warm runs skip every cached optimal-control query); by default the
+cache lives in memory for the session only.  ``REPRO_BENCH_WORKERS=N``
+sets the batch engine's worker-thread count (default: 2).
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ import os
 
 import pytest
 
+from repro.compiler.batch import BatchCompiler
+from repro.control.cache import DiskPulseCache, PulseCache
 from repro.control.unit import OptimalControlUnit
 
 
@@ -24,6 +32,32 @@ def bench_scale() -> str:
 
 
 @pytest.fixture(scope="session")
-def shared_ocu() -> OptimalControlUnit:
+def shared_cache():
+    """One pulse/latency store for the whole session.
+
+    Disk-persistent when ``REPRO_BENCH_CACHE`` names a file stem; saved
+    back at session end so the next benchmark run starts warm.
+    """
+    stem = os.environ.get("REPRO_BENCH_CACHE")
+    if stem:
+        cache = DiskPulseCache(stem)
+        yield cache
+        cache.save()
+    else:
+        yield PulseCache()
+
+
+@pytest.fixture(scope="session")
+def batch_engine(shared_cache) -> BatchCompiler:
+    """Batch compilation engine over the session-shared cache."""
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    return BatchCompiler(
+        cache=shared_cache,
+        max_workers=int(workers) if workers else 2,
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_ocu(shared_cache) -> OptimalControlUnit:
     """One latency oracle for the whole session (shared pulse cache)."""
-    return OptimalControlUnit(backend="model")
+    return OptimalControlUnit(backend="model", cache=shared_cache)

@@ -40,9 +40,13 @@ class AggregationReport:
 
     @property
     def improvement(self) -> float:
-        """Makespan reduction factor (>= 1 means no regression)."""
+        """Makespan reduction factor (>= 1 means no regression).
+
+        ``inf`` when a positive makespan collapsed to zero; ``1.0`` only
+        when both makespans are already zero (empty circuit).
+        """
         if self.final_makespan <= 0:
-            return 1.0
+            return float("inf") if self.initial_makespan > 0 else 1.0
         return self.initial_makespan / self.final_makespan
 
 
@@ -70,29 +74,21 @@ def aggregate(
     Returns:
         An :class:`AggregationReport`.
     """
-    latency_cache: dict[int, float] = {}
-
-    def latency(node) -> float:
-        key = id(node)
-        if key not in latency_cache:
-            latency_cache[key] = ocu.latency(node)
-        return latency_cache[key]
+    latency = _NodeLatencyMemo(ocu)
 
     initial_makespan = dag.makespan(latency)
     merges = 0
     if batch:
         # Strict paper mode (batch=False) skips the linear-time shortcut
         # so every merge goes through the global-best loop.
-        merges = _series_prepass(dag, ocu, latency, latency_cache, width_limit)
+        merges = _series_prepass(dag, ocu, latency, width_limit)
     rounds = 0
     while rounds < max_rounds:
         rounds += 1
         if batch and rounds > 1:
             # Earlier merges expose new pure series pairs; fold them in
             # linear time before paying for another scored round.
-            merges += _series_prepass(
-                dag, ocu, latency, latency_cache, width_limit
-            )
+            merges += _series_prepass(dag, ocu, latency, width_limit)
         timing = _RoundTiming(dag, latency)
         scored = []
         for earlier, later in candidate_actions(dag, width_limit):
@@ -128,6 +124,8 @@ def aggregate(
             except SchedulingError:
                 continue
             merged_ids.update((id(earlier), id(later)))
+            latency.forget(earlier)
+            latency.forget(later)
             touched_qubits.update(qubits)
             executed += 1
             merges += 1
@@ -143,7 +141,34 @@ def aggregate(
     )
 
 
-def _series_prepass(dag, ocu, latency, latency_cache, width_limit: int) -> int:
+class _NodeLatencyMemo:
+    """Aggregation-local latency memo keyed by node identity.
+
+    Keying a plain dict by ``id(node)`` is unsound here: once a
+    merged-away node is garbage collected, CPython can hand its id to a
+    newly allocated :class:`AggregatedInstruction`, which would silently
+    inherit the dead node's latency.  The memo therefore pins a strong
+    reference to every node it caches (ids of *live* objects are unique)
+    and re-checks identity on lookup; :meth:`forget` releases merged-away
+    nodes so the pins do not accumulate over long runs.
+    """
+
+    def __init__(self, ocu) -> None:
+        self._ocu = ocu
+        self._entries: dict[int, tuple[object, float]] = {}
+
+    def __call__(self, node) -> float:
+        entry = self._entries.get(id(node))
+        if entry is None or entry[0] is not node:
+            entry = (node, self._ocu.latency(node))
+            self._entries[id(node)] = entry
+        return entry[1]
+
+    def forget(self, node) -> None:
+        self._entries.pop(id(node), None)
+
+
+def _series_prepass(dag, ocu, latency, width_limit: int) -> int:
     """Chain-merge pure series pairs in amortized linear time.
 
     When node ``B`` is ``A``'s only timing successor and ``A`` is ``B``'s
@@ -188,8 +213,8 @@ def _series_prepass(dag, ocu, latency, latency_cache, width_limit: int) -> int:
             alive.discard(id(node))
             alive.discard(id(follower))
             alive.add(id(merged))
-            latency_cache.pop(id(node), None)
-            latency_cache.pop(id(follower), None)
+            latency.forget(node)
+            latency.forget(follower)
             merges += 1
             node = merged
     return merges

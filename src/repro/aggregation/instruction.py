@@ -11,6 +11,7 @@ the router and the OCU treat gates and instructions uniformly.
 from __future__ import annotations
 
 import functools
+import itertools
 from collections.abc import Sequence
 
 import numpy as np
@@ -26,7 +27,9 @@ _MATRIX_QUBIT_LIMIT = 6
 class AggregatedInstruction:
     """An ordered run of gates compiled as one pulse."""
 
-    _counter = 0
+    # itertools.count: atomic under the GIL, so concurrent batch workers
+    # never mint duplicate auto-names.
+    _counter = itertools.count(1)
 
     def __init__(self, gates: Sequence[Gate], name: str | None = None) -> None:
         gates = list(gates)
@@ -43,8 +46,7 @@ class AggregatedInstruction:
             qubits.update(gate.qubits)
         self.qubits = tuple(sorted(qubits))
         if name is None:
-            AggregatedInstruction._counter += 1
-            name = f"G{AggregatedInstruction._counter}"
+            name = f"G{next(AggregatedInstruction._counter)}"
         self.name = name
 
     @classmethod

@@ -1,5 +1,11 @@
-"""End-to-end compilation pipeline and the Figure 9 strategy set."""
+"""End-to-end compilation pipeline, batch engine and the strategy set."""
 
+from repro.compiler.batch import (
+    BatchCompiler,
+    BatchJob,
+    BatchReport,
+    compile_batch,
+)
 from repro.compiler.pipeline import compile_circuit
 from repro.compiler.result import CompilationResult
 from repro.compiler.strategies import (
@@ -15,6 +21,9 @@ from repro.compiler.strategies import (
 
 __all__ = [
     "AGGREGATION",
+    "BatchCompiler",
+    "BatchJob",
+    "BatchReport",
     "CLS",
     "CLS_AGGREGATION",
     "CLS_HAND",
@@ -22,6 +31,7 @@ __all__ = [
     "ISA",
     "Strategy",
     "all_strategies",
+    "compile_batch",
     "compile_circuit",
     "strategy_by_key",
 ]

@@ -1,0 +1,366 @@
+"""Batch compilation: many (circuit, strategy) jobs over one shared cache.
+
+The single-shot :func:`~repro.compiler.pipeline.compile_circuit` API
+compiles one circuit under one strategy.  Every real workload — the
+Figure 9 strategy sweep, the Figure 10 width sweep, a VQE driver
+recompiling parameterized ansatz variants — compiles *many* circuits, and
+most of the optimal-control work repeats across them: the same CNOT,
+SWAP and diagonal-block structures appear in every job.
+
+:class:`BatchCompiler` exploits that.  It owns one shared
+:class:`~repro.control.cache.PulseCache` (optionally a disk-persistent
+one) and fans jobs across ``concurrent.futures`` workers.  Each worker
+compiles through a :class:`~repro.control.cache.CacheSession` — a private
+read-through view of the shared store — so workers never contend on the
+store lock for writes; when a job finishes, its delta of newly computed
+latencies/pulses is merged back into the store, and later jobs see it.
+
+Results are returned in job order and are bit-identical to serial
+:func:`compile_circuit` calls: the latency model and GRAPE are
+deterministic functions of instruction structure, so sharing their cached
+values across jobs cannot change any result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.circuit.circuit import Circuit
+from repro.compiler.pipeline import compile_circuit
+from repro.compiler.result import CompilationResult
+from repro.compiler.strategies import ISA, Strategy
+from repro.config import (
+    CompilerConfig,
+    DEFAULT_COMPILER,
+    DEFAULT_DEVICE,
+    DeviceConfig,
+)
+from repro.control.cache import CacheSession, DiskPulseCache, PulseCache
+from repro.control.unit import OptimalControlUnit
+from repro.errors import ConfigError
+from repro.mapping.topology import GridTopology
+
+_COUNTER_KEYS = ("cache_hits", "grape_calls", "grape_fallbacks", "model_evals")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchJob:
+    """One unit of batch work: a circuit compiled under one strategy."""
+
+    circuit: Circuit
+    strategy: Strategy = ISA
+    width_limit: int | None = None
+    topology: GridTopology | None = None
+    label: str | None = None
+
+    @property
+    def key(self) -> str:
+        """Display label (circuit/strategy unless overridden)."""
+        if self.label is not None:
+            return self.label
+        return f"{self.circuit.name}/{self.strategy.key}"
+
+
+@dataclasses.dataclass
+class BatchReport:
+    """Everything one batch run produced, results in job order."""
+
+    results: list[CompilationResult]
+    seconds: list[float]
+    """Wall-clock seconds per job.  Measured inside the worker, so with
+    several threads each span includes time spent waiting on the GIL —
+    comparable between jobs of one run, but not to serial compile times."""
+    wall_seconds: float
+    """Wall-clock of the whole batch (less than ``sum(seconds)`` when
+    workers overlap)."""
+    workers: int
+    cache_info: dict[str, int]
+    """OCU counters summed across all jobs, plus final store entry counts."""
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def total_latency_ns(self) -> float:
+        """Sum of all result makespans (batch-level throughput metric)."""
+        return sum(result.latency_ns for result in self.results)
+
+
+class BatchCompiler:
+    """Compiles batches of jobs against one shared pulse/latency cache.
+
+    Args:
+        device: Field limits and pulse overheads (all jobs share them).
+        compiler_config: Width limits, detection depth, etc.
+        cache: Shared store; a fresh in-memory one when omitted.  Pass a
+            :class:`~repro.control.cache.DiskPulseCache` (or use
+            :meth:`with_disk_cache`) for persistence across processes.
+        backend: OCU backend, ``"model"`` or ``"grape"``.
+        max_workers: Worker-thread count; ``None`` picks
+            ``min(cpu_count, job count)``.
+        grape_qubit_limit / grape_dt / seed: Forwarded to every OCU, and
+            part of the cache fingerprint.
+    """
+
+    def __init__(
+        self,
+        device: DeviceConfig = DEFAULT_DEVICE,
+        compiler_config: CompilerConfig = DEFAULT_COMPILER,
+        cache: PulseCache | None = None,
+        backend: str = "model",
+        max_workers: int | None = None,
+        grape_qubit_limit: int = 3,
+        grape_dt: float | None = None,
+        seed: int = 20190413,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError("max_workers must be at least 1")
+        self.device = device
+        self.compiler_config = compiler_config
+        self.cache = cache if cache is not None else PulseCache()
+        self.backend = backend
+        self.max_workers = max_workers
+        self.grape_qubit_limit = grape_qubit_limit
+        self.grape_dt = grape_dt
+        self.seed = seed
+
+    @classmethod
+    def from_ocu(
+        cls,
+        ocu: OptimalControlUnit,
+        max_workers: int | None = None,
+    ) -> BatchCompiler:
+        """An engine sharing an existing unit's cache and configuration."""
+        cache = ocu.cache
+        if isinstance(cache, CacheSession):
+            cache = cache.store
+        return cls(
+            device=ocu.device,
+            compiler_config=ocu.compiler,
+            cache=cache,
+            backend=ocu.backend,
+            max_workers=max_workers,
+            grape_qubit_limit=ocu.grape_qubit_limit,
+            grape_dt=ocu.grape_dt,
+            seed=ocu.seed,
+        )
+
+    @classmethod
+    def with_disk_cache(
+        cls, path: str | os.PathLike, **kwargs
+    ) -> BatchCompiler:
+        """An engine over a persistent cache at ``path`` (stem)."""
+        return cls(cache=DiskPulseCache(path), **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def make_ocu(
+        self, cache: PulseCache | CacheSession | None = None
+    ) -> OptimalControlUnit:
+        """A fresh OCU bound to the shared store (or a session view)."""
+        return OptimalControlUnit(
+            device=self.device,
+            compiler=self.compiler_config,
+            backend=self.backend,
+            grape_qubit_limit=self.grape_qubit_limit,
+            grape_dt=self.grape_dt,
+            seed=self.seed,
+            cache=cache if cache is not None else self.cache,
+        )
+
+    def compile(
+        self,
+        circuit: Circuit,
+        strategy: Strategy = ISA,
+        width_limit: int | None = None,
+        topology: GridTopology | None = None,
+    ) -> CompilationResult:
+        """Compile one circuit through the shared cache (no workers)."""
+        return compile_circuit(
+            circuit,
+            strategy,
+            device=self.device,
+            compiler_config=self.compiler_config,
+            ocu=self.make_ocu(),
+            topology=topology,
+            width_limit=width_limit,
+        )
+
+    def compile_batch(self, jobs: Iterable) -> BatchReport:
+        """Compile every job, fanning across workers; results in order.
+
+        Args:
+            jobs: :class:`BatchJob` instances, bare circuits, or
+                ``(circuit, strategy)`` / ``(circuit, strategy,
+                width_limit)`` tuples.
+        """
+        jobs = [_as_job(job) for job in jobs]
+        if not jobs:
+            return BatchReport(
+                results=[],
+                seconds=[],
+                wall_seconds=0.0,
+                workers=0,
+                cache_info=self._store_info(dict.fromkeys(_COUNTER_KEYS, 0)),
+            )
+        workers = self.max_workers
+        if workers is None:
+            workers = min(len(jobs), os.cpu_count() or 1)
+        workers = max(1, min(workers, len(jobs)))
+
+        started = time.perf_counter()
+        counters = {key: 0 for key in _COUNTER_KEYS}
+        results: list[CompilationResult | None] = [None] * len(jobs)
+        seconds = [0.0] * len(jobs)
+        if workers == 1:
+            for index, job in enumerate(jobs):
+                results[index], seconds[index], used = self._run_job(job)
+                for key in _COUNTER_KEYS:
+                    counters[key] += used[key]
+        else:
+            self._run_parallel(jobs, workers, counters, results, seconds)
+        return BatchReport(
+            results=results,
+            seconds=seconds,
+            wall_seconds=time.perf_counter() - started,
+            workers=workers,
+            cache_info=self._store_info(counters),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_job(
+        self, job: BatchJob
+    ) -> tuple[CompilationResult, float, dict[str, int]]:
+        """Compile one job through a session view and merge its delta."""
+        job_started = time.perf_counter()
+        session = CacheSession(self.cache)
+        ocu = self.make_ocu(cache=session)
+        result = compile_circuit(
+            job.circuit,
+            job.strategy,
+            device=self.device,
+            compiler_config=self.compiler_config,
+            ocu=ocu,
+            topology=job.topology,
+            width_limit=job.width_limit,
+        )
+        self.cache.merge_delta(session.delta)
+        used = {key: getattr(ocu, key) for key in _COUNTER_KEYS}
+        return result, time.perf_counter() - job_started, used
+
+    def _run_parallel(self, jobs, workers, counters, results, seconds) -> None:
+        """Submit at most ``workers`` jobs at a time.
+
+        A bounded submission window (rather than submitting everything up
+        front) means a job launched late in the batch sees every earlier
+        job's merged cache delta, maximizing reuse.
+        """
+        pending_jobs = iter(enumerate(jobs))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            active = {}
+            for index, job in pending_jobs:
+                active[pool.submit(self._run_job, job)] = index
+                if len(active) >= workers:
+                    break
+            while active:
+                done, _ = wait(active, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = active.pop(future)
+                    results[index], seconds[index], used = future.result()
+                    for key in _COUNTER_KEYS:
+                        counters[key] += used[key]
+                for index, job in pending_jobs:
+                    active[pool.submit(self._run_job, job)] = index
+                    if len(active) >= workers:
+                        break
+
+    def _store_info(self, counters) -> dict[str, int]:
+        info = dict(counters)
+        info["latency_entries"] = self.cache.latency_count
+        info["pulse_entries"] = self.cache.pulse_count
+        return info
+
+    def save_cache(self) -> int:
+        """Persist the store when it is disk-backed; returns entries written."""
+        if isinstance(self.cache, DiskPulseCache):
+            return self.cache.save()
+        return 0
+
+
+def _as_job(job) -> BatchJob:
+    """Coerce circuits and tuples into :class:`BatchJob`."""
+    if isinstance(job, BatchJob):
+        return job
+    if isinstance(job, Circuit):
+        return BatchJob(circuit=job)
+    if isinstance(job, Sequence) and not isinstance(job, (str, bytes)):
+        if not 1 <= len(job) <= 3:
+            raise ConfigError(
+                f"a job tuple needs 1-3 entries (circuit, strategy, "
+                f"width_limit), got {len(job)}"
+            )
+        circuit = job[0]
+        strategy = job[1] if len(job) > 1 else ISA
+        width_limit = job[2] if len(job) > 2 else None
+        if not isinstance(circuit, Circuit):
+            raise ConfigError(f"job circuit must be a Circuit, got {circuit!r}")
+        if not isinstance(strategy, Strategy):
+            raise ConfigError(
+                f"job strategy must be a Strategy, got {strategy!r}"
+            )
+        return BatchJob(
+            circuit=circuit, strategy=strategy, width_limit=width_limit
+        )
+    raise ConfigError(f"cannot interpret batch job {job!r}")
+
+
+def resolve_engine(
+    engine: BatchCompiler | None = None,
+    ocu: OptimalControlUnit | None = None,
+    max_workers: int | None = None,
+) -> BatchCompiler:
+    """The engine a driver should use.
+
+    An explicit ``engine`` wins; otherwise one is wrapped around ``ocu``
+    (sharing its cache, so pre-batch-era call sites keep their warm
+    caches); otherwise a fresh default engine.
+    """
+    if engine is not None:
+        return engine
+    if ocu is not None:
+        return BatchCompiler.from_ocu(ocu, max_workers=max_workers)
+    return BatchCompiler(max_workers=max_workers)
+
+
+def compile_batch(
+    jobs: Iterable,
+    device: DeviceConfig = DEFAULT_DEVICE,
+    compiler_config: CompilerConfig = DEFAULT_COMPILER,
+    cache: PulseCache | None = None,
+    backend: str = "model",
+    max_workers: int | None = None,
+) -> BatchReport:
+    """Compile a batch of (circuit, strategy) jobs; results in job order.
+
+    Convenience wrapper constructing a throwaway :class:`BatchCompiler`;
+    keep an engine instance (or at least pass ``cache=``) to reuse the
+    pulse cache across batches.
+    """
+    engine = BatchCompiler(
+        device=device,
+        compiler_config=compiler_config,
+        cache=cache,
+        backend=backend,
+        max_workers=max_workers,
+    )
+    return engine.compile_batch(jobs)

@@ -35,6 +35,7 @@ from repro.config import (
     DeviceConfig,
 )
 from repro.control.unit import OptimalControlUnit
+from repro.errors import ConfigError
 from repro.gates.decompositions import lower_to_standard_set
 from repro.mapping.placement import initial_placement
 from repro.mapping.router import route
@@ -63,13 +64,19 @@ def compile_circuit(
             (pass a shared one to exploit the pulse cache across runs).
         topology: Device grid; a near-square grid sized to the circuit
             when omitted.
-        width_limit: Override of ``compiler_config.max_instruction_width``.
+        width_limit: Override of ``compiler_config.max_instruction_width``;
+            must be at least 1 (a limit of 1 disables merging entirely).
 
     Returns:
         A :class:`CompilationResult`.
     """
     ocu = ocu or OptimalControlUnit(device=device, compiler=compiler_config)
-    width_limit = width_limit or compiler_config.max_instruction_width
+    if width_limit is None:
+        width_limit = compiler_config.max_instruction_width
+    elif width_limit < 1:
+        raise ConfigError(
+            f"width_limit must be at least 1, got {width_limit}"
+        )
     checker = CommutationChecker(
         exact_qubits=compiler_config.exact_commutation_qubits
     )

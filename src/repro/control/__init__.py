@@ -1,5 +1,12 @@
 """Quantum optimal control: Hamiltonians, GRAPE, latency model, OCU."""
 
+from repro.control.cache import (
+    CacheDelta,
+    CacheSession,
+    DiskPulseCache,
+    PulseCache,
+    config_fingerprint,
+)
 from repro.control.grape import GrapeOptimizer, GrapeResult
 from repro.control.hamiltonian import ControlHamiltonian, ControlTerm, xy_hamiltonian
 from repro.control.latency_model import AnalyticLatencyModel
@@ -9,13 +16,18 @@ from repro.control.unit import OptimalControlUnit
 
 __all__ = [
     "AnalyticLatencyModel",
+    "CacheDelta",
+    "CacheSession",
     "ControlHamiltonian",
     "ControlTerm",
+    "DiskPulseCache",
     "GrapeOptimizer",
     "GrapeResult",
     "OptimalControlUnit",
     "Pulse",
+    "PulseCache",
     "PulseSequence",
+    "config_fingerprint",
     "minimal_pulse_time",
     "xy_hamiltonian",
 ]

@@ -1,0 +1,398 @@
+"""Shared pulse/latency caches: the persistent half of partial compilation.
+
+The optimal-control unit caches latencies and GRAPE pulses by a structural
+signature of each instruction, so repeated structures inside one circuit
+are optimized once.  This module lifts that cache out of the unit so it can
+outlive a single :class:`~repro.control.unit.OptimalControlUnit` — shared
+across circuits, across batch workers, and (with the disk backend) across
+processes and runs.
+
+Three layers:
+
+* :class:`PulseCache` — the in-memory store.  Thread-safe; keys carry a
+  *configuration fingerprint* (device + compiler + GRAPE settings) so one
+  store can safely serve units with different physics.
+* :class:`DiskPulseCache` — a :class:`PulseCache` that loads from and
+  saves to a ``<stem>.json`` + ``<stem>.npz`` file pair, so warm runs skip
+  GRAPE and analytic-model evaluations entirely.
+* :class:`CacheSession` — a worker-local view over a shared store: reads
+  fall through to the store, writes buffer into a :class:`CacheDelta` that
+  the batch engine merges back once the worker's job completes.
+
+File format (version ``repro-pulse-cache-v1``)
+----------------------------------------------
+``<stem>.json`` holds every latency entry and the scalar pulse metadata::
+
+    {
+      "format": "repro-pulse-cache-v1",
+      "latencies": [[fingerprint, backend, signature_repr, value], ...],
+      "pulses": [{"fingerprint": ..., "signature": ...,
+                  "fidelity": ..., "converged": ..., "iterations": ...,
+                  "dt": ..., "control_names": [...], "slot": N}, ...]
+    }
+
+``<stem>.npz`` holds the arrays of pulse ``N`` under ``amp<N>`` (control
+amplitudes), ``unitary<N>`` (achieved unitary) and ``loss<N>`` (loss
+history).  Signatures are serialized with :func:`repr` and parsed back
+with :func:`ast.literal_eval`; they are pure literals (strings, numbers,
+tuples), so the round trip is exact.
+
+Each file is replaced atomically, but the pair cannot be: both files
+carry a content-derived ``save_id``, and :meth:`DiskPulseCache.load`
+refuses to bind pulse metadata to arrays from a different save (a crash
+between the two replaces, or a concurrent writer).  Mismatched or
+missing arrays degrade gracefully — the pulse entries are skipped (a
+cache miss recomputes them), latencies still load.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+
+import numpy as np
+
+from repro.config import CompilerConfig, DeviceConfig
+from repro.control.grape import GrapeResult
+from repro.control.pulse import Pulse
+from repro.errors import ControlError
+
+CACHE_FORMAT = "repro-pulse-cache-v1"
+
+#: A latency entry key: (fingerprint, backend tag, structural signature).
+LatencyKey = tuple
+#: A pulse entry key: (fingerprint, structural signature).
+PulseKey = tuple
+
+
+def config_fingerprint(
+    device: DeviceConfig,
+    compiler: CompilerConfig,
+    grape_qubit_limit: int,
+    grape_dt: float,
+    seed: int,
+) -> str:
+    """Digest of everything that changes cached latencies or pulses.
+
+    Two units agree on every cache entry iff their fingerprints match, so
+    entries from incompatible configurations can coexist in one store
+    without ever being confused.
+    """
+    payload = {
+        "device": dataclasses.asdict(device),
+        "compiler": dataclasses.asdict(compiler),
+        "grape_qubit_limit": int(grape_qubit_limit),
+        "grape_dt": float(grape_dt),
+        "seed": int(seed),
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclasses.dataclass
+class CacheDelta:
+    """Entries a worker added on top of a shared store."""
+
+    latencies: dict[LatencyKey, float] = dataclasses.field(default_factory=dict)
+    pulses: dict[PulseKey, GrapeResult] = dataclasses.field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.latencies) + len(self.pulses)
+
+
+class PulseCache:
+    """Thread-safe in-memory latency/pulse store.
+
+    The same store may back many optimal-control units at once (the batch
+    engine's workers); all mutation happens under one lock.
+    """
+
+    def __init__(self) -> None:
+        self._latencies: dict[LatencyKey, float] = {}
+        self._pulses: dict[PulseKey, GrapeResult] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- pickling: locks cannot cross process boundaries -----------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- lookups ---------------------------------------------------------
+
+    def get_latency(self, key: LatencyKey) -> float | None:
+        with self._lock:
+            value = self._latencies.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
+
+    def put_latency(self, key: LatencyKey, value: float) -> None:
+        with self._lock:
+            self._latencies[key] = float(value)
+            self.stores += 1
+
+    def get_pulse(self, key: PulseKey) -> GrapeResult | None:
+        with self._lock:
+            result = self._pulses.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
+
+    def put_pulse(self, key: PulseKey, result: GrapeResult) -> None:
+        with self._lock:
+            self._pulses[key] = result
+            self.stores += 1
+
+    # -- bulk operations -------------------------------------------------
+
+    def merge_delta(self, delta: CacheDelta) -> int:
+        """Fold a worker's new entries in; returns how many were new."""
+        added = 0
+        with self._lock:
+            for key, value in delta.latencies.items():
+                if key not in self._latencies:
+                    added += 1
+                self._latencies[key] = value
+            for key, result in delta.pulses.items():
+                if key not in self._pulses:
+                    added += 1
+                self._pulses[key] = result
+        return added
+
+    @property
+    def latency_count(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def pulse_count(self) -> int:
+        return len(self._pulses)
+
+    def stats(self) -> dict[str, int]:
+        """Store-level counters (per-unit counters live on the OCU)."""
+        return {
+            "latency_entries": self.latency_count,
+            "pulse_entries": self.pulse_count,
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_writes": self.stores,
+        }
+
+
+class CacheSession:
+    """Worker-local cache view: read-through, buffered writes.
+
+    Exposes the same interface as :class:`PulseCache`, so an
+    :class:`~repro.control.unit.OptimalControlUnit` can be constructed
+    directly on top of it.  All writes land in :attr:`delta`; the batch
+    engine merges the delta into the shared store when the job finishes,
+    which keeps workers from contending on the store's lock for every
+    query while still letting later jobs reuse earlier jobs' work.
+    """
+
+    def __init__(self, store: PulseCache) -> None:
+        self.store = store
+        self.delta = CacheDelta()
+
+    def get_latency(self, key: LatencyKey) -> float | None:
+        value = self.delta.latencies.get(key)
+        if value is not None:
+            return value
+        return self.store.get_latency(key)
+
+    def put_latency(self, key: LatencyKey, value: float) -> None:
+        self.delta.latencies[key] = float(value)
+
+    def get_pulse(self, key: PulseKey) -> GrapeResult | None:
+        result = self.delta.pulses.get(key)
+        if result is not None:
+            return result
+        return self.store.get_pulse(key)
+
+    def put_pulse(self, key: PulseKey, result: GrapeResult) -> None:
+        self.delta.pulses[key] = result
+
+    @property
+    def latency_count(self) -> int:
+        return self.store.latency_count + len(self.delta.latencies)
+
+    @property
+    def pulse_count(self) -> int:
+        return self.store.pulse_count + len(self.delta.pulses)
+
+
+class DiskPulseCache(PulseCache):
+    """A :class:`PulseCache` persisted as ``<stem>.json`` + ``<stem>.npz``.
+
+    Args:
+        path: File stem; ``.json``/``.npz`` suffixes are appended (a
+            ``.json`` suffix on the stem itself is stripped first, so both
+            spellings address the same pair).
+        autoload: Load existing files immediately (default).
+    """
+
+    def __init__(self, path: str | os.PathLike, autoload: bool = True) -> None:
+        super().__init__()
+        stem = os.fspath(path)
+        if stem.endswith(".json") or stem.endswith(".npz"):
+            stem = stem.rsplit(".", 1)[0]
+        self.stem = stem
+        self.loaded_entries = 0
+        self.pulse_entries_skipped = 0
+        if autoload:
+            self.load()
+
+    @property
+    def json_path(self) -> str:
+        return self.stem + ".json"
+
+    @property
+    def npz_path(self) -> str:
+        return self.stem + ".npz"
+
+    def load(self) -> int:
+        """Merge any on-disk entries into memory; returns entries read.
+
+        Pulse records are only restored when the ``.npz`` arrays carry
+        the same ``save_id`` as the ``.json`` manifest; a torn pair
+        (crash between the two file replaces) loses the pulses — they
+        are recomputed on miss — never mispairs them.
+        """
+        if not os.path.exists(self.json_path):
+            return 0
+        with open(self.json_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != CACHE_FORMAT:
+            raise ControlError(
+                f"{self.json_path}: unknown cache format "
+                f"{payload.get('format')!r} (expected {CACHE_FORMAT!r})"
+            )
+        arrays = {}
+        if os.path.exists(self.npz_path):
+            with np.load(self.npz_path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        arrays_save_id = (
+            arrays["save_id"].item() if "save_id" in arrays else None
+        )
+        pulses_usable = (
+            payload.get("save_id") is not None
+            and payload.get("save_id") == arrays_save_id
+        )
+        self.pulse_entries_skipped = (
+            0 if pulses_usable else len(payload["pulses"])
+        )
+        read = 0
+        with self._lock:
+            for fingerprint, backend, signature, value in payload["latencies"]:
+                key = (fingerprint, backend, ast.literal_eval(signature))
+                self._latencies.setdefault(key, float(value))
+                read += 1
+            for record in payload["pulses"] if pulses_usable else ():
+                key = (
+                    record["fingerprint"],
+                    ast.literal_eval(record["signature"]),
+                )
+                slot = record["slot"]
+                pulse = Pulse(
+                    control_names=list(record["control_names"]),
+                    amplitudes=arrays[f"amp{slot}"],
+                    dt=float(record["dt"]),
+                )
+                self._pulses.setdefault(
+                    key,
+                    GrapeResult(
+                        fidelity=float(record["fidelity"]),
+                        converged=bool(record["converged"]),
+                        iterations=int(record["iterations"]),
+                        pulse=pulse,
+                        final_unitary=arrays[f"unitary{slot}"],
+                        loss_history=[
+                            float(x) for x in arrays[f"loss{slot}"]
+                        ],
+                    ),
+                )
+                read += 1
+        self.loaded_entries = read
+        return read
+
+    def save(self) -> int:
+        """Write the whole store to disk; returns entries written.
+
+        Each file is replaced atomically; the arrays land before the
+        manifest, and both carry a content-derived ``save_id`` that
+        :meth:`load` checks before pairing them.
+        """
+        with self._lock:
+            latencies = [
+                [fingerprint, backend, repr(signature), value]
+                for (fingerprint, backend, signature), value
+                in self._latencies.items()
+            ]
+            pulses = []
+            arrays: dict[str, np.ndarray] = {}
+            for slot, ((fingerprint, signature), result) in enumerate(
+                self._pulses.items()
+            ):
+                pulses.append(
+                    {
+                        "fingerprint": fingerprint,
+                        "signature": repr(signature),
+                        "fidelity": result.fidelity,
+                        "converged": bool(result.converged),
+                        "iterations": result.iterations,
+                        "dt": result.pulse.dt,
+                        "control_names": list(result.pulse.control_names),
+                        "slot": slot,
+                    }
+                )
+                arrays[f"amp{slot}"] = result.pulse.amplitudes
+                arrays[f"unitary{slot}"] = result.final_unitary
+                arrays[f"loss{slot}"] = np.asarray(
+                    result.loss_history, dtype=float
+                )
+        # The digest covers the keys *in slot order*: two saves of the
+        # same pulse set inserted in different orders map slots to
+        # different arrays, and must not share a save_id.
+        save_id = hashlib.sha256(
+            "\n".join(
+                record["fingerprint"] + record["signature"]
+                for record in pulses
+            ).encode()
+        ).hexdigest()[:16]
+        payload = {
+            "format": CACHE_FORMAT,
+            "save_id": save_id,
+            "latencies": latencies,
+            "pulses": pulses,
+        }
+        directory = os.path.dirname(self.stem)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if arrays:
+            arrays["save_id"] = np.array(save_id)
+            tmp_npz = self.npz_path + ".tmp.npz"
+            np.savez_compressed(tmp_npz, **arrays)
+            os.replace(tmp_npz, self.npz_path)
+        tmp_json = self.json_path + ".tmp"
+        with open(tmp_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_json, self.json_path)
+        if not arrays and os.path.exists(self.npz_path):
+            os.remove(self.npz_path)
+        return len(latencies) + len(pulses)

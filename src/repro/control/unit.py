@@ -11,7 +11,11 @@ Two backends share one interface:
 Latencies (and synthesized pulses) are cached by a structural signature of
 the instruction, so repeated instructions across a circuit are optimized
 once — the "partial compilation" direction the paper's future-work section
-proposes.
+proposes.  The cache itself lives in a :class:`~repro.control.cache.PulseCache`
+(pass one in to share it across units, batch workers or — with the disk
+backend — whole processes); every entry is namespaced by a fingerprint of
+the device/compiler/GRAPE configuration, so a shared store never confuses
+units with different physics.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from repro.config import (
     DEFAULT_DEVICE,
     DeviceConfig,
 )
+from repro.control.cache import CacheSession, PulseCache, config_fingerprint
 from repro.control.grape import GrapeResult
 from repro.control.hamiltonian import xy_hamiltonian
 from repro.control.latency_model import AnalyticLatencyModel
@@ -46,6 +51,7 @@ class OptimalControlUnit:
         grape_qubit_limit: int = 3,
         grape_dt: float | None = None,
         seed: int = 20190413,
+        cache: PulseCache | CacheSession | None = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ControlError(f"unknown backend {backend!r}; use {_BACKENDS}")
@@ -56,29 +62,38 @@ class OptimalControlUnit:
         self.grape_dt = grape_dt if grape_dt is not None else compiler.grape_dt_ns
         self.seed = seed
         self.model = AnalyticLatencyModel(device)
-        self._latency_cache: dict = {}
-        self._pulse_cache: dict = {}
+        self.cache = cache if cache is not None else PulseCache()
+        self.fingerprint = config_fingerprint(
+            device=device,
+            compiler=compiler,
+            grape_qubit_limit=self.grape_qubit_limit,
+            grape_dt=self.grape_dt,
+            seed=self.seed,
+        )
         self.cache_hits = 0
         self.grape_calls = 0
         self.grape_fallbacks = 0
+        self.model_evals = 0
 
     # ------------------------------------------------------------------
     # Latency
 
     def latency(self, node) -> float:
         """Pulse latency (ns) of a gate or aggregated instruction."""
-        key = (self.backend, _signature_of(node))
-        if key in self._latency_cache:
+        key = (self.fingerprint, self.backend, _signature_of(node))
+        cached = self.cache.get_latency(key)
+        if cached is not None:
             self.cache_hits += 1
-            return self._latency_cache[key]
+            return cached
         gates = _gates_of(node)
         if self.backend == "grape" and len(_support_of(node)) <= self.grape_qubit_limit:
             value = self._grape_latency(node, gates)
         else:
             if self.backend == "grape":
                 self.grape_fallbacks += 1
+            self.model_evals += 1
             value = self.model.sequence_latency(gates)
-        self._latency_cache[key] = value
+        self.cache.put_latency(key, value)
         return value
 
     def model_latency(self, node) -> float:
@@ -87,12 +102,14 @@ class OptimalControlUnit:
         Cached by structural signature: the aggregator probes the same
         candidate-pair structures across rounds.
         """
-        key = ("model", _signature_of(node))
-        if key in self._latency_cache:
+        key = (self.fingerprint, "model", _signature_of(node))
+        cached = self.cache.get_latency(key)
+        if cached is not None:
             self.cache_hits += 1
-            return self._latency_cache[key]
+            return cached
+        self.model_evals += 1
         value = self.model.sequence_latency(_gates_of(node))
-        self._latency_cache[key] = value
+        self.cache.put_latency(key, value)
         return value
 
     def _grape_latency(self, node, gates) -> float:
@@ -112,10 +129,11 @@ class OptimalControlUnit:
 
     def synthesize_pulse(self, node) -> GrapeResult:
         """Run GRAPE (with minimal-time search) for a node's unitary."""
-        key = _signature_of(node)
-        if key in self._pulse_cache:
+        key = (self.fingerprint, _signature_of(node))
+        cached = self.cache.get_pulse(key)
+        if cached is not None:
             self.cache_hits += 1
-            return self._pulse_cache[key]
+            return cached
         support = _support_of(node)
         if len(support) > self.grape_qubit_limit:
             raise ControlError(
@@ -124,6 +142,7 @@ class OptimalControlUnit:
             )
         gates = _gates_of(node)
         target, hamiltonian = self._local_problem(support, gates)
+        self.model_evals += 1
         estimate = max(
             self.model.sequence_latency(gates)
             - self.device.setup_time_2q_ns,
@@ -138,7 +157,7 @@ class OptimalControlUnit:
             dt=self.grape_dt,
             seed=self.seed,
         )
-        self._pulse_cache[key] = search.grape
+        self.cache.put_pulse(key, search.grape)
         return search.grape
 
     def _local_problem(self, support, gates):
@@ -163,13 +182,19 @@ class OptimalControlUnit:
     # Statistics
 
     def cache_info(self) -> dict[str, int]:
-        """Cache and backend usage counters (partial-compilation stats)."""
+        """Cache and backend usage counters (partial-compilation stats).
+
+        ``latency_entries``/``pulse_entries`` count the backing store
+        (which other units may share); the remaining counters are local
+        to this unit.
+        """
         return {
-            "latency_entries": len(self._latency_cache),
-            "pulse_entries": len(self._pulse_cache),
+            "latency_entries": self.cache.latency_count,
+            "pulse_entries": self.cache.pulse_count,
             "cache_hits": self.cache_hits,
             "grape_calls": self.grape_calls,
             "grape_fallbacks": self.grape_fallbacks,
+            "model_evals": self.model_evals,
         }
 
 

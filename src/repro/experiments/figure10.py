@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.benchmarks.registry import benchmark_by_key
-from repro.compiler.pipeline import compile_circuit
+from repro.compiler.batch import BatchCompiler, BatchJob, resolve_engine
 from repro.compiler.strategies import CLS_AGGREGATION, ISA
 from repro.control.unit import OptimalControlUnit
 
@@ -54,31 +54,57 @@ def run_figure10(
     widths: range = range(2, 11),
     scale: str = "paper",
     ocu: OptimalControlUnit | None = None,
+    engine: BatchCompiler | None = None,
+    max_workers: int | None = None,
 ) -> list[Figure10Series]:
-    """Sweep the allowed instruction width per benchmark.
+    """Sweep the allowed instruction width per benchmark (batched).
+
+    Every (benchmark, width) pair plus each benchmark's ISA baseline is
+    one independent job; the whole sweep runs as a single batch over the
+    engine's shared cache.
 
     Args:
         benchmarks: Map benchmark key -> "parallel"/"serial"; defaults to
             the paper's six applications.
         widths: Width settings to sweep (paper: 2..10).
         scale: Suite scale.
-        ocu: Shared latency oracle.
+        ocu: Shared latency oracle (wrapped by the engine when given).
+        engine: Batch engine (shared, possibly disk-persistent cache).
+        max_workers: Worker threads when no engine is passed.
     """
     if benchmarks is None:
         benchmarks = {key: "parallel" for key in PARALLEL_BENCHMARKS}
         benchmarks.update({key: "serial" for key in SERIAL_BENCHMARKS})
-    ocu = ocu or OptimalControlUnit(backend="model")
-    series: list[Figure10Series] = []
-    for key, classification in benchmarks.items():
+    engine = resolve_engine(engine, ocu, max_workers)
+    widths = list(widths)
+    jobs: list[BatchJob] = []
+    for key in benchmarks:
         spec = benchmark_by_key(key, scale=scale)
         circuit = spec.build()
-        baseline = compile_circuit(circuit, ISA, ocu=ocu)
+        jobs.append(
+            BatchJob(circuit=circuit, strategy=ISA, label=f"{key}/isa")
+        )
+        jobs.extend(
+            BatchJob(
+                circuit=circuit,
+                strategy=CLS_AGGREGATION,
+                width_limit=width,
+                label=f"{key}/w{width}",
+            )
+            for width in widths
+        )
+    report = engine.compile_batch(jobs)
+    band_ocu = engine.make_ocu()
+    series: list[Figure10Series] = []
+    cursor = 0
+    for key, classification in benchmarks.items():
+        baseline = report.results[cursor]
+        cursor += 1
         points: list[Figure10Point] = []
         for width in widths:
-            result = compile_circuit(
-                circuit, CLS_AGGREGATION, ocu=ocu, width_limit=width
-            )
-            least, most = _critical_path_optimization_band(result, ocu)
+            result = report.results[cursor]
+            cursor += 1
+            least, most = _critical_path_optimization_band(result, band_ocu)
             points.append(
                 Figure10Point(
                     width=width,

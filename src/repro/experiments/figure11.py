@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.benchmarks.registry import benchmark_by_key
-from repro.compiler.pipeline import compile_circuit
+from repro.compiler.batch import BatchCompiler, BatchJob, resolve_engine
 from repro.compiler.strategies import CLS, CLS_AGGREGATION
 from repro.control.unit import OptimalControlUnit
 
@@ -38,17 +38,29 @@ class Figure11Row:
 def run_figure11(
     scale: str = "paper",
     ocu: OptimalControlUnit | None = None,
+    engine: BatchCompiler | None = None,
+    max_workers: int | None = None,
 ) -> list[Figure11Row]:
-    """Measure the three MAXCUT instances."""
-    ocu = ocu or OptimalControlUnit(backend="model")
+    """Measure the three MAXCUT instances (one batch of six jobs)."""
+    engine = resolve_engine(engine, ocu, max_workers)
     keys = MAXCUT_INSTANCES if scale == "paper" else MAXCUT_INSTANCES_SMALL
     locality_labels = ("high", "medium", "low")
+    jobs: list[BatchJob] = []
+    for key in keys:
+        circuit = benchmark_by_key(key, scale=scale).build()
+        jobs.append(BatchJob(circuit=circuit, strategy=CLS, label=f"{key}/cls"))
+        jobs.append(
+            BatchJob(
+                circuit=circuit,
+                strategy=CLS_AGGREGATION,
+                label=f"{key}/cls+aggregation",
+            )
+        )
+    report = engine.compile_batch(jobs)
     rows: list[Figure11Row] = []
-    for key, locality in zip(keys, locality_labels):
-        spec = benchmark_by_key(key, scale=scale)
-        circuit = spec.build()
-        cls_result = compile_circuit(circuit, CLS, ocu=ocu)
-        aggregated = compile_circuit(circuit, CLS_AGGREGATION, ocu=ocu)
+    for position, (key, locality) in enumerate(zip(keys, locality_labels)):
+        cls_result = report.results[2 * position]
+        aggregated = report.results[2 * position + 1]
         rows.append(
             Figure11Row(
                 benchmark=key,

@@ -9,10 +9,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import time
 
 from repro.benchmarks.registry import table3_suite
-from repro.compiler.pipeline import compile_circuit
+from repro.compiler.batch import BatchCompiler, BatchJob, resolve_engine
 from repro.compiler.strategies import Strategy, all_strategies
 from repro.control.unit import OptimalControlUnit
 
@@ -29,6 +28,9 @@ class Figure9Row:
     qubits: int
     latencies_ns: dict[str, float]
     seconds: dict[str, float]
+    """Per-job wall-clock.  Under a multi-worker engine each entry
+    includes GIL wait while other jobs run; treat as relative cost, not
+    serial compile time."""
 
     def normalized(self) -> dict[str, float]:
         """Latency over the ISA baseline (the paper's y-axis)."""
@@ -46,29 +48,48 @@ def run_figure9(
     strategies: list[Strategy] | None = None,
     ocu: OptimalControlUnit | None = None,
     benchmark_keys: list[str] | None = None,
+    engine: BatchCompiler | None = None,
+    max_workers: int | None = None,
 ) -> list[Figure9Row]:
-    """Compile the suite under every strategy.
+    """Compile the suite under every strategy through the batch engine.
 
     Args:
         scale: ``"paper"`` (Table 3 sizes) or ``"small"`` (fast).
         strategies: Defaults to all five Figure 9 strategies.
-        ocu: Shared latency oracle (pulse cache amortizes across runs).
+        ocu: Shared latency oracle; when given (and no ``engine``), the
+            batch engine wraps its cache so warm runs stay warm.
         benchmark_keys: Restrict to a subset of the suite.
+        engine: Batch engine (shared, possibly disk-persistent cache).
+        max_workers: Worker threads when no engine is passed.
     """
     strategies = strategies or all_strategies()
-    ocu = ocu or OptimalControlUnit(backend="model")
-    rows: list[Figure9Row] = []
-    for spec in table3_suite(scale):
-        if benchmark_keys and spec.key not in benchmark_keys:
-            continue
+    engine = resolve_engine(engine, ocu, max_workers)
+    specs = [
+        spec
+        for spec in table3_suite(scale)
+        if not benchmark_keys or spec.key in benchmark_keys
+    ]
+    jobs: list[BatchJob] = []
+    for spec in specs:
         circuit = spec.build()
+        jobs.extend(
+            BatchJob(
+                circuit=circuit,
+                strategy=strategy,
+                label=f"{spec.key}/{strategy.key}",
+            )
+            for strategy in strategies
+        )
+    report = engine.compile_batch(jobs)
+    rows: list[Figure9Row] = []
+    cursor = 0
+    for spec in specs:
         latencies: dict[str, float] = {}
         seconds: dict[str, float] = {}
         for strategy in strategies:
-            started = time.perf_counter()
-            result = compile_circuit(circuit, strategy, ocu=ocu)
-            seconds[strategy.key] = time.perf_counter() - started
-            latencies[strategy.key] = result.latency_ns
+            latencies[strategy.key] = report.results[cursor].latency_ns
+            seconds[strategy.key] = report.seconds[cursor]
+            cursor += 1
         rows.append(
             Figure9Row(
                 benchmark=spec.key,

@@ -1,9 +1,16 @@
 """Run every experiment and print a paper-style report.
 
+All compilations go through the batch engine, which fans independent
+(circuit, strategy) jobs across worker threads and shares one pulse/latency
+cache.  Pass ``--cache PATH`` to persist that cache on disk: the first run
+pays for every optimal-control query, subsequent runs answer them from the
+cache and the whole sweep completes dramatically faster.
+
 Usage::
 
     python -m repro.experiments.runner --scale small
     python -m repro.experiments.runner --experiment figure9 --scale paper
+    python -m repro.experiments.runner --cache results/pulse_cache --workers 4
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ import argparse
 import sys
 import time
 
+from repro.compiler.batch import BatchCompiler, resolve_engine
+from repro.control.cache import DiskPulseCache
 from repro.control.unit import OptimalControlUnit
 from repro.experiments.figure4 import format_figure4, run_figure4
 from repro.experiments.figure9 import format_figure9, run_figure9
@@ -23,16 +32,22 @@ from repro.experiments.table3 import format_table3, run_table3
 _EXPERIMENTS = ("table1", "table3", "figure4", "figure9", "figure10", "figure11")
 
 
-def run_experiment(name: str, scale: str, ocu: OptimalControlUnit) -> str:
+def run_experiment(
+    name: str,
+    scale: str,
+    ocu: OptimalControlUnit | None = None,
+    engine: BatchCompiler | None = None,
+) -> str:
     """Run one experiment by name, returning its formatted report."""
+    engine = resolve_engine(engine, ocu)
     if name == "table1":
-        return format_table1(run_table1(ocu=ocu))
+        return format_table1(run_table1(engine=engine))
     if name == "table3":
         return format_table3(run_table3(scale=scale))
     if name == "figure4":
-        return format_figure4(run_figure4(ocu=ocu))
+        return format_figure4(run_figure4(ocu=engine.make_ocu()))
     if name == "figure9":
-        return format_figure9(run_figure9(scale=scale, ocu=ocu))
+        return format_figure9(run_figure9(scale=scale, engine=engine))
     if name == "figure10":
         if scale == "small":
             benchmarks = {
@@ -46,12 +61,12 @@ def run_experiment(name: str, scale: str, ocu: OptimalControlUnit) -> str:
                     benchmarks=benchmarks,
                     widths=range(2, 7),
                     scale=scale,
-                    ocu=ocu,
+                    engine=engine,
                 )
             )
-        return format_figure10(run_figure10(scale=scale, ocu=ocu))
+        return format_figure10(run_figure10(scale=scale, engine=engine))
     if name == "figure11":
-        return format_figure11(run_figure11(scale=scale, ocu=ocu))
+        return format_figure11(run_figure11(scale=scale, engine=engine))
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -69,15 +84,41 @@ def main(argv: list[str] | None = None) -> int:
         default="paper",
         help="benchmark sizes: the paper's or fast reduced instances",
     )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persistent pulse-cache stem (writes PATH.json / PATH.npz); "
+        "warm runs skip recomputing cached latencies and pulses",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="batch worker threads (default: one per CPU)",
+    )
     args = parser.parse_args(argv)
-    ocu = OptimalControlUnit(backend="model")
+    cache = DiskPulseCache(args.cache) if args.cache else None
+    engine = BatchCompiler(cache=cache, max_workers=args.workers)
+    if cache is not None and cache.loaded_entries:
+        print(f"[warm cache: {cache.loaded_entries} entries from {args.cache}]")
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    for name in names:
-        started = time.perf_counter()
-        report = run_experiment(name, args.scale, ocu)
-        elapsed = time.perf_counter() - started
-        print(report)
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    try:
+        for name in names:
+            started = time.perf_counter()
+            report = run_experiment(name, args.scale, engine=engine)
+            elapsed = time.perf_counter() - started
+            print(report)
+            print(f"[{name} finished in {elapsed:.1f}s]\n")
+    finally:
+        # Persist even when a sweep dies halfway: hours of paper-scale
+        # optimal-control work must survive for the next warm run.
+        if cache is not None:
+            written = engine.save_cache()
+            print(
+                f"[cache saved: {written} entries -> {args.cache}.json/.npz]"
+            )
     return 0
 
 

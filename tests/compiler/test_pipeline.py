@@ -141,3 +141,42 @@ class TestPipelineOnSuite:
         spec = benchmark_by_key("maxcut-line-6", scale="small")
         result = compile_circuit(spec.build(), CLS_AGGREGATION, ocu=ocu)
         assert result.aggregated_instructions()
+
+
+class TestWidthLimitOverride:
+    """Regression tests: ``width_limit or default`` silently discarded a
+    falsy explicit override."""
+
+    def test_zero_rejected_not_silently_defaulted(self, ocu, qaoa_circuit):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            compile_circuit(
+                qaoa_circuit, CLS_AGGREGATION, ocu=ocu, width_limit=0
+            )
+
+    def test_negative_rejected(self, ocu, qaoa_circuit):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            compile_circuit(
+                qaoa_circuit, CLS_AGGREGATION, ocu=ocu, width_limit=-3
+            )
+
+    def test_width_one_disables_merging(self, ocu, qaoa_circuit):
+        result = compile_circuit(
+            qaoa_circuit, AGGREGATION, ocu=ocu, width_limit=1
+        )
+        assert result.aggregation_merges == 0
+
+    def test_none_uses_config_default(self, ocu, qaoa_circuit):
+        explicit = compile_circuit(
+            qaoa_circuit,
+            CLS_AGGREGATION,
+            ocu=ocu,
+            width_limit=10,  # the CompilerConfig default
+        )
+        defaulted = compile_circuit(
+            qaoa_circuit, CLS_AGGREGATION, ocu=ocu, width_limit=None
+        )
+        assert defaulted.latency_ns == explicit.latency_ns

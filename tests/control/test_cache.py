@@ -1,0 +1,308 @@
+"""Tests for the shared pulse/latency cache backends."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import CompilerConfig, DeviceConfig
+from repro.control.cache import (
+    CacheDelta,
+    CacheSession,
+    DiskPulseCache,
+    PulseCache,
+    config_fingerprint,
+)
+from repro.control.grape import GrapeResult
+from repro.control.pulse import Pulse
+from repro.control.unit import OptimalControlUnit
+from repro.errors import ControlError
+from repro.gates import library as lib
+
+
+def _fingerprint(device=None, compiler=None, **overrides):
+    kwargs = {
+        "device": device or DeviceConfig(),
+        "compiler": compiler or CompilerConfig(),
+        "grape_qubit_limit": 3,
+        "grape_dt": 0.5,
+        "seed": 20190413,
+    }
+    kwargs.update(overrides)
+    return config_fingerprint(**kwargs)
+
+
+def _grape_result(steps=4, controls=2, seed=7) -> GrapeResult:
+    rng = np.random.default_rng(seed)
+    pulse = Pulse(
+        control_names=[f"c{i}" for i in range(controls)],
+        amplitudes=rng.standard_normal((steps, controls)),
+        dt=0.5,
+    )
+    unitary = np.eye(2, dtype=complex) * np.exp(1j * 0.25)
+    return GrapeResult(
+        fidelity=0.9991,
+        converged=True,
+        iterations=17,
+        pulse=pulse,
+        final_unitary=unitary,
+        loss_history=[0.5, 0.1, 0.0009],
+    )
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert _fingerprint() == _fingerprint()
+
+    def test_device_changes_fingerprint(self):
+        assert _fingerprint() != _fingerprint(
+            device=DeviceConfig(coupling_limit_ghz=0.04)
+        )
+
+    def test_compiler_changes_fingerprint(self):
+        assert _fingerprint() != _fingerprint(
+            compiler=CompilerConfig(fidelity_threshold=0.99)
+        )
+
+    def test_grape_settings_change_fingerprint(self):
+        assert _fingerprint() != _fingerprint(grape_dt=0.25)
+        assert _fingerprint() != _fingerprint(seed=1)
+        assert _fingerprint() != _fingerprint(grape_qubit_limit=4)
+
+
+class TestPulseCache:
+    def test_latency_round_trip(self):
+        cache = PulseCache()
+        key = ("fp", "model", (1, ()))
+        assert cache.get_latency(key) is None
+        cache.put_latency(key, 47.1)
+        assert cache.get_latency(key) == 47.1
+        assert cache.latency_count == 1
+
+    def test_pulse_round_trip(self):
+        cache = PulseCache()
+        key = ("fp", (2, ()))
+        assert cache.get_pulse(key) is None
+        result = _grape_result()
+        cache.put_pulse(key, result)
+        assert cache.get_pulse(key) is result
+        assert cache.pulse_count == 1
+
+    def test_stats_track_hits_and_misses(self):
+        cache = PulseCache()
+        cache.get_latency(("a",))
+        cache.put_latency(("a",), 1.0)
+        cache.get_latency(("a",))
+        stats = cache.stats()
+        assert stats["store_hits"] == 1
+        assert stats["store_misses"] == 1
+        assert stats["store_writes"] == 1
+
+    def test_merge_delta_counts_new_entries(self):
+        cache = PulseCache()
+        cache.put_latency(("old",), 1.0)
+        delta = CacheDelta(
+            latencies={("old",): 1.0, ("new",): 2.0},
+            pulses={("p",): _grape_result()},
+        )
+        assert cache.merge_delta(delta) == 2
+        assert cache.get_latency(("new",)) == 2.0
+
+    def test_picklable_across_processes(self):
+        cache = PulseCache()
+        cache.put_latency(("k",), 3.5)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get_latency(("k",)) == 3.5
+        clone.put_latency(("k2",), 4.5)  # lock was reconstructed
+
+
+class TestCacheSession:
+    def test_reads_fall_through_to_store(self):
+        store = PulseCache()
+        store.put_latency(("k",), 9.0)
+        session = CacheSession(store)
+        assert session.get_latency(("k",)) == 9.0
+
+    def test_writes_buffer_into_delta(self):
+        store = PulseCache()
+        session = CacheSession(store)
+        session.put_latency(("k",), 5.0)
+        assert session.get_latency(("k",)) == 5.0
+        assert store.get_latency(("k",)) is None
+        assert len(session.delta) == 1
+        store.merge_delta(session.delta)
+        assert store.get_latency(("k",)) == 5.0
+
+    def test_counts_include_both_layers(self):
+        store = PulseCache()
+        store.put_latency(("a",), 1.0)
+        session = CacheSession(store)
+        session.put_latency(("b",), 2.0)
+        assert session.latency_count == 2
+
+
+class TestDiskPulseCache:
+    def test_round_trip_latencies_and_pulses(self, tmp_path):
+        stem = tmp_path / "cache"
+        cache = DiskPulseCache(stem)
+        latency_key = ("fp", "model", (2, (("CNOT", (), (0, 1)),)))
+        pulse_key = ("fp", (2, (("CNOT", (), (0, 1)),)))
+        cache.put_latency(latency_key, 47.1)
+        original = _grape_result()
+        cache.put_pulse(pulse_key, original)
+        assert cache.save() == 2
+
+        reloaded = DiskPulseCache(stem)
+        assert reloaded.loaded_entries == 2
+        assert reloaded.get_latency(latency_key) == 47.1
+        restored = reloaded.get_pulse(pulse_key)
+        assert restored.fidelity == original.fidelity
+        assert restored.converged == original.converged
+        assert restored.iterations == original.iterations
+        assert restored.pulse.dt == original.pulse.dt
+        assert restored.pulse.control_names == original.pulse.control_names
+        np.testing.assert_array_equal(
+            restored.pulse.amplitudes, original.pulse.amplitudes
+        )
+        np.testing.assert_array_equal(
+            restored.final_unitary, original.final_unitary
+        )
+        assert restored.loss_history == pytest.approx(original.loss_history)
+
+    def test_missing_files_load_empty(self, tmp_path):
+        cache = DiskPulseCache(tmp_path / "nothing")
+        assert cache.loaded_entries == 0
+        assert cache.latency_count == 0
+
+    def test_json_suffix_addresses_same_pair(self, tmp_path):
+        cache = DiskPulseCache(tmp_path / "cache")
+        cache.put_latency(("fp", "model", (1, ())), 1.0)
+        cache.save()
+        assert DiskPulseCache(tmp_path / "cache.json").loaded_entries == 1
+
+    def test_unknown_format_rejected(self, tmp_path):
+        stem = tmp_path / "cache"
+        (tmp_path / "cache.json").write_text('{"format": "bogus"}')
+        with pytest.raises(ControlError):
+            DiskPulseCache(stem)
+
+    def test_torn_file_pair_drops_pulses_keeps_latencies(self, tmp_path):
+        stem = tmp_path / "cache"
+        cache = DiskPulseCache(stem)
+        latency_key = ("fp", "model", (1, ()))
+        pulse_key = ("fp", (1, ()))
+        cache.put_latency(latency_key, 5.0)
+        cache.put_pulse(pulse_key, _grape_result())
+        cache.save()
+
+        # Simulate a crash between the two atomic replaces: the npz on
+        # disk belongs to a different save than the json manifest.
+        other = DiskPulseCache(tmp_path / "other")
+        other.put_pulse(("fp", (9, ())), _grape_result(steps=6))
+        other.save()
+        (tmp_path / "other.npz").rename(tmp_path / "cache.npz")
+
+        reloaded = DiskPulseCache(stem)
+        assert reloaded.get_latency(latency_key) == 5.0
+        assert reloaded.get_pulse(pulse_key) is None  # miss, not mispair
+        assert reloaded.pulse_entries_skipped == 1
+
+    def test_same_keys_different_slot_order_not_mispaired(self, tmp_path):
+        """Two saves of the same pulse set in different insertion order
+        assign slots differently; their files must never cross-pair."""
+        key_a = ("fp", (1, (("H", (), (0,)),)))
+        key_b = ("fp", (1, (("X", (), (0,)),)))
+        result_a = _grape_result(seed=1)
+        result_b = _grape_result(seed=2)
+
+        first = DiskPulseCache(tmp_path / "first")
+        first.put_pulse(key_a, result_a)
+        first.put_pulse(key_b, result_b)
+        first.save()
+        second = DiskPulseCache(tmp_path / "second")
+        second.put_pulse(key_b, result_b)
+        second.put_pulse(key_a, result_a)
+        second.save()
+
+        # Torn pair: first's manifest with second's arrays.
+        (tmp_path / "second.npz").rename(tmp_path / "first.npz")
+        reloaded = DiskPulseCache(tmp_path / "first")
+        assert reloaded.pulse_count == 0
+        assert reloaded.pulse_entries_skipped == 2
+
+    def test_missing_npz_drops_pulses_keeps_latencies(self, tmp_path):
+        stem = tmp_path / "cache"
+        cache = DiskPulseCache(stem)
+        cache.put_latency(("fp", "model", (1, ())), 5.0)
+        cache.put_pulse(("fp", (1, ())), _grape_result())
+        cache.save()
+        (tmp_path / "cache.npz").unlink()
+        reloaded = DiskPulseCache(stem)
+        assert reloaded.get_latency(("fp", "model", (1, ()))) == 5.0
+        assert reloaded.pulse_count == 0
+        assert reloaded.pulse_entries_skipped == 1
+
+    def test_save_without_pulses_removes_stale_npz(self, tmp_path):
+        stem = tmp_path / "cache"
+        cache = DiskPulseCache(stem)
+        cache.put_pulse(("fp", (1, ())), _grape_result())
+        cache.save()
+        assert (tmp_path / "cache.npz").exists()
+        empty = DiskPulseCache(tmp_path / "other")
+        empty.stem = str(stem)
+        empty.put_latency(("fp", "model", (1, ())), 1.0)
+        empty.save()
+        assert not (tmp_path / "cache.npz").exists()
+
+
+class TestSharedCacheAcrossUnits:
+    def test_units_with_same_config_share_entries(self):
+        store = PulseCache()
+        first = OptimalControlUnit(cache=store)
+        second = OptimalControlUnit(cache=store)
+        first.latency(lib.CNOT(0, 1))
+        assert first.model_evals == 1
+        second.latency(lib.CNOT(0, 1))
+        assert second.model_evals == 0
+        assert second.cache_hits == 1
+
+    def test_different_device_does_not_share(self):
+        store = PulseCache()
+        first = OptimalControlUnit(cache=store)
+        other_device = DeviceConfig(coupling_limit_ghz=0.04)
+        second = OptimalControlUnit(device=other_device, cache=store)
+        first.latency(lib.CNOT(0, 1))
+        second.latency(lib.CNOT(0, 1))
+        assert second.model_evals == 1
+        assert store.latency_count == 2
+
+    def test_warm_disk_cache_skips_model(self, tmp_path):
+        stem = tmp_path / "cache"
+        cold_cache = DiskPulseCache(stem)
+        cold = OptimalControlUnit(cache=cold_cache)
+        gates = [lib.CNOT(0, 1), lib.SWAP(1, 2), lib.H(0), lib.RZ(0.3, 2)]
+        cold_values = [cold.latency(gate) for gate in gates]
+        assert cold.model_evals == len(gates)
+        cold_cache.save()
+
+        warm = OptimalControlUnit(cache=DiskPulseCache(stem))
+        warm_values = [warm.latency(gate) for gate in gates]
+        assert warm_values == cold_values  # bit-identical through JSON
+        assert warm.model_evals == 0
+
+    def test_warm_disk_cache_skips_grape(self, tmp_path):
+        stem = tmp_path / "cache"
+        cold_cache = DiskPulseCache(stem)
+        cold = OptimalControlUnit(backend="grape", seed=11, cache=cold_cache)
+        cold_latency = cold.latency(lib.H(0))
+        assert cold.grape_calls == 1
+        cold_cache.save()
+
+        warm = OptimalControlUnit(
+            backend="grape", seed=11, cache=DiskPulseCache(stem)
+        )
+        assert warm.latency(lib.H(0)) == cold_latency
+        assert warm.grape_calls == 0
+        pulse = warm.synthesize_pulse(lib.H(0))
+        assert pulse.converged
+        assert warm.grape_calls == 0
