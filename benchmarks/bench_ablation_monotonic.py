@@ -10,7 +10,6 @@ from repro.aggregation.aggregator import aggregate
 from repro.benchmarks.ising import ising_model_circuit
 from repro.circuit.commutation import CommutationChecker
 from repro.circuit.dag import GateDependenceGraph
-from repro.control.unit import OptimalControlUnit
 from repro.gates.decompositions import lower_to_standard_set
 
 

@@ -9,33 +9,9 @@ model evaluations) that `tests/compiler/test_batch.py` checks at unit
 scale.
 """
 
-from repro.benchmarks.registry import table3_suite
-from repro.compiler.batch import BatchJob
-from repro.compiler.strategies import all_strategies
-
-_BENCH_KEYS_SMALL = ("maxcut-line-6", "ising-6", "sqrt-9", "uccsd-4")
-
-
-def _build_jobs(scale: str) -> list[BatchJob]:
-    jobs: list[BatchJob] = []
-    for spec in table3_suite(scale):
-        if scale == "small" and spec.key not in _BENCH_KEYS_SMALL:
-            continue
-        circuit = spec.build()
-        jobs.extend(
-            BatchJob(
-                circuit=circuit,
-                strategy=strategy,
-                label=f"{spec.key}/{strategy.key}",
-            )
-            for strategy in all_strategies()
-        )
-    return jobs
-
-
-def test_batch_throughput(benchmark, bench_scale, batch_engine, capsys):
+def test_batch_throughput(benchmark, sweep_jobs, batch_engine, capsys):
     engine = batch_engine
-    jobs = _build_jobs(bench_scale)
+    jobs = sweep_jobs
     assert len(jobs) >= 8
     cold = engine.compile_batch(jobs)
     warm = benchmark.pedantic(

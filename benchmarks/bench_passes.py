@@ -1,0 +1,42 @@
+"""Pass-manager instrumentation: where a strategy sweep's time goes.
+
+Compiles the shared strategy-sweep workload (``sweep_jobs`` from
+``conftest.py``) through the pass-manager core and prints the per-pass
+wall-clock breakdown the refactor added
+(``CompilationResult.pass_seconds``).  The assertion pins the refactor's
+contract: the manager's own bookkeeping (context setup, timing, result
+packaging, cache merging) stays a small fraction of compile time — the
+passes, not the plumbing, must dominate.
+"""
+
+from repro.compiler.batch import BatchCompiler
+
+
+def test_per_pass_breakdown(benchmark, sweep_jobs, shared_cache, capsys):
+    # One worker so per-job wall-clock is GIL-free and comparable with
+    # the in-pass timers.
+    engine = BatchCompiler(cache=shared_cache, max_workers=1)
+    engine.compile_batch(sweep_jobs)  # warm the cache; time steady state
+    report = benchmark.pedantic(
+        engine.compile_batch, args=(sweep_jobs,), rounds=1, iterations=1
+    )
+    pass_totals = report.pass_seconds
+    in_pass = sum(pass_totals.values())
+    total = sum(report.seconds)
+    overhead = total - in_pass
+    with capsys.disabled():
+        print()
+        print(f"{len(sweep_jobs)} jobs, per-pass breakdown (warm cache):")
+        for name, seconds in sorted(
+            pass_totals.items(), key=lambda item: -item[1]
+        ):
+            print(f"  {name:24s} {seconds:8.4f}s ({seconds / total:6.1%})")
+        print(
+            f"  {'<manager overhead>':24s} {overhead:8.4f}s "
+            f"({overhead / total:6.1%})"
+        )
+    assert in_pass <= total + 1e-6
+    # The plumbing must not eat the refactor's gains: passes dominate.
+    # Generous slack (ratio or absolute) so a scheduler stall on a
+    # loaded CI runner cannot redden the job without a real regression.
+    assert overhead <= max(0.35 * total, 0.25)

@@ -11,7 +11,6 @@ def test_table3(benchmark, bench_scale, capsys):
         print()
         print(format_table3(rows))
     assert len(rows) == 10
-    by_key = {row.key: row for row in rows}
     # The QAOA family must order line > reg4 > cluster in locality.
     maxcuts = [row for row in rows if row.key.startswith("maxcut")]
     assert maxcuts[0].spatial_locality > maxcuts[2].spatial_locality

@@ -20,9 +20,36 @@ import os
 
 import pytest
 
-from repro.compiler.batch import BatchCompiler
+from repro.benchmarks.registry import table3_suite
+from repro.compiler.batch import BatchCompiler, BatchJob
+from repro.compiler.strategies import all_strategies
 from repro.control.cache import DiskPulseCache, PulseCache
 from repro.control.unit import OptimalControlUnit
+
+_SWEEP_KEYS_SMALL = ("maxcut-line-6", "ising-6", "sqrt-9", "uccsd-4")
+
+
+def build_strategy_sweep_jobs(scale: str) -> list[BatchJob]:
+    """The shared benchmark workload: a multi-benchmark strategy sweep.
+
+    At small scale a four-benchmark subset keeps the sweep fast; at
+    paper scale the full Table 3 suite runs.  One definition serves
+    every bench module so the CI jobs measure the same suite.
+    """
+    jobs: list[BatchJob] = []
+    for spec in table3_suite(scale):
+        if scale == "small" and spec.key not in _SWEEP_KEYS_SMALL:
+            continue
+        circuit = spec.build()
+        jobs.extend(
+            BatchJob(
+                circuit=circuit,
+                strategy=strategy,
+                label=f"{spec.key}/{strategy.key}",
+            )
+            for strategy in all_strategies()
+        )
+    return jobs
 
 
 @pytest.fixture(scope="session")
@@ -45,6 +72,12 @@ def shared_cache():
         cache.save()
     else:
         yield PulseCache()
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs(bench_scale) -> list[BatchJob]:
+    """The shared strategy-sweep workload at the session's scale."""
+    return build_strategy_sweep_jobs(bench_scale)
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,10 @@ Quick example::
 """
 
 from repro.circuit.circuit import Circuit
-from repro.compiler.pipeline import compile_circuit
+from repro.compiler.context import CompilationContext
+from repro.compiler.manager import PassManager
+from repro.compiler.passes import Pass
+from repro.compiler.pipeline import compile_circuit, compile_with_pipeline
 from repro.compiler.result import CompilationResult
 from repro.compiler.strategies import (
     AGGREGATION,
@@ -29,6 +32,8 @@ from repro.compiler.strategies import (
     ISA,
     Strategy,
     all_strategies,
+    register_strategy,
+    registered_strategies,
     strategy_by_key,
 )
 from repro.config import CompilerConfig, DeviceConfig
@@ -43,14 +48,20 @@ __all__ = [
     "CLS_AGGREGATION",
     "CLS_HAND",
     "Circuit",
+    "CompilationContext",
     "CompilationResult",
     "CompilerConfig",
     "DeviceConfig",
     "ISA",
     "OptimalControlUnit",
+    "Pass",
+    "PassManager",
     "ReproError",
     "Strategy",
     "all_strategies",
     "compile_circuit",
+    "compile_with_pipeline",
+    "register_strategy",
+    "registered_strategies",
     "strategy_by_key",
 ]

@@ -1,4 +1,4 @@
-"""End-to-end compilation pipeline, batch engine and the strategy set."""
+"""Pass-manager compilation core, batch engine and the strategy set."""
 
 from repro.compiler.batch import (
     BatchCompiler,
@@ -6,7 +6,19 @@ from repro.compiler.batch import (
     BatchReport,
     compile_batch,
 )
-from repro.compiler.pipeline import compile_circuit
+from repro.compiler.context import CompilationContext
+from repro.compiler.manager import PassManager
+from repro.compiler.passes import (
+    AggregatePass,
+    DetectDiagonalsPass,
+    FinalSchedulePass,
+    HandOptimizePass,
+    LogicalSchedulePass,
+    LowerPass,
+    Pass,
+    PlaceAndRoutePass,
+)
+from repro.compiler.pipeline import compile_circuit, compile_with_pipeline
 from repro.compiler.result import CompilationResult
 from repro.compiler.strategies import (
     AGGREGATION,
@@ -16,22 +28,43 @@ from repro.compiler.strategies import (
     ISA,
     Strategy,
     all_strategies,
+    available_strategy_keys,
+    default_pipeline,
+    register_strategy,
+    registered_strategies,
     strategy_by_key,
+    unregister_strategy,
 )
 
 __all__ = [
     "AGGREGATION",
+    "AggregatePass",
     "BatchCompiler",
     "BatchJob",
     "BatchReport",
     "CLS",
     "CLS_AGGREGATION",
     "CLS_HAND",
+    "CompilationContext",
     "CompilationResult",
+    "DetectDiagonalsPass",
+    "FinalSchedulePass",
+    "HandOptimizePass",
     "ISA",
+    "LogicalSchedulePass",
+    "LowerPass",
+    "Pass",
+    "PassManager",
+    "PlaceAndRoutePass",
     "Strategy",
     "all_strategies",
+    "available_strategy_keys",
     "compile_batch",
     "compile_circuit",
+    "compile_with_pipeline",
+    "default_pipeline",
+    "register_strategy",
+    "registered_strategies",
     "strategy_by_key",
+    "unregister_strategy",
 ]

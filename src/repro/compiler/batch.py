@@ -30,9 +30,11 @@ from collections.abc import Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 from repro.circuit.circuit import Circuit
-from repro.compiler.pipeline import compile_circuit
+from repro.compiler.manager import PassCallback
+from repro.compiler.passes import Pass, strategy_pulse_backend
+from repro.compiler.pipeline import compile_with_pipeline
 from repro.compiler.result import CompilationResult
-from repro.compiler.strategies import ISA, Strategy
+from repro.compiler.strategies import ISA, Strategy, strategy_by_key
 from repro.config import (
     CompilerConfig,
     DEFAULT_COMPILER,
@@ -49,13 +51,32 @@ _COUNTER_KEYS = ("cache_hits", "grape_calls", "grape_fallbacks", "model_evals")
 
 @dataclasses.dataclass(frozen=True)
 class BatchJob:
-    """One unit of batch work: a circuit compiled under one strategy."""
+    """One unit of batch work: a circuit compiled under one strategy.
+
+    ``strategy`` also accepts the key of a registered strategy (built-in
+    or added via :func:`~repro.compiler.strategies.register_strategy`).
+    ``passes`` overrides the strategy's pipeline with an explicit pass
+    list for this job only; the strategy still labels the result, and
+    block pricing is derived from the pass list (whether it contains an
+    ``AggregatePass``) unless ``pulse_backend`` overrides it — set it
+    for a custom backend pass the auto-detection cannot see.
+    """
 
     circuit: Circuit
-    strategy: Strategy = ISA
+    strategy: Strategy | str = ISA
     width_limit: int | None = None
     topology: GridTopology | None = None
     label: str | None = None
+    passes: tuple[Pass, ...] | None = None
+    pulse_backend: bool | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.strategy, str):
+            object.__setattr__(
+                self, "strategy", strategy_by_key(self.strategy)
+            )
+        if self.passes is not None:
+            object.__setattr__(self, "passes", tuple(self.passes))
 
     @property
     def key(self) -> str:
@@ -63,6 +84,12 @@ class BatchJob:
         if self.label is not None:
             return self.label
         return f"{self.circuit.name}/{self.strategy.key}"
+
+    def pipeline(self) -> list[Pass]:
+        """The pass list this job compiles with."""
+        if self.passes is not None:
+            return list(self.passes)
+        return self.strategy.pipeline()
 
 
 @dataclasses.dataclass
@@ -94,6 +121,20 @@ class BatchReport:
         """Sum of all result makespans (batch-level throughput metric)."""
         return sum(result.latency_ns for result in self.results)
 
+    @property
+    def pass_seconds(self) -> dict[str, float]:
+        """Wall-clock per compiler pass summed over all jobs.
+
+        The batch-level view of the per-pass instrumentation: where the
+        whole sweep's compile time went, keyed by pass name.  A property
+        so it reads like ``CompilationResult.pass_seconds``.
+        """
+        totals: dict[str, float] = {}
+        for result in self.results:
+            for name, value in result.pass_seconds.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
 
 class BatchCompiler:
     """Compiles batches of jobs against one shared pulse/latency cache.
@@ -109,6 +150,10 @@ class BatchCompiler:
             ``min(cpu_count, job count)``.
         grape_qubit_limit / grape_dt / seed: Forwarded to every OCU, and
             part of the cache fingerprint.
+        pass_callbacks: Per-pass instrumentation hooks forwarded to every
+            job's :class:`~repro.compiler.manager.PassManager`; invoked
+            as ``(pass_, context, elapsed_seconds)``.  With several
+            workers, hooks run concurrently — keep them thread-safe.
     """
 
     def __init__(
@@ -121,6 +166,7 @@ class BatchCompiler:
         grape_qubit_limit: int = 3,
         grape_dt: float | None = None,
         seed: int = 20190413,
+        pass_callbacks: Sequence[PassCallback] = (),
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be at least 1")
@@ -132,6 +178,7 @@ class BatchCompiler:
         self.grape_qubit_limit = grape_qubit_limit
         self.grape_dt = grape_dt
         self.seed = seed
+        self.pass_callbacks = list(pass_callbacks)
 
     @classmethod
     def from_ocu(
@@ -180,20 +227,18 @@ class BatchCompiler:
     def compile(
         self,
         circuit: Circuit,
-        strategy: Strategy = ISA,
+        strategy: Strategy | str = ISA,
         width_limit: int | None = None,
         topology: GridTopology | None = None,
     ) -> CompilationResult:
         """Compile one circuit through the shared cache (no workers)."""
-        return compile_circuit(
-            circuit,
-            strategy,
-            device=self.device,
-            compiler_config=self.compiler_config,
-            ocu=self.make_ocu(),
-            topology=topology,
+        job = BatchJob(
+            circuit=circuit,
+            strategy=strategy,
             width_limit=width_limit,
+            topology=topology,
         )
+        return self._compile_job(job, self.make_ocu())
 
     def compile_batch(self, jobs: Iterable) -> BatchReport:
         """Compile every job, fanning across workers; results in order.
@@ -238,6 +283,35 @@ class BatchCompiler:
 
     # ------------------------------------------------------------------
 
+    def _compile_job(
+        self, job: BatchJob, ocu: OptimalControlUnit
+    ) -> CompilationResult:
+        """Run one job's pipeline through the pass-manager core."""
+        pipeline = job.pipeline()
+        if job.pulse_backend is not None:
+            pulse_backend = job.pulse_backend
+        elif job.passes is not None:
+            # Explicit per-job pipeline: the pass list alone is the
+            # source of truth; None lets compile_with_pipeline apply its
+            # own auto-detection (one rule, one place).
+            pulse_backend = None
+        else:
+            # Strategy-resolved pipeline: one shared pricing policy with
+            # compile_circuit.
+            pulse_backend = strategy_pulse_backend(job.strategy, pipeline)
+        return compile_with_pipeline(
+            job.circuit,
+            pipeline,
+            strategy_key=job.strategy.key,
+            pulse_backend=pulse_backend,
+            device=self.device,
+            compiler_config=self.compiler_config,
+            ocu=ocu,
+            topology=job.topology,
+            width_limit=job.width_limit,
+            callbacks=self.pass_callbacks,
+        )
+
     def _run_job(
         self, job: BatchJob
     ) -> tuple[CompilationResult, float, dict[str, int]]:
@@ -245,15 +319,7 @@ class BatchCompiler:
         job_started = time.perf_counter()
         session = CacheSession(self.cache)
         ocu = self.make_ocu(cache=session)
-        result = compile_circuit(
-            job.circuit,
-            job.strategy,
-            device=self.device,
-            compiler_config=self.compiler_config,
-            ocu=ocu,
-            topology=job.topology,
-            width_limit=job.width_limit,
-        )
+        result = self._compile_job(job, ocu)
         self.cache.merge_delta(session.delta)
         used = {key: getattr(ocu, key) for key in _COUNTER_KEYS}
         return result, time.perf_counter() - job_started, used

@@ -1,0 +1,238 @@
+"""The compiler's rewriting passes (paper Fig. 5, one stage per pass).
+
+Each pass is a small object with a ``run(context)`` method that rewrites
+one facet of the :class:`~repro.compiler.context.CompilationContext`:
+
+* :class:`LowerPass` — decompose to the standard logical set
+  (1-qubit rotations, CNOT, SWAP).
+* :class:`DetectDiagonalsPass` — contract diagonal 2-qubit blocks
+  (commutativity detection, Sec. 4.2).
+* :class:`LogicalSchedulePass` — CLS or plain program order over the
+  logical dependence graph.
+* :class:`PlaceAndRoutePass` — recursive-bisection placement on a grid
+  and SWAP-insertion routing.
+* :class:`HandOptimizePass` — mechanical iSWAP pulse identities (the
+  paper's strongest prior-art backend).
+* :class:`AggregatePass` — monotonic instruction aggregation against the
+  optimal-control unit (Sec. 4.3).
+* :class:`FinalSchedulePass` — CLS or list scheduling with per-
+  instruction pulse latencies; the makespan is Figure 9's y-axis.
+
+Custom passes subclass :class:`Pass`, read context fields through
+``context.require`` (so mis-ordered pipelines fail with a clear
+:class:`~repro.errors.PassOrderingError`), and can record structured
+metrics via ``context.record_metrics``.  See ``examples/custom_pass.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.aggregation.aggregator import aggregate
+from repro.aggregation.diagonal import detect_diagonal_blocks
+from repro.aggregation.instruction import AggregatedInstruction
+from repro.circuit.dag import GateDependenceGraph
+from repro.compiler.context import CompilationContext
+from repro.compiler.hand_opt import hand_optimize
+from repro.gates.decompositions import lower_to_standard_set
+from repro.mapping.placement import initial_placement
+from repro.mapping.router import route
+from repro.mapping.topology import grid_for
+from repro.scheduling.cls import cls_schedule
+from repro.scheduling.list_scheduler import list_schedule
+
+
+class Pass(abc.ABC):
+    """One rewriting step over a :class:`CompilationContext`.
+
+    Attributes:
+        stage: ``CompilationResult.stage_seconds`` key this pass's
+            wall-clock accrues to, or None to record only under the pass
+            name in ``pass_seconds``.
+    """
+
+    stage: str | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name (the class name unless overridden)."""
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def run(self, context: CompilationContext) -> None:
+        """Rewrite the context in place."""
+
+    def __repr__(self) -> str:
+        return f"{self.name}()"
+
+
+class LowerPass(Pass):
+    """Decompose every gate to the standard logical set."""
+
+    stage = "lowering"
+
+    def run(self, context: CompilationContext) -> None:
+        lowered = lower_to_standard_set(context.circuit.gates)
+        context.nodes = list(lowered)
+        context.lowered_gate_count = len(lowered)
+        context.record_metrics(self.name, lowered_gates=len(lowered))
+
+
+class DetectDiagonalsPass(Pass):
+    """Contract runs of gates forming diagonal 2-qubit blocks."""
+
+    stage = "detection"
+
+    def run(self, context: CompilationContext) -> None:
+        nodes = context.require("nodes", self.name, "run LowerPass first")
+        detected = detect_diagonal_blocks(nodes, context.compiler_config)
+        context.nodes = detected
+        context.record_metrics(
+            self.name,
+            blocks=sum(
+                isinstance(node, AggregatedInstruction) for node in detected
+            ),
+        )
+
+
+class LogicalSchedulePass(Pass):
+    """Order the logical nodes: CLS reordering or stable program order."""
+
+    stage = "logical_scheduling"
+
+    def __init__(self, use_cls: bool = True) -> None:
+        self.use_cls = use_cls
+
+    def run(self, context: CompilationContext) -> None:
+        nodes = context.require("nodes", self.name, "run LowerPass first")
+        dag = GateDependenceGraph(
+            context.circuit.num_qubits, nodes, context.checker.commute
+        )
+        if self.use_cls:
+            order = cls_schedule(dag, context.latency).ordered_nodes()
+            dag.reorder(order)
+        context.logical_dag = dag
+        context.nodes = dag.stable_topological_order()
+
+
+class PlaceAndRoutePass(Pass):
+    """Place on a grid (recursive bisection) and insert routing SWAPs."""
+
+    stage = "mapping"
+
+    def run(self, context: CompilationContext) -> None:
+        nodes = context.require("nodes", self.name, "run LowerPass first")
+        if context.topology is None:
+            context.topology = grid_for(context.circuit.num_qubits)
+        placement = initial_placement(context.circuit, context.topology)
+        routing = route(nodes, placement)
+        context.routing = routing
+        context.physical_nodes = routing.nodes
+        context.invalidate_physical_dag()
+        context.record_metrics(self.name, swaps=routing.swap_count)
+
+
+class HandOptimizePass(Pass):
+    """Rewrite routed nodes with the documented iSWAP pulse identities."""
+
+    stage = "backend"
+
+    def run(self, context: CompilationContext) -> None:
+        nodes = context.require(
+            "physical_nodes", self.name, "run PlaceAndRoutePass first"
+        )
+        before = len(nodes)
+        context.physical_nodes = hand_optimize(nodes, context.device)
+        context.invalidate_physical_dag()
+        context.record_metrics(
+            self.name, nodes_before=before, nodes_after=len(context.physical_nodes)
+        )
+
+
+class AggregatePass(Pass):
+    """Monotonic instruction aggregation over the physical DAG.
+
+    Args:
+        width_limit: Override of the context's width limit.
+        max_rounds: Override of ``CompilerConfig.max_aggregation_rounds``.
+    """
+
+    stage = "backend"
+
+    def __init__(
+        self,
+        width_limit: int | None = None,
+        max_rounds: int | None = None,
+    ) -> None:
+        self.width_limit = width_limit
+        self.max_rounds = max_rounds
+
+    def run(self, context: CompilationContext) -> None:
+        dag = context.ensure_physical_dag(self.name)
+        width_limit = (
+            self.width_limit
+            if self.width_limit is not None
+            else context.width_limit
+        )
+        max_rounds = (
+            self.max_rounds
+            if self.max_rounds is not None
+            else context.compiler_config.max_aggregation_rounds
+        )
+        report = aggregate(
+            dag,
+            context.ocu,
+            width_limit=width_limit,
+            max_rounds=max_rounds,
+        )
+        context.aggregation_merges += report.merges
+        context.record_metrics(
+            self.name,
+            merges=report.merges,
+            rounds=report.rounds,
+            improvement=report.improvement,
+        )
+
+
+def pipeline_prices_pulses(passes) -> bool:
+    """Whether a pass list gives aggregated blocks single-pulse pricing.
+
+    True when an :class:`AggregatePass` is present: the optimal-control
+    backend then compiles each block into one optimized pulse, so the
+    context's latency oracle must not price blocks as their member
+    gates.  Used to derive ``pulse_backend`` for explicit pipelines.
+    """
+    return any(isinstance(pass_, AggregatePass) for pass_ in passes)
+
+
+def strategy_pulse_backend(strategy, pipeline) -> bool:
+    """Block-pricing policy for a strategy-resolved pipeline.
+
+    A strategy declares flags and pipeline jointly, so either signal
+    enables single-pulse pricing: an :class:`AggregatePass` in the
+    resolved pipeline (covers registered factories diverging from the
+    flags), or the strategy's ``aggregation`` flag (covers factories
+    using a custom backend pass the auto-detection cannot see).
+    Identical to the flag alone for every flag-driven default pipeline.
+    The single definition keeps ``compile_circuit`` and the batch
+    engine from diverging on the same strategy.
+    """
+    return pipeline_prices_pulses(pipeline) or strategy.aggregation
+
+
+class FinalSchedulePass(Pass):
+    """Produce the final physical schedule (CLS or list scheduling)."""
+
+    stage = "final_scheduling"
+
+    def __init__(self, use_cls: bool = True) -> None:
+        self.use_cls = use_cls
+
+    def run(self, context: CompilationContext) -> None:
+        dag = context.ensure_physical_dag(self.name)
+        if self.use_cls:
+            schedule = cls_schedule(dag, context.latency)
+        else:
+            schedule = list_schedule(dag, context.latency)
+        context.schedule = schedule
+        context.record_metrics(self.name, makespan_ns=schedule.makespan)

@@ -1,33 +1,46 @@
-"""The end-to-end compilation pipeline (paper Fig. 5, right side).
+"""The end-to-end compilation entry points (paper Fig. 5, right side).
 
-Stages, mirroring the paper's flow:
+Since the pass-manager refactor, the pipeline is literally a list of
+passes (see :mod:`repro.compiler.passes`) run by a
+:class:`~repro.compiler.manager.PassManager` over a
+:class:`~repro.compiler.context.CompilationContext`:
 
-1. **Lowering** — decompose everything to the standard logical set
-   (1-qubit rotations, CNOT, SWAP).
-2. **Commutativity detection** — contract diagonal 2-qubit blocks
-   (strategies with detection enabled).
-3. **Logical scheduling** — CLS or plain program order.
-4. **Mapping** — recursive-bisection placement on a grid and
-   SWAP-insertion routing.
-5. **Backend** — instruction aggregation with the optimal-control unit,
-   or hand-optimization rewrite rules, or nothing (ISA).
-6. **Final scheduling** — CLS (or list scheduling) with per-instruction
-   pulse latencies; the makespan is the circuit latency Figure 9 plots.
+1. **Lowering** (``LowerPass``) — decompose everything to the standard
+   logical set (1-qubit rotations, CNOT, SWAP).
+2. **Commutativity detection** (``DetectDiagonalsPass``) — contract
+   diagonal 2-qubit blocks (strategies with detection enabled).
+3. **Logical scheduling** (``LogicalSchedulePass``) — CLS or plain
+   program order.
+4. **Mapping** (``PlaceAndRoutePass``) — recursive-bisection placement
+   on a grid and SWAP-insertion routing.
+5. **Backend** (``AggregatePass`` / ``HandOptimizePass`` / nothing) —
+   instruction aggregation with the optimal-control unit, or
+   hand-optimization rewrite rules, or nothing (ISA).
+6. **Final scheduling** (``FinalSchedulePass``) — CLS (or list
+   scheduling) with per-instruction pulse latencies; the makespan is the
+   circuit latency Figure 9 plots.
+
+:func:`compile_circuit` is the stable single-shot API: it resolves a
+strategy (object or registered key) to its pipeline and returns a
+:class:`~repro.compiler.result.CompilationResult` identical to the
+pre-refactor monolith's.  :func:`compile_with_pipeline` runs an explicit
+pass list — the hook for ad-hoc custom pipelines.
 """
 
 from __future__ import annotations
 
-import time
+from collections.abc import Sequence
 
-from repro.aggregation.aggregator import aggregate
-from repro.aggregation.diagonal import detect_diagonal_blocks
-from repro.aggregation.instruction import AggregatedInstruction
 from repro.circuit.circuit import Circuit
-from repro.circuit.commutation import CommutationChecker
-from repro.circuit.dag import GateDependenceGraph
-from repro.compiler.hand_opt import hand_optimize
+from repro.compiler.context import CompilationContext
+from repro.compiler.manager import PassCallback, PassManager
+from repro.compiler.passes import (
+    Pass,
+    pipeline_prices_pulses,
+    strategy_pulse_backend,
+)
 from repro.compiler.result import CompilationResult
-from repro.compiler.strategies import ISA, Strategy
+from repro.compiler.strategies import ISA, Strategy, strategy_by_key
 from repro.config import (
     CompilerConfig,
     DEFAULT_COMPILER,
@@ -35,29 +48,25 @@ from repro.config import (
     DeviceConfig,
 )
 from repro.control.unit import OptimalControlUnit
-from repro.errors import ConfigError
-from repro.gates.decompositions import lower_to_standard_set
-from repro.mapping.placement import initial_placement
-from repro.mapping.router import route
-from repro.mapping.topology import GridTopology, grid_for
-from repro.scheduling.cls import cls_schedule
-from repro.scheduling.list_scheduler import list_schedule
+from repro.mapping.topology import GridTopology
 
 
 def compile_circuit(
     circuit: Circuit,
-    strategy: Strategy = ISA,
+    strategy: Strategy | str = ISA,
     device: DeviceConfig = DEFAULT_DEVICE,
     compiler_config: CompilerConfig = DEFAULT_COMPILER,
     ocu: OptimalControlUnit | None = None,
     topology: GridTopology | None = None,
     width_limit: int | None = None,
+    callbacks: Sequence[PassCallback] = (),
 ) -> CompilationResult:
     """Compile a circuit under one strategy and report its pulse latency.
 
     Args:
         circuit: Logical circuit (any registered gates; lowered here).
-        strategy: One of the Figure 9 strategies.
+        strategy: A :class:`Strategy` or the key of a registered one
+            (built-in Figure 9 keys or custom registrations).
         device: Field limits and pulse overheads.
         compiler_config: Width limits, detection depth, etc.
         ocu: Latency oracle; a fresh model-backend unit when omitted
@@ -66,102 +75,67 @@ def compile_circuit(
             when omitted.
         width_limit: Override of ``compiler_config.max_instruction_width``;
             must be at least 1 (a limit of 1 disables merging entirely).
+        callbacks: Per-pass hooks, invoked after each pass with
+            ``(pass_, context, elapsed_seconds)``.
 
     Returns:
         A :class:`CompilationResult`.
     """
-    ocu = ocu or OptimalControlUnit(device=device, compiler=compiler_config)
-    if width_limit is None:
-        width_limit = compiler_config.max_instruction_width
-    elif width_limit < 1:
-        raise ConfigError(
-            f"width_limit must be at least 1, got {width_limit}"
-        )
-    checker = CommutationChecker(
-        exact_qubits=compiler_config.exact_commutation_qubits
-    )
-    stage_seconds: dict[str, float] = {}
-
-    def latency_fn(node) -> float:
-        hand_latency = getattr(node, "hand_latency_ns", None)
-        if hand_latency is not None:
-            return hand_latency
-        if isinstance(node, AggregatedInstruction) and not strategy.aggregation:
-            # Detection-only block: it exists for scheduling freedom, but
-            # without an optimal-control backend it still executes as its
-            # member gates, one pulse each.
-            return sum(ocu.latency(gate) for gate in node.gates)
-        return ocu.latency(node)
-
-    # Stage 1: lowering.
-    started = time.perf_counter()
-    lowered = lower_to_standard_set(circuit.gates)
-    stage_seconds["lowering"] = time.perf_counter() - started
-
-    # Stage 2: commutativity detection.
-    started = time.perf_counter()
-    if strategy.commutativity_detection:
-        nodes = detect_diagonal_blocks(lowered, compiler_config)
-    else:
-        nodes = list(lowered)
-    stage_seconds["detection"] = time.perf_counter() - started
-
-    # Stage 3: logical scheduling.
-    started = time.perf_counter()
-    logical_dag = GateDependenceGraph(
-        circuit.num_qubits, nodes, checker.commute
-    )
-    if strategy.cls_scheduling:
-        logical_order = cls_schedule(logical_dag, latency_fn).ordered_nodes()
-        logical_dag.reorder(logical_order)
-    ordered_nodes = logical_dag.stable_topological_order()
-    stage_seconds["logical_scheduling"] = time.perf_counter() - started
-
-    # Stage 4: mapping and routing.
-    started = time.perf_counter()
-    topology = topology or grid_for(circuit.num_qubits)
-    placement = initial_placement(circuit, topology)
-    routing = route(ordered_nodes, placement)
-    physical_nodes = routing.nodes
-    stage_seconds["mapping"] = time.perf_counter() - started
-
-    # Stage 5: backend (aggregation / hand rules / nothing).
-    started = time.perf_counter()
-    aggregation_merges = 0
-    if strategy.hand_optimization:
-        physical_nodes = hand_optimize(physical_nodes, device)
-    physical_dag = GateDependenceGraph(
-        topology.num_qubits, physical_nodes, checker.commute
-    )
-    if strategy.aggregation:
-        report = aggregate(
-            physical_dag,
-            ocu,
-            width_limit=width_limit,
-            max_rounds=10_000,
-        )
-        aggregation_merges = report.merges
-    stage_seconds["backend"] = time.perf_counter() - started
-
-    # Stage 6: final physical schedule.
-    started = time.perf_counter()
-    if strategy.cls_scheduling:
-        schedule = cls_schedule(physical_dag, latency_fn)
-    else:
-        schedule = list_schedule(physical_dag, latency_fn)
-    stage_seconds["final_scheduling"] = time.perf_counter() - started
-
-    return CompilationResult(
+    if isinstance(strategy, str):
+        strategy = strategy_by_key(strategy)
+    pipeline = strategy.pipeline()
+    return compile_with_pipeline(
+        circuit,
+        pipeline,
         strategy_key=strategy.key,
-        circuit_name=circuit.name,
-        logical_qubits=circuit.num_qubits,
-        physical_qubits=topology.num_qubits,
-        schedule=schedule,
-        latency_ns=schedule.makespan,
-        swap_count=routing.swap_count,
-        lowered_gate_count=len(lowered),
-        aggregation_merges=aggregation_merges,
-        stage_seconds=stage_seconds,
-        final_mapping=routing.placement.as_dict(),
-        initial_mapping=routing.initial_placement.as_dict(),
+        pulse_backend=strategy_pulse_backend(strategy, pipeline),
+        device=device,
+        compiler_config=compiler_config,
+        ocu=ocu,
+        topology=topology,
+        width_limit=width_limit,
+        callbacks=callbacks,
     )
+
+
+def compile_with_pipeline(
+    circuit: Circuit,
+    passes: Sequence[Pass],
+    *,
+    strategy_key: str = "custom",
+    pulse_backend: bool | None = None,
+    device: DeviceConfig = DEFAULT_DEVICE,
+    compiler_config: CompilerConfig = DEFAULT_COMPILER,
+    ocu: OptimalControlUnit | None = None,
+    topology: GridTopology | None = None,
+    width_limit: int | None = None,
+    callbacks: Sequence[PassCallback] = (),
+) -> CompilationResult:
+    """Compile through an explicit pass list (no strategy registration).
+
+    Args:
+        circuit: Logical circuit.
+        passes: The pipeline to run, in order.
+        strategy_key: Label recorded on the result.
+        pulse_backend: Whether detected/aggregated blocks are priced as
+            single optimized pulses.  Defaults to whether ``passes``
+            contains an ``AggregatePass`` — only override it for a
+            custom backend pass the auto-detection cannot see.
+
+    The remaining arguments match :func:`compile_circuit`.
+    """
+    passes = list(passes)
+    if pulse_backend is None:
+        pulse_backend = pipeline_prices_pulses(passes)
+    context = CompilationContext.create(
+        circuit,
+        strategy_key=strategy_key,
+        pulse_backend=pulse_backend,
+        device=device,
+        compiler_config=compiler_config,
+        ocu=ocu,
+        topology=topology,
+        width_limit=width_limit,
+    )
+    PassManager(passes, callbacks=callbacks).run(context)
+    return context.result()

@@ -41,6 +41,8 @@ class CompilationResult:
     """Where routing left each logical qubit (logical -> physical)."""
     initial_mapping: dict[int, int] = dataclasses.field(default_factory=dict)
     """Where placement put each logical qubit before routing."""
+    pass_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+    """Wall-clock per compiler pass (finer-grained than stage_seconds)."""
 
     @property
     def node_count(self) -> int:

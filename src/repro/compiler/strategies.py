@@ -1,4 +1,7 @@
-"""The compilation strategies compared in the paper's Figure 9.
+"""Compilation strategies: declarative pass-pipeline factories + registry.
+
+The five built-in strategies are the flows compared in the paper's
+Figure 9:
 
 * ``ISA`` — standard gate-based compilation: per-gate optimized pulses,
   plain list scheduling (the normalization baseline).
@@ -8,13 +11,34 @@
 * ``CLS + hand optimization`` — CLS plus mechanically-applied known
   iSWAP-architecture pulse identities (the strongest prior-art
   comparator the paper constructs).
+
+A :class:`Strategy` is declarative: its feature flags determine a
+default pass pipeline (:func:`default_pipeline`), and
+:func:`register_strategy` lets users add new strategies — optionally
+with a custom pipeline factory mixing built-in and user-defined passes —
+that then work everywhere a built-in does: ``compile_circuit``, the
+batch engine, and the experiment drivers (all of which accept strategy
+keys and resolve them here).  See ``examples/custom_pass.py``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Callable
 
+from repro.compiler.passes import (
+    AggregatePass,
+    DetectDiagonalsPass,
+    FinalSchedulePass,
+    HandOptimizePass,
+    LogicalSchedulePass,
+    LowerPass,
+    Pass,
+    PlaceAndRoutePass,
+)
 from repro.errors import ConfigError
+
+PipelineFactory = Callable[["Strategy"], list[Pass]]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,6 +58,44 @@ class Strategy:
                 "aggregation and hand optimization are alternative backends"
             )
 
+    def pipeline(self) -> list[Pass]:
+        """The pass pipeline this strategy compiles with.
+
+        A custom factory registered via :func:`register_strategy` wins;
+        for unregistered strategies the flags imply the default Fig. 5
+        pipeline.  A strategy whose key is registered to a *different*
+        Strategy object is ambiguous — guessing either pipeline could
+        silently compile with the wrong one — so it is rejected.
+        """
+        entry = _REGISTRY.get(self.key)
+        if entry is None:
+            return default_pipeline(self)
+        if entry.strategy != self:
+            raise ConfigError(
+                f"strategy key {self.key!r} is registered to a different "
+                f"Strategy object; use strategy_by_key({self.key!r}) or "
+                f"register this variant under its own key"
+            )
+        return list(entry.pipeline_factory(self))
+
+
+def default_pipeline(strategy: Strategy) -> list[Pass]:
+    """The Fig. 5 pass pipeline implied by a strategy's feature flags."""
+    passes: list[Pass] = [LowerPass()]
+    if strategy.commutativity_detection:
+        passes.append(DetectDiagonalsPass())
+    passes.append(LogicalSchedulePass(use_cls=strategy.cls_scheduling))
+    passes.append(PlaceAndRoutePass())
+    if strategy.hand_optimization:
+        passes.append(HandOptimizePass())
+    if strategy.aggregation:
+        passes.append(AggregatePass())
+    passes.append(FinalSchedulePass(use_cls=strategy.cls_scheduling))
+    return passes
+
+
+# ----------------------------------------------------------------------
+# The built-in Figure 9 strategies
 
 ISA = Strategy(
     key="isa",
@@ -81,14 +143,88 @@ CLS_HAND = Strategy(
 )
 
 
+# ----------------------------------------------------------------------
+# Registry
+
+@dataclasses.dataclass(frozen=True)
+class _RegistryEntry:
+    strategy: Strategy
+    pipeline_factory: PipelineFactory
+
+
+_REGISTRY: dict[str, _RegistryEntry] = {}
+_BUILTINS = (ISA, CLS, AGGREGATION, CLS_AGGREGATION, CLS_HAND)
+_BUILTIN_KEYS = tuple(strategy.key for strategy in _BUILTINS)
+
+
+def register_strategy(
+    strategy: Strategy,
+    pipeline_factory: PipelineFactory | None = None,
+    overwrite: bool = False,
+) -> Strategy:
+    """Make a strategy resolvable by key throughout the compiler.
+
+    Args:
+        strategy: The strategy to register (its ``key`` must be unique).
+        pipeline_factory: Callable mapping the strategy to its pass
+            list; defaults to the flag-driven :func:`default_pipeline`.
+        overwrite: Allow replacing an existing non-built-in entry.
+
+    Returns:
+        The registered strategy (so registration can be an assignment).
+    """
+    if not isinstance(strategy, Strategy):
+        raise ConfigError(
+            f"register_strategy needs a Strategy, got {strategy!r}"
+        )
+    if strategy.key in _BUILTIN_KEYS:
+        raise ConfigError(
+            f"cannot replace built-in strategy {strategy.key!r}"
+        )
+    if strategy.key in _REGISTRY and not overwrite:
+        raise ConfigError(
+            f"strategy {strategy.key!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    _REGISTRY[strategy.key] = _RegistryEntry(
+        strategy=strategy,
+        pipeline_factory=pipeline_factory or default_pipeline,
+    )
+    return strategy
+
+
+def unregister_strategy(key: str) -> None:
+    """Remove a previously registered custom strategy (no-op if absent)."""
+    if key in _BUILTIN_KEYS:
+        raise ConfigError(f"cannot unregister built-in strategy {key!r}")
+    _REGISTRY.pop(key, None)
+
+
 def all_strategies() -> list[Strategy]:
     """The five strategies of Figure 9, baseline first."""
-    return [ISA, CLS, AGGREGATION, CLS_AGGREGATION, CLS_HAND]
+    return list(_BUILTINS)
+
+
+def registered_strategies() -> list[Strategy]:
+    """Every resolvable strategy: built-ins first, then custom ones."""
+    return [entry.strategy for entry in _REGISTRY.values()]
+
+
+def available_strategy_keys() -> list[str]:
+    """Keys :func:`strategy_by_key` accepts, built-ins first."""
+    return list(_REGISTRY)
 
 
 def strategy_by_key(key: str) -> Strategy:
-    """Look up a strategy by its key."""
-    for strategy in all_strategies():
-        if strategy.key == key:
-            return strategy
-    raise ConfigError(f"unknown strategy {key!r}")
+    """Look up a strategy (built-in or registered custom) by its key."""
+    entry = _REGISTRY.get(key)
+    if entry is not None:
+        return entry.strategy
+    known = ", ".join(repr(k) for k in available_strategy_keys())
+    raise ConfigError(f"unknown strategy {key!r}; available: {known}")
+
+
+for _builtin in _BUILTINS:
+    _REGISTRY[_builtin.key] = _RegistryEntry(
+        strategy=_builtin, pipeline_factory=default_pipeline
+    )

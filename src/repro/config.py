@@ -91,7 +91,11 @@ class CompilerConfig:
             the diagonal-unitary commutativity detector (paper Sec. 4.2: 2).
         diagonal_block_depth: Longest run of gates considered when searching
             a diagonal block (paper: "typically no longer than 10 gates").
-        max_aggregation_rounds: Safety cap on the aggregate/re-latency loop.
+        max_aggregation_rounds: Safety cap on the aggregate/re-latency
+            loop, honored by ``AggregatePass``.  The default is far above
+            any observed round count, so the loop effectively runs until
+            the GDG converges (the paper's behavior); lower it to ablate
+            partial aggregation.
         exact_commutation_qubits: Largest joint support (in qubits) for
             which commutation is decided by explicitly comparing ``AB`` and
             ``BA``; larger pairs fall back to the conservative
@@ -103,7 +107,7 @@ class CompilerConfig:
     grape_dt_ns: float = 0.5
     diagonal_block_width: int = 2
     diagonal_block_depth: int = 10
-    max_aggregation_rounds: int = 8
+    max_aggregation_rounds: int = 10_000
     exact_commutation_qubits: int = 4
 
     def __post_init__(self) -> None:

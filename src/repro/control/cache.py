@@ -82,9 +82,14 @@ def config_fingerprint(
     entries from incompatible configurations can coexist in one store
     without ever being confused.
     """
+    compiler_payload = dataclasses.asdict(compiler)
+    # The aggregation-loop round cap shapes which merges execute, never
+    # the latency or pulse of a given instruction — hashing it would
+    # cold-start the cache on every ablation of the cap.
+    compiler_payload.pop("max_aggregation_rounds", None)
     payload = {
         "device": dataclasses.asdict(device),
-        "compiler": dataclasses.asdict(compiler),
+        "compiler": compiler_payload,
         "grape_qubit_limit": int(grape_qubit_limit),
         "grape_dt": float(grape_dt),
         "seed": int(seed),

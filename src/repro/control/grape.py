@@ -147,8 +147,6 @@ class GrapeOptimizer:
 
 def _step_propagators(amplitudes, operators, dt):
     """Eigendecompose each step Hamiltonian and exponentiate."""
-    steps = amplitudes.shape[0]
-    dim = operators.shape[1]
     hamiltonians = np.einsum("jk,kab->jab", amplitudes, operators)
     eigenvalues, eigenvectors = np.linalg.eigh(hamiltonians)
     phases = np.exp(-1j * eigenvalues * dt)

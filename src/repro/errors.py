@@ -34,6 +34,47 @@ class ProgramError(ReproError):
     """Invalid program-level IR (modules, loops, calls)."""
 
 
+class PassOrderingError(ReproError):
+    """A compiler pass ran before the context state it needs existed.
+
+    Raised by :meth:`~repro.compiler.context.CompilationContext.require`
+    when, for example, a scheduling pass runs before lowering produced
+    any nodes.  The message names the offending pass and the missing
+    context attribute.
+    """
+
+
+class PassExecutionError(ReproError):
+    """A compiler pass raised a non-library exception.
+
+    Library errors (:class:`ReproError` subclasses) propagate unchanged —
+    the pass manager only annotates them with the failing pass and
+    circuit — but a foreign exception escaping a (typically user-defined)
+    pass is wrapped in this type so callers still get structured context.
+
+    Attributes:
+        pass_name: Name of the pass that raised.
+        pass_index: Position of that pass in its pipeline.
+        circuit_name: Name of the circuit being compiled.
+        strategy_key: Key of the strategy whose pipeline was running.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pass_name: str | None = None,
+        pass_index: int | None = None,
+        circuit_name: str | None = None,
+        strategy_key: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.pass_index = pass_index
+        self.circuit_name = circuit_name
+        self.strategy_key = strategy_key
+
+
 class SchedulingError(ReproError):
     """A scheduler produced or received an inconsistent state."""
 

@@ -37,8 +37,13 @@ def run_experiment(
     scale: str,
     ocu: OptimalControlUnit | None = None,
     engine: BatchCompiler | None = None,
+    strategies: list[str] | None = None,
 ) -> str:
-    """Run one experiment by name, returning its formatted report."""
+    """Run one experiment by name, returning its formatted report.
+
+    ``strategies`` restricts the Figure 9 sweep to the named registered
+    strategy keys (built-in or custom); other experiments ignore it.
+    """
     engine = resolve_engine(engine, ocu)
     if name == "table1":
         return format_table1(run_table1(engine=engine))
@@ -47,7 +52,9 @@ def run_experiment(
     if name == "figure4":
         return format_figure4(run_figure4(ocu=engine.make_ocu()))
     if name == "figure9":
-        return format_figure9(run_figure9(scale=scale, engine=engine))
+        return format_figure9(
+            run_figure9(scale=scale, engine=engine, strategies=strategies)
+        )
     if name == "figure10":
         if scale == "small":
             benchmarks = {
@@ -98,7 +105,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="batch worker threads (default: one per CPU)",
     )
+    parser.add_argument(
+        "--strategies",
+        default=None,
+        metavar="KEY[,KEY...]",
+        help="comma-separated strategy keys for the figure9 sweep "
+        "(built-in or registered via register_strategy); default: all five",
+    )
     args = parser.parse_args(argv)
+    strategies = (
+        [key.strip() for key in args.strategies.split(",") if key.strip()]
+        if args.strategies
+        else None
+    )
     cache = DiskPulseCache(args.cache) if args.cache else None
     engine = BatchCompiler(cache=cache, max_workers=args.workers)
     if cache is not None and cache.loaded_entries:
@@ -107,7 +126,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         for name in names:
             started = time.perf_counter()
-            report = run_experiment(name, args.scale, engine=engine)
+            report = run_experiment(
+                name, args.scale, engine=engine, strategies=strategies
+            )
             elapsed = time.perf_counter() - started
             print(report)
             print(f"[{name} finished in {elapsed:.1f}s]\n")

@@ -125,7 +125,6 @@ def _critical_tails(dag, group_lists, latency_fn) -> dict[int, float]:
     true ordering freedom rather than the current arbitrary chain order.
     """
     successors: dict[int, set[int]] = {id(node): set() for node in dag.nodes}
-    node_by_id = {id(node): node for node in dag.nodes}
     for groups in group_lists.values():
         for earlier, later in zip(groups, groups[1:]):
             for a in earlier:

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.control.unit import OptimalControlUnit, _gates_of, _support_of
 from repro.errors import VerificationError
-from repro.linalg.embed import embed_operator
 from repro.linalg.fidelity import unitary_trace_fidelity
 from repro.verification.propagator import propagate_pulse
 

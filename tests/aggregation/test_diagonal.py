@@ -1,13 +1,11 @@
 """Tests for diagonal-block commutativity detection."""
 
 import numpy as np
-import pytest
 
 from repro.aggregation.diagonal import detect_diagonal_blocks
 from repro.aggregation.instruction import AggregatedInstruction
 from repro.circuit.circuit import Circuit
 from repro.config import CompilerConfig
-from repro.gates import library as lib
 from repro.linalg.embed import embed_operator
 from repro.linalg.predicates import allclose_up_to_global_phase
 
@@ -15,7 +13,6 @@ from repro.linalg.predicates import allclose_up_to_global_phase
 def _nodes_unitary(nodes, num_qubits):
     total = np.eye(2**num_qubits, dtype=complex)
     for node in nodes:
-        index = sorted(set(node.qubits))
         matrix = node.matrix
         if isinstance(node, AggregatedInstruction):
             total = embed_operator(matrix, node.qubits, num_qubits) @ total

@@ -1,9 +1,7 @@
 """Tests for QAOA MAXCUT circuit generation."""
 
-import math
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.benchmarks.qaoa import (

@@ -1,6 +1,5 @@
 """Tests for commutation checking — includes the paper's Table 2 relations."""
 
-import numpy as np
 import pytest
 
 from repro.circuit.commutation import CommutationChecker

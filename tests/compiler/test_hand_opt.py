@@ -1,6 +1,5 @@
 """Tests for the hand-optimization rules."""
 
-import numpy as np
 import pytest
 
 from repro.aggregation.instruction import AggregatedInstruction

@@ -1,6 +1,5 @@
 """End-to-end pipeline tests across all strategies."""
 
-import numpy as np
 import pytest
 
 from repro.benchmarks.qaoa import line_graph, maxcut_qaoa_circuit

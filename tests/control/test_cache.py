@@ -69,6 +69,14 @@ class TestFingerprint:
         assert _fingerprint() != _fingerprint(seed=1)
         assert _fingerprint() != _fingerprint(grape_qubit_limit=4)
 
+    def test_aggregation_rounds_do_not_change_fingerprint(self):
+        # The round cap shapes which merges execute, never the latency
+        # or pulse of a given instruction; an ablation sweep over it
+        # must keep hitting the same cache entries.
+        assert _fingerprint() == _fingerprint(
+            compiler=CompilerConfig(max_aggregation_rounds=1)
+        )
+
 
 class TestPulseCache:
     def test_latency_round_trip(self):

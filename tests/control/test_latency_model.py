@@ -1,6 +1,5 @@
 """Tests for the analytic latency model (incl. Table 1 calibration)."""
 
-import math
 
 import pytest
 

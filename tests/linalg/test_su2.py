@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import LinalgError
-from repro.linalg.paulis import PAULI_X, PAULI_Z
+from repro.linalg.paulis import PAULI_X
 from repro.linalg.predicates import allclose_up_to_global_phase
 from repro.linalg.random import random_unitary
 from repro.linalg.su2 import (
