@@ -1,0 +1,83 @@
+"""Device-preset sweep: compile cost and routing pressure per machine.
+
+Compiles a fixed small workload (two 6-qubit benchmarks under ISA and
+CLS+aggregation) onto one device per preset family and reports, per
+device, the compile wall-clock, the routed-SWAP counts and the final
+makespans.  The ``benchmark`` fixture times the whole sweep so the perf
+trajectory picks the numbers up through the standard pytest-benchmark
+JSON; the printed table is the human-readable view.
+
+The assertions pin the structural expectations that make the sweep a
+regression test rather than a demo: denser coupling routes fewer SWAPs
+(all-to-all needs none), and every preset compiles to a valid schedule.
+"""
+
+from repro.benchmarks.ising import ising_model_circuit
+from repro.benchmarks.qaoa import line_graph, maxcut_qaoa_circuit
+from repro.compiler.batch import BatchCompiler, BatchJob
+
+DEVICE_KEYS = (
+    "paper-grid-2x3",
+    "line-6",
+    "ring-6",
+    "heavy-hex-1",
+    "all-to-all-6",
+)
+STRATEGY_KEYS = ("isa", "cls+aggregation")
+
+
+def _device_sweep_jobs():
+    circuits = [
+        maxcut_qaoa_circuit(line_graph(6), name="maxcut-line-6"),
+        ising_model_circuit(6),
+    ]
+    return [
+        BatchJob(
+            circuit=circuit,
+            strategy=strategy,
+            device=key,
+            label=f"{circuit.name}/{strategy}@{key}",
+        )
+        for key in DEVICE_KEYS
+        for circuit in circuits
+        for strategy in STRATEGY_KEYS
+    ]
+
+
+def test_device_preset_sweep(benchmark, shared_cache, capsys):
+    engine = BatchCompiler(cache=shared_cache, max_workers=2)
+    jobs = _device_sweep_jobs()
+    engine.compile_batch(jobs)  # warm the cache; time steady state
+    report = benchmark.pedantic(
+        engine.compile_batch, args=(jobs,), rounds=1, iterations=1
+    )
+
+    by_device: dict[str, list] = {key: [] for key in DEVICE_KEYS}
+    for job, result, seconds in zip(jobs, report.results, report.seconds):
+        result.schedule.validate()
+        assert result.device_name == job.device.name
+        by_device[job.device.name].append((result, seconds))
+
+    with capsys.disabled():
+        print()
+        print(
+            f"{'device':16s} {'qubits':>6s} {'swaps':>6s} "
+            f"{'latency(ns)':>12s} {'compile(s)':>11s}"
+        )
+        for key, entries in by_device.items():
+            swaps = sum(result.swap_count for result, _ in entries)
+            latency = sum(result.latency_ns for result, _ in entries)
+            seconds = sum(s for _, s in entries)
+            qubits = entries[0][0].physical_qubits
+            print(
+                f"{key:16s} {qubits:6d} {swaps:6d} "
+                f"{latency:12.1f} {seconds:11.4f}"
+            )
+
+    def swaps_on(key):
+        return sum(result.swap_count for result, _ in by_device[key])
+
+    # Full coupling removes routing entirely; the sparse line routes at
+    # least as much as the paper grid (a strict subgraph of it here).
+    assert swaps_on("all-to-all-6") == 0
+    assert swaps_on("line-6") >= swaps_on("paper-grid-2x3")

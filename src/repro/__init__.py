@@ -38,6 +38,16 @@ from repro.compiler.strategies import (
 )
 from repro.config import CompilerConfig, DeviceConfig
 from repro.control.unit import OptimalControlUnit
+from repro.device import (
+    Device,
+    Topology,
+    available_device_keys,
+    device_by_key,
+    paper_device_for,
+    register_device,
+    registered_device_keys,
+    unregister_device,
+)
 from repro.errors import ReproError
 
 __version__ = "0.1.0"
@@ -51,6 +61,7 @@ __all__ = [
     "CompilationContext",
     "CompilationResult",
     "CompilerConfig",
+    "Device",
     "DeviceConfig",
     "ISA",
     "OptimalControlUnit",
@@ -58,10 +69,17 @@ __all__ = [
     "PassManager",
     "ReproError",
     "Strategy",
+    "Topology",
     "all_strategies",
+    "available_device_keys",
     "compile_circuit",
     "compile_with_pipeline",
+    "device_by_key",
+    "paper_device_for",
+    "register_device",
     "register_strategy",
+    "registered_device_keys",
     "registered_strategies",
     "strategy_by_key",
+    "unregister_device",
 ]

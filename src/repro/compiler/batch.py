@@ -43,8 +43,10 @@ from repro.config import (
 )
 from repro.control.cache import CacheSession, DiskPulseCache, PulseCache
 from repro.control.unit import OptimalControlUnit
+from repro.device.device import Device
+from repro.device.presets import device_by_key
+from repro.device.topology import Topology
 from repro.errors import ConfigError
-from repro.mapping.topology import GridTopology
 
 _COUNTER_KEYS = ("cache_hits", "grape_calls", "grape_fallbacks", "model_evals")
 
@@ -55,9 +57,14 @@ class BatchJob:
 
     ``strategy`` also accepts the key of a registered strategy (built-in
     or added via :func:`~repro.compiler.strategies.register_strategy`).
-    ``passes`` overrides the strategy's pipeline with an explicit pass
-    list for this job only; the strategy still labels the result, and
-    block pricing is derived from the pass list (whether it contains an
+    ``device`` pins this job to its own compilation target — a
+    :class:`~repro.device.device.Device` or a preset key like
+    ``"heavy-hex-2"`` — overriding the engine's default; one batch can
+    therefore sweep the same circuit across machines (the pulse-cache
+    fingerprint keeps per-device entries apart).  ``passes`` overrides
+    the strategy's pipeline with an explicit pass list for this job
+    only; the strategy still labels the result, and block pricing is
+    derived from the pass list (whether it contains an
     ``AggregatePass``) unless ``pulse_backend`` overrides it — set it
     for a custom backend pass the auto-detection cannot see.
     """
@@ -65,10 +72,11 @@ class BatchJob:
     circuit: Circuit
     strategy: Strategy | str = ISA
     width_limit: int | None = None
-    topology: GridTopology | None = None
+    topology: Topology | None = None
     label: str | None = None
     passes: tuple[Pass, ...] | None = None
     pulse_backend: bool | None = None
+    device: Device | str | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.strategy, str):
@@ -77,6 +85,12 @@ class BatchJob:
             )
         if self.passes is not None:
             object.__setattr__(self, "passes", tuple(self.passes))
+        if isinstance(self.device, str):
+            object.__setattr__(self, "device", device_by_key(self.device))
+        if self.device is not None and self.topology is not None:
+            raise ConfigError(
+                "a job takes either device= or topology=, not both"
+            )
 
     @property
     def key(self) -> str:
@@ -140,7 +154,10 @@ class BatchCompiler:
     """Compiles batches of jobs against one shared pulse/latency cache.
 
     Args:
-        device: Field limits and pulse overheads (all jobs share them).
+        device: The default compilation target, shared by every job that
+            does not pin its own ``BatchJob.device``: a full
+            :class:`~repro.device.device.Device`, a preset key, or a
+            bare :class:`DeviceConfig` (paper physics, auto-sized grid).
         compiler_config: Width limits, detection depth, etc.
         cache: Shared store; a fresh in-memory one when omitted.  Pass a
             :class:`~repro.control.cache.DiskPulseCache` (or use
@@ -158,7 +175,7 @@ class BatchCompiler:
 
     def __init__(
         self,
-        device: DeviceConfig = DEFAULT_DEVICE,
+        device: Device | DeviceConfig | str = DEFAULT_DEVICE,
         compiler_config: CompilerConfig = DEFAULT_COMPILER,
         cache: PulseCache | None = None,
         backend: str = "model",
@@ -170,6 +187,8 @@ class BatchCompiler:
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be at least 1")
+        if isinstance(device, str):
+            device = device_by_key(device)
         self.device = device
         self.compiler_config = compiler_config
         self.cache = cache if cache is not None else PulseCache()
@@ -191,7 +210,7 @@ class BatchCompiler:
         if isinstance(cache, CacheSession):
             cache = cache.store
         return cls(
-            device=ocu.device,
+            device=ocu.target if ocu.target is not None else ocu.device,
             compiler_config=ocu.compiler,
             cache=cache,
             backend=ocu.backend,
@@ -211,11 +230,18 @@ class BatchCompiler:
     # ------------------------------------------------------------------
 
     def make_ocu(
-        self, cache: PulseCache | CacheSession | None = None
+        self,
+        cache: PulseCache | CacheSession | None = None,
+        device: Device | DeviceConfig | None = None,
     ) -> OptimalControlUnit:
-        """A fresh OCU bound to the shared store (or a session view)."""
+        """A fresh OCU bound to the shared store (or a session view).
+
+        ``device`` overrides the engine's default target — the batch
+        loop builds each job's OCU against the job's own device so
+        per-edge limits and cache fingerprints match that machine.
+        """
         return OptimalControlUnit(
-            device=self.device,
+            device=device if device is not None else self.device,
             compiler=self.compiler_config,
             backend=self.backend,
             grape_qubit_limit=self.grape_qubit_limit,
@@ -229,7 +255,8 @@ class BatchCompiler:
         circuit: Circuit,
         strategy: Strategy | str = ISA,
         width_limit: int | None = None,
-        topology: GridTopology | None = None,
+        topology: Topology | None = None,
+        device: Device | str | None = None,
     ) -> CompilationResult:
         """Compile one circuit through the shared cache (no workers)."""
         job = BatchJob(
@@ -237,8 +264,9 @@ class BatchCompiler:
             strategy=strategy,
             width_limit=width_limit,
             topology=topology,
+            device=device,
         )
-        return self._compile_job(job, self.make_ocu())
+        return self._compile_job(job, self.make_ocu(device=self._job_target(job)))
 
     def compile_batch(self, jobs: Iterable) -> BatchReport:
         """Compile every job, fanning across workers; results in order.
@@ -283,6 +311,20 @@ class BatchCompiler:
 
     # ------------------------------------------------------------------
 
+    def _job_target(self, job: BatchJob) -> Device | DeviceConfig:
+        """The device argument a job's compilation (and OCU) should see.
+
+        A job-level ``device`` wins outright.  A job-level bare
+        ``topology`` overrides the engine's default *machine* while
+        keeping its physics baseline — forwarding a full default Device
+        alongside it would be rejected downstream as contradictory.
+        """
+        if job.device is not None:
+            return job.device
+        if job.topology is not None and isinstance(self.device, Device):
+            return self.device.config
+        return self.device
+
     def _compile_job(
         self, job: BatchJob, ocu: OptimalControlUnit
     ) -> CompilationResult:
@@ -304,7 +346,7 @@ class BatchCompiler:
             pipeline,
             strategy_key=job.strategy.key,
             pulse_backend=pulse_backend,
-            device=self.device,
+            device=self._job_target(job),
             compiler_config=self.compiler_config,
             ocu=ocu,
             topology=job.topology,
@@ -318,7 +360,7 @@ class BatchCompiler:
         """Compile one job through a session view and merge its delta."""
         job_started = time.perf_counter()
         session = CacheSession(self.cache)
-        ocu = self.make_ocu(cache=session)
+        ocu = self.make_ocu(cache=session, device=self._job_target(job))
         result = self._compile_job(job, ocu)
         self.cache.merge_delta(session.delta)
         used = {key: getattr(ocu, key) for key in _COUNTER_KEYS}
@@ -410,7 +452,7 @@ def resolve_engine(
 
 def compile_batch(
     jobs: Iterable,
-    device: DeviceConfig = DEFAULT_DEVICE,
+    device: Device | DeviceConfig | str = DEFAULT_DEVICE,
     compiler_config: CompilerConfig = DEFAULT_COMPILER,
     cache: PulseCache | None = None,
     backend: str = "model",

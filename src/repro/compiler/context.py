@@ -32,9 +32,10 @@ from repro.config import (
     DeviceConfig,
 )
 from repro.control.unit import OptimalControlUnit
+from repro.device.device import Device, coerce_device
+from repro.device.topology import Topology
 from repro.errors import ConfigError, PassOrderingError
 from repro.mapping.router import RoutingResult
-from repro.mapping.topology import GridTopology
 from repro.scheduling.schedule import Schedule
 
 STAGES = (
@@ -70,7 +71,7 @@ class CompilationContext:
     """
 
     circuit: Circuit
-    device: DeviceConfig
+    device_config: DeviceConfig
     compiler_config: CompilerConfig
     ocu: OptimalControlUnit
     checker: CommutationChecker
@@ -83,7 +84,16 @@ class CompilationContext:
     exists for scheduling freedom but prices as its member gates, one
     pulse each — the pricing rule of the pre-pass-manager pipeline.
     """
-    topology: GridTopology | None = None
+    device: Device | None = None
+    """The full compilation target (coupling graph + physics + overrides).
+
+    None until resolved: callers who give only a :class:`DeviceConfig`
+    leave the topology to ``PlaceAndRoutePass``, which sizes the paper's
+    near-square grid to the circuit and records the resulting default
+    :class:`Device` here.
+    """
+    topology: Topology | None = None
+    """The device's coupling graph (mirrors ``device.topology``)."""
 
     # Evolving IR --------------------------------------------------------
     nodes: list | None = None
@@ -115,14 +125,49 @@ class CompilationContext:
         *,
         strategy_key: str = "custom",
         pulse_backend: bool = False,
-        device: DeviceConfig = DEFAULT_DEVICE,
+        device: Device | DeviceConfig | str = DEFAULT_DEVICE,
         compiler_config: CompilerConfig = DEFAULT_COMPILER,
         ocu: OptimalControlUnit | None = None,
-        topology: GridTopology | None = None,
+        topology: Topology | None = None,
         width_limit: int | None = None,
     ) -> CompilationContext:
-        """A ready-to-run context with validated width limit and oracle."""
-        ocu = ocu or OptimalControlUnit(device=device, compiler=compiler_config)
+        """A ready-to-run context with validated width limit and oracle.
+
+        ``device`` accepts a full :class:`Device`, a registered preset
+        key (``"ring-6"``), or a bare :class:`DeviceConfig`; a bare
+        ``topology`` wraps into a default-config device.  When neither
+        names a topology, the mapping pass sizes the paper grid later.
+        """
+        device, device_config, topology = coerce_device(device, topology)
+        ocu = ocu or OptimalControlUnit(
+            device=device if device is not None else device_config,
+            compiler=compiler_config,
+        )
+        # Positional pricing must agree in both directions: an OCU built
+        # for heterogeneous couplings would misprice any other device's
+        # edges, and a heterogeneous device needs an OCU that knows its
+        # overrides.  (t1/t2 overrides never reach the oracle, so they
+        # impose no pairing.)
+        ocu_target = getattr(ocu, "target", None)
+        ocu_positional = (
+            ocu_target is not None and ocu_target.has_heterogeneous_couplings
+        )
+        device_positional = (
+            device is not None and device.has_heterogeneous_couplings
+        )
+        if ocu_positional or device_positional:
+            if (
+                device is None
+                or ocu_target is None
+                or ocu_target.coupling_signature()
+                != device.coupling_signature()
+            ):
+                raise ConfigError(
+                    f"per-edge coupling overrides require a matched "
+                    f"oracle: compiling onto {device!r} with an OCU built "
+                    f"for {ocu_target!r} would misprice edges; construct "
+                    f"the OCU with the same device (or omit ocu=)"
+                )
         if width_limit is None:
             width_limit = compiler_config.max_instruction_width
         elif width_limit < 1:
@@ -134,13 +179,14 @@ class CompilationContext:
         )
         return cls(
             circuit=circuit,
-            device=device,
+            device_config=device_config,
             compiler_config=compiler_config,
             ocu=ocu,
             checker=checker,
             width_limit=width_limit,
             strategy_key=strategy_key,
             pulse_backend=pulse_backend,
+            device=device,
             topology=topology,
         )
 
@@ -148,16 +194,25 @@ class CompilationContext:
     # Latency oracle
 
     def latency(self, node) -> float:
-        """Instruction cost in nanoseconds (the schedulers' weight fn)."""
+        """Instruction cost in nanoseconds (the schedulers' weight fn).
+
+        Until routing has produced physical nodes, node indices are
+        *logical* — they name no device edge — so heterogeneous targets
+        price them at the homogeneous baseline (``positional=False``);
+        after routing, per-edge overrides apply.
+        """
         hand_latency = getattr(node, "hand_latency_ns", None)
         if hand_latency is not None:
             return hand_latency
+        positional = self.routing is not None
         if isinstance(node, AggregatedInstruction) and not self.pulse_backend:
             # Detection-only block: it exists for scheduling freedom, but
             # without an optimal-control backend it still executes as its
             # member gates, one pulse each.
-            return sum(self.ocu.latency(gate) for gate in node.gates)
-        return self.ocu.latency(node)
+            return sum(
+                self.ocu.latency(gate, positional) for gate in node.gates
+            )
+        return self.ocu.latency(node, positional)
 
     # ------------------------------------------------------------------
     # Validation helpers for passes
@@ -245,4 +300,5 @@ class CompilationContext:
             final_mapping=routing.placement.as_dict(),
             initial_mapping=routing.initial_placement.as_dict(),
             pass_seconds=dict(self.pass_seconds),
+            device_name=self.device.name if self.device is not None else None,
         )

@@ -45,17 +45,45 @@ class HandOptimizedInstruction(AggregatedInstruction):
         )
 
 
-def hand_optimize(nodes, device: DeviceConfig = DEFAULT_DEVICE) -> list:
-    """Apply the hand rules to a routed node stream."""
-    with_zz = _replace_diagonal_pair_blocks(list(nodes), device)
+def hand_optimize(
+    nodes, device: DeviceConfig = DEFAULT_DEVICE, target=None
+) -> list:
+    """Apply the hand rules to a routed node stream.
+
+    ``target`` is the optional full
+    :class:`~repro.device.device.Device`: the nodes here carry physical
+    qubit indices, so a diagonal pair block on an edge with a per-edge
+    coupling-limit override is priced at that edge's rate — the same
+    policy the optimal-control oracle applies.  Without a target every
+    pair prices at ``device.coupling_rate`` (identical arithmetic, so
+    homogeneous devices stay bit-identical).
+    """
+    with_zz = _replace_diagonal_pair_blocks(list(nodes), device, target)
     return _fuse_single_qubit_runs(with_zz, device)
 
 
-def hand_zz_latency(block_unitary: np.ndarray, device: DeviceConfig) -> float:
-    """Latency of the two-segment XY realization of a diagonal block."""
-    busy = interaction_time(block_unitary, device.coupling_rate)
+def hand_zz_latency(
+    block_unitary: np.ndarray,
+    device: DeviceConfig,
+    coupling_rate: float | None = None,
+) -> float:
+    """Latency of the two-segment XY realization of a diagonal block.
+
+    ``coupling_rate`` (rad/ns) overrides the homogeneous
+    ``device.coupling_rate`` for blocks sitting on a heterogeneous edge.
+    """
+    if coupling_rate is None:
+        coupling_rate = device.coupling_rate
+    busy = interaction_time(block_unitary, coupling_rate)
     local = _residual_local(block_unitary, device)
     return 2.0 * device.setup_time_2q_ns + busy + local
+
+
+def _pair_coupling_rate(target, support) -> float | None:
+    """The edge rate of a 2-qubit physical support (None: homogeneous)."""
+    if target is None or len(support) != 2:
+        return None
+    return target.coupling_rate_of(support[0], support[1])
 
 
 def _residual_local(block_unitary: np.ndarray, device: DeviceConfig) -> float:
@@ -67,7 +95,9 @@ def _residual_local(block_unitary: np.ndarray, device: DeviceConfig) -> float:
     return max(qubit_a, qubit_b) / device.drive_rate
 
 
-def _replace_diagonal_pair_blocks(nodes: list, device: DeviceConfig) -> list:
+def _replace_diagonal_pair_blocks(
+    nodes: list, device: DeviceConfig, target=None
+) -> list:
     """Rule 1: contract diagonal pair runs into two-segment hand pulses."""
     output: list = []
     index = 0
@@ -77,7 +107,10 @@ def _replace_diagonal_pair_blocks(nodes: list, device: DeviceConfig) -> list:
             # A diagonal block contracted by the frontend detector: give
             # it the two-segment hand realization.
             if node.width == 2 and node.matrix is not None:
-                latency = hand_zz_latency(node.matrix, device)
+                support = tuple(sorted(set(node.qubits)))
+                latency = hand_zz_latency(
+                    node.matrix, device, _pair_coupling_rate(target, support)
+                )
                 output.append(
                     HandOptimizedInstruction(node.gates, latency, name=node.name)
                 )
@@ -94,7 +127,9 @@ def _replace_diagonal_pair_blocks(nodes: list, device: DeviceConfig) -> list:
         if best >= 3:
             block = nodes[index : index + best]
             unitary = AggregatedInstruction(block, name="probe").matrix
-            latency = hand_zz_latency(unitary, device)
+            latency = hand_zz_latency(
+                unitary, device, _pair_coupling_rate(target, support)
+            )
             output.append(
                 HandOptimizedInstruction(block, latency, name=None)
             )

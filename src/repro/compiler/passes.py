@@ -9,8 +9,8 @@ one facet of the :class:`~repro.compiler.context.CompilationContext`:
   (commutativity detection, Sec. 4.2).
 * :class:`LogicalSchedulePass` — CLS or plain program order over the
   logical dependence graph.
-* :class:`PlaceAndRoutePass` — recursive-bisection placement on a grid
-  and SWAP-insertion routing.
+* :class:`PlaceAndRoutePass` — recursive-bisection placement on the
+  target device's coupling graph and SWAP-insertion routing.
 * :class:`HandOptimizePass` — mechanical iSWAP pulse identities (the
   paper's strongest prior-art backend).
 * :class:`AggregatePass` — monotonic instruction aggregation against the
@@ -34,10 +34,11 @@ from repro.aggregation.instruction import AggregatedInstruction
 from repro.circuit.dag import GateDependenceGraph
 from repro.compiler.context import CompilationContext
 from repro.compiler.hand_opt import hand_optimize
+from repro.device.device import Device
+from repro.device.topology import grid_for
 from repro.gates.decompositions import lower_to_standard_set
 from repro.mapping.placement import initial_placement
 from repro.mapping.router import route
-from repro.mapping.topology import grid_for
 from repro.scheduling.cls import cls_schedule
 from repro.scheduling.list_scheduler import list_schedule
 
@@ -116,14 +117,25 @@ class LogicalSchedulePass(Pass):
 
 
 class PlaceAndRoutePass(Pass):
-    """Place on a grid (recursive bisection) and insert routing SWAPs."""
+    """Place on the target device (recursive bisection) and insert
+    routing SWAPs along its coupling graph.
+
+    Resolves the compilation target when the caller left it open: with
+    no device and no topology on the context, the paper's near-square
+    grid is sized to the circuit and recorded as a default-config
+    :class:`~repro.device.device.Device`.
+    """
 
     stage = "mapping"
 
     def run(self, context: CompilationContext) -> None:
         nodes = context.require("nodes", self.name, "run LowerPass first")
-        if context.topology is None:
-            context.topology = grid_for(context.circuit.num_qubits)
+        if context.device is None:
+            topology = context.topology or grid_for(context.circuit.num_qubits)
+            context.device = Device(
+                topology=topology, config=context.device_config
+            )
+        context.topology = context.device.topology
         placement = initial_placement(context.circuit, context.topology)
         routing = route(nodes, placement)
         context.routing = routing
@@ -142,7 +154,9 @@ class HandOptimizePass(Pass):
             "physical_nodes", self.name, "run PlaceAndRoutePass first"
         )
         before = len(nodes)
-        context.physical_nodes = hand_optimize(nodes, context.device)
+        context.physical_nodes = hand_optimize(
+            nodes, context.device_config, target=context.device
+        )
         context.invalidate_physical_dag()
         context.record_metrics(
             self.name, nodes_before=before, nodes_after=len(context.physical_nodes)

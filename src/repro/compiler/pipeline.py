@@ -12,7 +12,8 @@ passes (see :mod:`repro.compiler.passes`) run by a
 3. **Logical scheduling** (``LogicalSchedulePass``) — CLS or plain
    program order.
 4. **Mapping** (``PlaceAndRoutePass``) — recursive-bisection placement
-   on a grid and SWAP-insertion routing.
+   on the target device's coupling graph and SWAP-insertion routing
+   (the paper's near-square grid unless a device or topology is given).
 5. **Backend** (``AggregatePass`` / ``HandOptimizePass`` / nothing) —
    instruction aggregation with the optimal-control unit, or
    hand-optimization rewrite rules, or nothing (ISA).
@@ -48,16 +49,17 @@ from repro.config import (
     DeviceConfig,
 )
 from repro.control.unit import OptimalControlUnit
-from repro.mapping.topology import GridTopology
+from repro.device.device import Device
+from repro.device.topology import Topology
 
 
 def compile_circuit(
     circuit: Circuit,
     strategy: Strategy | str = ISA,
-    device: DeviceConfig = DEFAULT_DEVICE,
+    device: Device | DeviceConfig | str = DEFAULT_DEVICE,
     compiler_config: CompilerConfig = DEFAULT_COMPILER,
     ocu: OptimalControlUnit | None = None,
-    topology: GridTopology | None = None,
+    topology: Topology | None = None,
     width_limit: int | None = None,
     callbacks: Sequence[PassCallback] = (),
 ) -> CompilationResult:
@@ -67,12 +69,17 @@ def compile_circuit(
         circuit: Logical circuit (any registered gates; lowered here).
         strategy: A :class:`Strategy` or the key of a registered one
             (built-in Figure 9 keys or custom registrations).
-        device: Field limits and pulse overheads.
+        device: The compilation target: a full
+            :class:`~repro.device.device.Device`, a preset key such as
+            ``"ring-6"`` or ``"heavy-hex-2"``, or a bare
+            :class:`DeviceConfig` (field limits and pulse overheads only;
+            the topology then comes from ``topology`` or defaults to the
+            paper's near-square grid sized to the circuit).
         compiler_config: Width limits, detection depth, etc.
         ocu: Latency oracle; a fresh model-backend unit when omitted
             (pass a shared one to exploit the pulse cache across runs).
-        topology: Device grid; a near-square grid sized to the circuit
-            when omitted.
+        topology: Bare coupling graph (wrapped into a default-config
+            device); mutually exclusive with a full ``device``.
         width_limit: Override of ``compiler_config.max_instruction_width``;
             must be at least 1 (a limit of 1 disables merging entirely).
         callbacks: Per-pass hooks, invoked after each pass with
@@ -104,10 +111,10 @@ def compile_with_pipeline(
     *,
     strategy_key: str = "custom",
     pulse_backend: bool | None = None,
-    device: DeviceConfig = DEFAULT_DEVICE,
+    device: Device | DeviceConfig | str = DEFAULT_DEVICE,
     compiler_config: CompilerConfig = DEFAULT_COMPILER,
     ocu: OptimalControlUnit | None = None,
-    topology: GridTopology | None = None,
+    topology: Topology | None = None,
     width_limit: int | None = None,
     callbacks: Sequence[PassCallback] = (),
 ) -> CompilationResult:

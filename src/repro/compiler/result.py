@@ -43,6 +43,9 @@ class CompilationResult:
     """Where placement put each logical qubit before routing."""
     pass_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
     """Wall-clock per compiler pass (finer-grained than stage_seconds)."""
+    device_name: str | None = None
+    """Name of the compilation target (preset key or custom Device name;
+    None for anonymous devices, including the auto-sized paper grid)."""
 
     @property
     def node_count(self) -> int:

@@ -75,12 +75,27 @@ def config_fingerprint(
     grape_qubit_limit: int,
     grape_dt: float,
     seed: int,
+    target=None,
 ) -> str:
     """Digest of everything that changes cached latencies or pulses.
 
     Two units agree on every cache entry iff their fingerprints match, so
     entries from incompatible configurations can coexist in one store
     without ever being confused.
+
+    Args:
+        device: Homogeneous baseline physics.
+        target: Optional full :class:`~repro.device.device.Device`.  Its
+            :meth:`~repro.device.device.Device.coupling_signature` —
+            topology wiring plus the per-edge coupling overrides — is
+            folded in whenever the device carries such overrides, so entries
+            computed for heterogeneously-priced devices can never
+            collide with another device's.  Any other target hashes
+            identically to a bare ``DeviceConfig``: latencies and pulses
+            then depend only on instruction structure and the baseline
+            physics (t1/t2 overrides feed the decoherence model, never
+            the cache), so sharing entries across topologies is free
+            warm-cache coverage, not a collision.
     """
     compiler_payload = dataclasses.asdict(compiler)
     # The aggregation-loop round cap shapes which merges execute, never
@@ -94,6 +109,8 @@ def config_fingerprint(
         "grape_dt": float(grape_dt),
         "seed": int(seed),
     }
+    if target is not None and target.has_heterogeneous_couplings:
+        payload["target"] = repr(target.coupling_signature())
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 

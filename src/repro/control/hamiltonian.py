@@ -88,6 +88,7 @@ def xy_hamiltonian(
     num_qubits: int,
     coupling_edges: Sequence[tuple[int, int]] | None = None,
     device: DeviceConfig = DEFAULT_DEVICE,
+    coupling_rates: dict[tuple[int, int], float] | None = None,
 ) -> ControlHamiltonian:
     """Build the XY-architecture control Hamiltonian for an instruction.
 
@@ -96,6 +97,10 @@ def xy_hamiltonian(
         coupling_edges: Coupled pairs in local indices; defaults to a
             linear chain.
         device: Field limits.
+        coupling_rates: Per-edge angular-rate limits in rad/ns, keyed by
+            canonical ``(min, max)`` local pairs.  Edges without an entry
+            use the homogeneous ``device.coupling_rate``; heterogeneous
+            devices resolve their per-edge field limits through this.
 
     Returns:
         A :class:`ControlHamiltonian` with 2 drive terms per qubit and one
@@ -103,6 +108,7 @@ def xy_hamiltonian(
     """
     if coupling_edges is None:
         coupling_edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    coupling_rates = coupling_rates or {}
     terms: list[ControlTerm] = []
     for q in range(num_qubits):
         x_full = embed_operator(PAULI_X / 2.0, [q], num_qubits)
@@ -122,7 +128,9 @@ def xy_hamiltonian(
         yy = embed_operator(np.kron(PAULI_Y, PAULI_Y), [a, b], num_qubits)
         terms.append(
             ControlTerm(
-                f"xy{key[0]}_{key[1]}", (xx + yy) / 2.0, device.coupling_rate
+                f"xy{key[0]}_{key[1]}",
+                (xx + yy) / 2.0,
+                coupling_rates.get(key, device.coupling_rate),
             )
         )
     return ControlHamiltonian(num_qubits, terms)

@@ -38,10 +38,28 @@ from repro.linalg.su2 import rotation_content
 
 
 class AnalyticLatencyModel:
-    """Estimates minimal pulse latency of gate sequences."""
+    """Estimates minimal pulse latency of gate sequences.
 
-    def __init__(self, device: DeviceConfig = DEFAULT_DEVICE) -> None:
+    Args:
+        device: Homogeneous field limits and setup times.
+        target: Optional full :class:`~repro.device.device.Device`.  When
+            it carries per-edge coupling-limit overrides, a two-qubit run
+            on an overridden edge is priced at that edge's rate; pairs
+            that are not device edges (latency queries on logical
+            circuits, before placement) fall back to the homogeneous
+            rate, as does a ``target`` of None.
+    """
+
+    def __init__(
+        self, device: DeviceConfig = DEFAULT_DEVICE, target=None
+    ) -> None:
         self.device = device
+        self.target = target
+
+    def _coupling_rate(self, support) -> float:
+        if self.target is not None and len(support) == 2:
+            return self.target.coupling_rate_of(support[0], support[1])
+        return self.device.coupling_rate
 
     def gate_latency(self, gate: Gate) -> float:
         """Latency of a standalone gate pulse (ISA compilation cost)."""
@@ -80,7 +98,7 @@ class AnalyticLatencyModel:
         if len(run.support) == 1:
             content = rotation_content(run.matrix)
             return content / self.device.drive_rate, False
-        busy = interaction_time(run.matrix, self.device.coupling_rate)
+        busy = interaction_time(run.matrix, self._coupling_rate(run.support))
         if busy < 1e-9:
             # Locally-equivalent-to-identity run (e.g. cancelled CNOTs):
             # only residual local rotations remain, charged at drive rate.

@@ -33,6 +33,7 @@ from repro.control.grape import GrapeResult
 from repro.control.hamiltonian import xy_hamiltonian
 from repro.control.latency_model import AnalyticLatencyModel
 from repro.control.time_search import minimal_pulse_time
+from repro.device.device import Device
 from repro.errors import ControlError
 from repro.gates.gate import Gate
 from repro.linalg.embed import embed_operator
@@ -41,11 +42,22 @@ _BACKENDS = ("model", "grape")
 
 
 class OptimalControlUnit:
-    """Latency/pulse oracle for gates and aggregated instructions."""
+    """Latency/pulse oracle for gates and aggregated instructions.
+
+    ``device`` accepts either a bare :class:`DeviceConfig` (homogeneous
+    physics, the paper's setting) or a full
+    :class:`~repro.device.device.Device`.  A heterogeneous device (per-
+    edge coupling-limit overrides) changes the oracle in three ways:
+    the analytic model and the GRAPE Hamiltonian price each coupling at
+    its edge's limit, the cache fingerprint folds in the device
+    signature, and cache keys gain the instruction's *absolute* qubit
+    support — the same gate structure on two differently-calibrated
+    edges must not share an entry.
+    """
 
     def __init__(
         self,
-        device: DeviceConfig = DEFAULT_DEVICE,
+        device: DeviceConfig | Device = DEFAULT_DEVICE,
         compiler: CompilerConfig = DEFAULT_COMPILER,
         backend: str = "model",
         grape_qubit_limit: int = 3,
@@ -55,44 +67,89 @@ class OptimalControlUnit:
     ) -> None:
         if backend not in _BACKENDS:
             raise ControlError(f"unknown backend {backend!r}; use {_BACKENDS}")
-        self.device = device
+        if isinstance(device, Device):
+            self.target: Device | None = device
+            self.device = device.config
+        else:
+            self.target = None
+            self.device = device
         self.compiler = compiler
         self.backend = backend
         self.grape_qubit_limit = int(grape_qubit_limit)
         self.grape_dt = grape_dt if grape_dt is not None else compiler.grape_dt_ns
         self.seed = seed
-        self.model = AnalyticLatencyModel(device)
+        self.model = AnalyticLatencyModel(self.device, target=self.target)
         self.cache = cache if cache is not None else PulseCache()
+        self._position_dependent = (
+            self.target is not None and self.target.has_heterogeneous_couplings
+        )
+        # Pre-placement queries (positional=False) price at the
+        # homogeneous baseline: logical indices carry no edge identity.
+        self._homogeneous_model = (
+            AnalyticLatencyModel(self.device)
+            if self._position_dependent
+            else self.model
+        )
         self.fingerprint = config_fingerprint(
-            device=device,
+            device=self.device,
             compiler=compiler,
             grape_qubit_limit=self.grape_qubit_limit,
             grape_dt=self.grape_dt,
             seed=self.seed,
+            target=self.target,
         )
         self.cache_hits = 0
         self.grape_calls = 0
         self.grape_fallbacks = 0
         self.model_evals = 0
 
+    def _node_signature(self, node, positional: bool = True) -> tuple:
+        """Cache signature: structural, plus absolute support when the
+        target prices edges heterogeneously (position matters then).
+
+        Non-positional queries keep the plain structural signature —
+        they price homogeneously, and the missing ``support`` suffix
+        keeps their entries from ever answering a positional query.
+        """
+        signature = _signature_of(node)
+        if self._position_dependent and positional:
+            return signature + (("support",) + _support_of(node),)
+        return signature
+
     # ------------------------------------------------------------------
     # Latency
 
-    def latency(self, node) -> float:
-        """Pulse latency (ns) of a gate or aggregated instruction."""
-        key = (self.fingerprint, self.backend, _signature_of(node))
+    def latency(self, node, positional: bool = True) -> float:
+        """Pulse latency (ns) of a gate or aggregated instruction.
+
+        Args:
+            node: Gate or aggregated instruction.
+            positional: Whether the node's qubit indices are *physical*
+                (post-placement).  Pre-placement callers — the logical
+                scheduling stage — pass False so a heterogeneous target
+                prices at the homogeneous baseline instead of reading
+                edge overrides through logical indices that have not
+                been assigned to edges yet.  Ignored on homogeneous
+                devices.
+        """
+        key = (
+            self.fingerprint,
+            self.backend,
+            self._node_signature(node, positional),
+        )
         cached = self.cache.get_latency(key)
         if cached is not None:
             self.cache_hits += 1
             return cached
         gates = _gates_of(node)
         if self.backend == "grape" and len(_support_of(node)) <= self.grape_qubit_limit:
-            value = self._grape_latency(node, gates)
+            value = self._grape_latency(node, gates, positional)
         else:
             if self.backend == "grape":
                 self.grape_fallbacks += 1
             self.model_evals += 1
-            value = self.model.sequence_latency(gates)
+            model = self.model if positional else self._homogeneous_model
+            value = model.sequence_latency(gates)
         self.cache.put_latency(key, value)
         return value
 
@@ -102,7 +159,7 @@ class OptimalControlUnit:
         Cached by structural signature: the aggregator probes the same
         candidate-pair structures across rounds.
         """
-        key = (self.fingerprint, "model", _signature_of(node))
+        key = (self.fingerprint, "model", self._node_signature(node))
         cached = self.cache.get_latency(key)
         if cached is not None:
             self.cache_hits += 1
@@ -112,8 +169,8 @@ class OptimalControlUnit:
         self.cache.put_latency(key, value)
         return value
 
-    def _grape_latency(self, node, gates) -> float:
-        result = self.synthesize_pulse(node)
+    def _grape_latency(self, node, gates, positional: bool = True) -> float:
+        result = self.synthesize_pulse(node, positional)
         # GRAPE busy time plus the same fixed setup overhead the model
         # charges (ramp-up is not simulated by the piecewise model).
         uses_coupling = any(len(g.qubits) >= 2 for g in gates)
@@ -127,9 +184,14 @@ class OptimalControlUnit:
     # ------------------------------------------------------------------
     # Pulses
 
-    def synthesize_pulse(self, node) -> GrapeResult:
-        """Run GRAPE (with minimal-time search) for a node's unitary."""
-        key = (self.fingerprint, _signature_of(node))
+    def synthesize_pulse(self, node, positional: bool = True) -> GrapeResult:
+        """Run GRAPE (with minimal-time search) for a node's unitary.
+
+        ``positional`` as in :meth:`latency`: non-positional synthesis
+        on a heterogeneous target bounds every coupling field at the
+        homogeneous baseline.
+        """
+        key = (self.fingerprint, self._node_signature(node, positional))
         cached = self.cache.get_pulse(key)
         if cached is not None:
             self.cache_hits += 1
@@ -141,11 +203,14 @@ class OptimalControlUnit:
                 f"{self.grape_qubit_limit}"
             )
         gates = _gates_of(node)
-        target, hamiltonian = self._local_problem(support, gates)
+        target, hamiltonian = self._local_problem(support, gates, positional)
         self.model_evals += 1
+        # The search estimate must respect the same positional policy as
+        # the Hamiltonian: a non-positional estimate read through edge
+        # overrides would vary with logical labels the cache key omits.
+        model = self.model if positional else self._homogeneous_model
         estimate = max(
-            self.model.sequence_latency(gates)
-            - self.device.setup_time_2q_ns,
+            model.sequence_latency(gates) - self.device.setup_time_2q_ns,
             4 * self.grape_dt,
         )
         self.grape_calls += 1
@@ -160,7 +225,7 @@ class OptimalControlUnit:
         self.cache.put_pulse(key, search.grape)
         return search.grape
 
-    def _local_problem(self, support, gates):
+    def _local_problem(self, support, gates, positional: bool = True):
         """Target unitary and Hamiltonian in instruction-local indices."""
         index = {qubit: position for position, qubit in enumerate(support)}
         width = len(support)
@@ -175,7 +240,17 @@ class OptimalControlUnit:
             # Drive-only instruction spanning several qubits: give GRAPE
             # the chain couplings so the Hamiltonian stays connected.
             edges = {(i, i + 1) for i in range(width - 1)}
-        hamiltonian = xy_hamiltonian(width, sorted(edges), self.device)
+        coupling_rates = None
+        if self._position_dependent and positional:
+            # Map each local edge back to its physical pair and price the
+            # coupling field at that edge's override.
+            coupling_rates = {
+                (a, b): self.target.coupling_rate_of(support[a], support[b])
+                for a, b in edges
+            }
+        hamiltonian = xy_hamiltonian(
+            width, sorted(edges), self.device, coupling_rates=coupling_rates
+        )
         return target, hamiltonian
 
     # ------------------------------------------------------------------

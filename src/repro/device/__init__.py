@@ -1,0 +1,46 @@
+"""Device/target subsystem: coupling graphs, devices, and presets.
+
+"Which machine" is data, not code: a
+:class:`~repro.device.topology.Topology` describes the coupling graph, a
+:class:`~repro.device.device.Device` bundles it with physics (baseline
+:class:`~repro.config.DeviceConfig` plus per-qubit/per-edge overrides),
+and the preset registry resolves names like ``"ring-6"`` or
+``"heavy-hex-2"`` anywhere the compiler accepts a device.
+"""
+
+from repro.device.device import Device, coerce_device
+from repro.device.presets import (
+    available_device_keys,
+    device_by_key,
+    paper_device_for,
+    register_device,
+    registered_device_keys,
+    unregister_device,
+)
+from repro.device.topology import (
+    FullyConnectedTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LineTopology,
+    RingTopology,
+    Topology,
+    grid_for,
+)
+
+__all__ = [
+    "Device",
+    "FullyConnectedTopology",
+    "GridTopology",
+    "HeavyHexTopology",
+    "LineTopology",
+    "RingTopology",
+    "Topology",
+    "available_device_keys",
+    "coerce_device",
+    "device_by_key",
+    "grid_for",
+    "paper_device_for",
+    "register_device",
+    "registered_device_keys",
+    "unregister_device",
+]

@@ -1,0 +1,196 @@
+"""Named device presets: ``device_by_key`` and the user registry.
+
+Five built-in preset *families* cover the topology classes, each
+parameterized in its key:
+
+========================  =============================================
+Key                       Device
+========================  =============================================
+``paper-grid-NxM``        The paper's rectangular grid (e.g.
+                          ``paper-grid-2x3``).
+``line-N``                1-D nearest-neighbour chain.
+``ring-N``                Chain with periodic boundary.
+``heavy-hex-D``           Heavy-hexagon lattice of distance ``D``.
+``all-to-all-N``          Fully connected (trapped-ion style).
+========================  =============================================
+
+All presets carry the paper's homogeneous :class:`DeviceConfig`.  Exact
+keys registered via :func:`register_device` (a frozen :class:`Device` or
+a zero-argument factory) take precedence over family parsing, so a
+project can pin ``"lab-chip-7"`` to a hand-calibrated heterogeneous
+device and resolve it anywhere a preset key is accepted — per
+batch job, through ``compile_circuit(device=...)``, or from the
+experiment runner's ``--device`` flag.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigError
+from repro.device.device import Device
+from repro.device.topology import (
+    FullyConnectedTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LineTopology,
+    RingTopology,
+    grid_for,
+)
+
+_REGISTRY: dict[str, Device | Callable[[], Device]] = {}
+
+#: Family keys resolve to frozen, deterministic devices, so each key is
+#: built once and shared — repeated resolutions (every BatchJob in a
+#: sweep names its preset) reuse one Device, and its topology's BFS
+#: distance/path caches warm across jobs instead of restarting cold.
+_FAMILY_CACHE: dict[str, Device] = {}
+
+
+def _positive_int(text: str, key: str, usage: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise ConfigError(f"bad device key {key!r}; expected {usage}") from None
+    if value < 1:
+        raise ConfigError(f"bad device key {key!r}; expected {usage}")
+    return value
+
+
+def _paper_grid(param: str, key: str) -> Device:
+    usage = "paper-grid-NxM (e.g. paper-grid-2x3)"
+    rows, sep, cols = param.partition("x")
+    if not sep:
+        raise ConfigError(f"bad device key {key!r}; expected {usage}")
+    return Device(
+        topology=GridTopology(
+            _positive_int(rows, key, usage), _positive_int(cols, key, usage)
+        ),
+        name=key,
+    )
+
+
+_FAMILIES: dict[str, Callable[[str, str], Device]] = {
+    "paper-grid": _paper_grid,
+    "line": lambda param, key: Device(
+        topology=LineTopology(_positive_int(param, key, "line-N")), name=key
+    ),
+    "ring": lambda param, key: Device(
+        topology=RingTopology(_positive_int(param, key, "ring-N")), name=key
+    ),
+    "heavy-hex": lambda param, key: Device(
+        topology=HeavyHexTopology(_positive_int(param, key, "heavy-hex-D")),
+        name=key,
+    ),
+    "all-to-all": lambda param, key: Device(
+        topology=FullyConnectedTopology(
+            _positive_int(param, key, "all-to-all-N")
+        ),
+        name=key,
+    ),
+}
+
+#: Placeholder spellings shown in listings and unknown-key errors.
+_FAMILY_TEMPLATES = (
+    "paper-grid-NxM",
+    "line-N",
+    "ring-N",
+    "heavy-hex-D",
+    "all-to-all-N",
+)
+
+
+def device_by_key(key: str) -> Device:
+    """Resolve a device preset key (built-in family or registration).
+
+    Raises:
+        ConfigError: Unknown key; the message lists the built-in
+            families and every registered key.
+    """
+    registered = _REGISTRY.get(key)
+    if registered is not None:
+        device = registered() if callable(registered) else registered
+        if not isinstance(device, Device):
+            raise ConfigError(
+                f"registered factory for {key!r} returned {device!r}, "
+                f"not a Device"
+            )
+        return device
+    # Longest family prefix wins ("heavy-hex-1" must not parse as a
+    # hypothetical "heavy" family).
+    for family in sorted(_FAMILIES, key=len, reverse=True):
+        prefix = family + "-"
+        if key.startswith(prefix):
+            device = _FAMILY_CACHE.get(key)
+            if device is None:
+                device = _FAMILIES[family](key[len(prefix):], key)
+                _FAMILY_CACHE[key] = device
+            return device
+    raise ConfigError(
+        f"unknown device key {key!r}; built-in families: "
+        f"{', '.join(_FAMILY_TEMPLATES)}"
+        + (
+            f"; registered: {', '.join(sorted(_REGISTRY))}"
+            if _REGISTRY
+            else ""
+        )
+    )
+
+
+def register_device(
+    key: str,
+    device: Device | Callable[[], Device],
+    overwrite: bool = False,
+) -> None:
+    """Register an exact device key (a :class:`Device` or a factory).
+
+    Exact keys shadow family parsing, but the built-in family prefixes
+    themselves are protected so ``paper-grid-2x3`` always means the
+    paper device.
+    """
+    if not isinstance(key, str) or not key:
+        raise ConfigError(f"device key must be a non-empty string, got {key!r}")
+    for family in _FAMILIES:
+        if key == family or key.startswith(family + "-"):
+            raise ConfigError(
+                f"key {key!r} collides with the built-in {family!r} family"
+            )
+    if not isinstance(device, Device) and not callable(device):
+        raise ConfigError(
+            f"register a Device or a zero-argument factory, got {device!r}"
+        )
+    if key in _REGISTRY and not overwrite:
+        raise ConfigError(
+            f"device key {key!r} already registered; pass overwrite=True "
+            f"to replace it"
+        )
+    _REGISTRY[key] = device
+
+
+def unregister_device(key: str) -> None:
+    """Remove a registered key (built-in families cannot be removed)."""
+    if key not in _REGISTRY:
+        raise ConfigError(f"device key {key!r} is not registered")
+    del _REGISTRY[key]
+
+
+def registered_device_keys() -> list[str]:
+    """Keys added via :func:`register_device`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def available_device_keys() -> list[str]:
+    """Built-in family templates followed by registered exact keys."""
+    return list(_FAMILY_TEMPLATES) + registered_device_keys()
+
+
+def paper_device_for(num_qubits: int) -> Device:
+    """The paper's default target for a circuit: a near-square grid.
+
+    This is exactly the device the compiler auto-sizes when no device or
+    topology is given, packaged with its preset name.
+    """
+    topology = grid_for(num_qubits)
+    return Device(
+        topology=topology, name=f"paper-grid-{topology.rows}x{topology.cols}"
+    )

@@ -1,0 +1,423 @@
+"""Coupling-graph topologies: which physical qubit pairs can interact.
+
+The paper (Sec. 3.4.1) assumes one device — a rectangular nearest-
+neighbour grid with homogeneous XY couplings.  This module generalizes
+that assumption to arbitrary coupling graphs: :class:`Topology` is a
+plain undirected graph over physical qubits ``0..n-1`` with cached BFS
+distances and shortest paths, and the concrete classes cover the device
+families realistic hardware ships:
+
+* :class:`GridTopology` / :class:`LineTopology` — the paper's devices,
+  refactored onto the graph base (bit-identical behaviour, see below).
+* :class:`RingTopology` — a 1-D chain with periodic boundary.
+* :class:`HeavyHexTopology` — a hexagonal lattice with an extra qubit on
+  every edge (IBM's heavy-hex family; max degree 3).
+* :class:`FullyConnectedTopology` — all-to-all coupling (trapped ions).
+
+Placement consumes :meth:`Topology.placement_order`: an ordering of the
+physical qubits in which contiguous slices form compact connected
+regions, so recursive bisection can split the region alongside the
+interaction graph.  The generic order is a BFS from the highest-degree
+qubit; ``GridTopology`` overrides it with the boustrophedon scan the
+paper's pipeline used, which keeps the default device's output
+bit-identical to the pre-refactor compiler.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import MappingError
+
+
+class Topology:
+    """An undirected coupling graph over physical qubits ``0..n-1``.
+
+    Args:
+        num_qubits: Number of physical qubits.
+        edges: Coupled pairs (order and duplicates are ignored; an edge
+            ``(a, b)`` is stored canonically as ``(min, max)``).
+
+    The graph must be connected — routing walks qubits along shortest
+    paths, and a disconnected device would only fail later with a much
+    less helpful error.
+    """
+
+    #: Short family tag used in reprs and device signatures.
+    kind = "graph"
+
+    def __init__(self, num_qubits: int, edges: Iterable[tuple[int, int]]) -> None:
+        if num_qubits < 1:
+            raise MappingError("a topology needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        canonical: set[tuple[int, int]] = set()
+        for a, b in edges:
+            a, b = int(a), int(b)
+            if a == b:
+                raise MappingError(f"self-loop edge ({a}, {b}) is not a coupling")
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise MappingError(
+                    f"edge ({a}, {b}) outside qubits 0..{num_qubits - 1}"
+                )
+            canonical.add((min(a, b), max(a, b)))
+        self._edges: tuple[tuple[int, int], ...] = tuple(sorted(canonical))
+        adjacency: dict[int, list[int]] = {q: [] for q in range(num_qubits)}
+        for a, b in self._edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        self._adjacency = {q: sorted(nbrs) for q, nbrs in adjacency.items()}
+        self._adjacent_sets = {q: set(nbrs) for q, nbrs in adjacency.items()}
+        self._distance_cache: dict[int, list[int]] = {}
+        self._path_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._require_connected()
+
+    # -- basic structure -------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """Canonical sorted edge list (each edge once, as ``(min, max)``)."""
+        return self._edges
+
+    def neighbors(self, qubit: int) -> list[int]:
+        """Directly coupled physical qubits (ascending)."""
+        self._check(qubit)
+        return list(self._adjacency[qubit])
+
+    def degree(self, qubit: int) -> int:
+        self._check(qubit)
+        return len(self._adjacency[qubit])
+
+    def are_adjacent(self, qubit_a: int, qubit_b: int) -> bool:
+        """True when a two-qubit operation is directly possible."""
+        self._check(qubit_a)
+        self._check(qubit_b)
+        return qubit_b in self._adjacent_sets[qubit_a]
+
+    def all_qubits(self) -> list[int]:
+        """All physical indices, ascending."""
+        return list(range(self._num_qubits))
+
+    # -- distances and paths ---------------------------------------------
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        """Hop count of a shortest coupling path (BFS, cached per source)."""
+        self._check(qubit_a)
+        self._check(qubit_b)
+        distances = self._distance_cache.get(qubit_a)
+        if distances is None:
+            distances = self._bfs_distances(qubit_a)
+            self._distance_cache[qubit_a] = distances
+        return distances[qubit_b]
+
+    def shortest_path(self, source: int, target: int) -> list[int]:
+        """A shortest path (inclusive of endpoints) via BFS, cached.
+
+        Deterministic: neighbours are explored in :meth:`neighbors`
+        order, so repeated queries (and re-runs) pick the same path.
+        """
+        self._check(source)
+        self._check(target)
+        if source == target:
+            return [source]
+        cached = self._path_cache.get((source, target))
+        if cached is not None:
+            return list(cached)
+        parents: dict[int, int] = {source: source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor not in parents:
+                    parents[neighbor] = current
+                    if neighbor == target:
+                        path = [target]
+                        while path[-1] != source:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        self._path_cache[(source, target)] = tuple(path)
+                        return path
+                    queue.append(neighbor)
+        raise MappingError(f"no path from {source} to {target}")
+
+    # -- placement support ------------------------------------------------
+
+    def placement_order(self) -> list[int]:
+        """Physical qubits ordered so contiguous slices form compact,
+        connected regions (what recursive-bisection placement slices).
+
+        Generic rule: BFS from the highest-degree qubit (smallest index
+        on ties), exploring neighbours in ascending order.  Subclasses
+        with geometric structure override this (the grid's boustrophedon
+        scan).
+        """
+        seed = max(range(self._num_qubits), key=lambda q: (self.degree(q), -q))
+        order = [seed]
+        seen = {seed}
+        queue = deque([seed])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        return order
+
+    # -- identity ----------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Structural identity of the coupling graph (pure literals).
+
+        Two topologies with the same signature have identical qubit
+        count and edge set; device fingerprints build on this, so cache
+        entries from differently-wired devices can never be confused.
+        """
+        return (self.kind, self._num_qubits, self._edges)
+
+    def _check(self, qubit: int) -> None:
+        if not 0 <= qubit < self._num_qubits:
+            raise MappingError(
+                f"physical qubit {qubit} outside the {self._num_qubits}-qubit device"
+            )
+
+    def _bfs_distances(self, source: int) -> list[int]:
+        distances = [-1] * self._num_qubits
+        distances[source] = 0
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if distances[neighbor] < 0:
+                    distances[neighbor] = distances[current] + 1
+                    queue.append(neighbor)
+        return distances
+
+    def _require_connected(self) -> None:
+        if self._num_qubits == 1:
+            return
+        reached = sum(d >= 0 for d in self._bfs_distances(0))
+        if reached != self._num_qubits:
+            raise MappingError(
+                f"coupling graph is disconnected ({reached} of "
+                f"{self._num_qubits} qubits reachable from qubit 0)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self._num_qubits} qubits, "
+            f"{len(self._edges)} edges)"
+        )
+
+
+class GridTopology(Topology):
+    """A ``rows x cols`` nearest-neighbour grid (the paper's device).
+
+    Physical qubits are indexed row-major.  Neighbour order, distances
+    and shortest paths reproduce the pre-refactor grid code exactly, so
+    compiling on the default device stays bit-identical.
+    """
+
+    kind = "grid"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise MappingError("grid dimensions must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        edges = []
+        for row in range(self.rows):
+            for col in range(self.cols):
+                q = row * self.cols + col
+                if col + 1 < self.cols:
+                    edges.append((q, q + 1))
+                if row + 1 < self.rows:
+                    edges.append((q, q + self.cols))
+        super().__init__(self.rows * self.cols, edges)
+
+    def coordinates(self, qubit: int) -> tuple[int, int]:
+        """(row, col) of a physical qubit."""
+        self._check(qubit)
+        return divmod(qubit, self.cols)
+
+    def index(self, row: int, col: int) -> int:
+        """Physical index of a grid cell."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise MappingError(f"cell ({row}, {col}) outside the grid")
+        return row * self.cols + col
+
+    def neighbors(self, qubit: int) -> list[int]:
+        """Directly coupled physical qubits, in up/down/left/right order.
+
+        The order is load-bearing: BFS tie-breaks (and therefore routed
+        SWAP paths) follow it, and the seed compiler explored grid
+        neighbours in exactly this order.
+        """
+        row, col = self.coordinates(qubit)
+        adjacent = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                adjacent.append(self.index(r, c))
+        return adjacent
+
+    def are_adjacent(self, qubit_a: int, qubit_b: int) -> bool:
+        row_a, col_a = self.coordinates(qubit_a)
+        row_b, col_b = self.coordinates(qubit_b)
+        return abs(row_a - row_b) + abs(col_a - col_b) == 1
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        """Manhattan distance (closed form; equals the BFS hop count)."""
+        row_a, col_a = self.coordinates(qubit_a)
+        row_b, col_b = self.coordinates(qubit_b)
+        return abs(row_a - row_b) + abs(col_a - col_b)
+
+    def placement_order(self) -> list[int]:
+        """Boustrophedon scan along the longer dimension.
+
+        Contiguous slices of this order are compact rectangles, which is
+        what recursive-bisection placement wants; it is the exact order
+        the pre-refactor placement used.
+        """
+        cells = []
+        if self.rows >= self.cols:
+            for row in range(self.rows):
+                columns = range(self.cols)
+                if row % 2:
+                    columns = reversed(columns)
+                for col in columns:
+                    cells.append(self.index(row, col))
+        else:
+            for col in range(self.cols):
+                rows = range(self.rows)
+                if col % 2:
+                    rows = reversed(rows)
+                for row in rows:
+                    cells.append(self.index(row, col))
+        return cells
+
+    def __repr__(self) -> str:
+        return f"GridTopology({self.rows}x{self.cols})"
+
+
+class LineTopology(GridTopology):
+    """1-D nearest-neighbour chain (used in the paper's Fig. 4 example)."""
+
+    kind = "line"
+
+    def __init__(self, num_qubits: int) -> None:
+        super().__init__(1, num_qubits)
+
+    def __repr__(self) -> str:
+        return f"LineTopology({self.cols})"
+
+
+class RingTopology(Topology):
+    """A 1-D chain with periodic boundary (qubit ``n-1`` couples to 0)."""
+
+    kind = "ring"
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 3:
+            raise MappingError("a ring needs at least three qubits")
+        edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+        super().__init__(num_qubits, edges)
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        """Closed form: the shorter way around the ring."""
+        self._check(qubit_a)
+        self._check(qubit_b)
+        around = abs(qubit_a - qubit_b)
+        return min(around, self._num_qubits - around)
+
+    def __repr__(self) -> str:
+        return f"RingTopology({self._num_qubits})"
+
+
+class FullyConnectedTopology(Topology):
+    """All-to-all coupling (trapped-ion style): every pair is an edge."""
+
+    kind = "all-to-all"
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise MappingError("a topology needs at least one qubit")
+        edges = [
+            (a, b)
+            for a in range(num_qubits)
+            for b in range(a + 1, num_qubits)
+        ]
+        super().__init__(num_qubits, edges)
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        self._check(qubit_a)
+        self._check(qubit_b)
+        return 0 if qubit_a == qubit_b else 1
+
+    def __repr__(self) -> str:
+        return f"FullyConnectedTopology({self._num_qubits})"
+
+
+class HeavyHexTopology(Topology):
+    """A heavy-hexagon lattice: hexagonal cells with a qubit on every edge.
+
+    IBM's heavy-hex family places qubits on both the vertices and the
+    edges of a hexagonal lattice, which caps the coupling degree at 3
+    (vertex qubits) while edge qubits have degree 2.  ``distance`` here
+    is the number of hexagon rows *and* columns of the underlying
+    lattice: ``HeavyHexTopology(1)`` is a single (subdivided) hexagon,
+    ``HeavyHexTopology(2)`` a 2x2 block of cells, and so on.
+
+    Qubit numbering is deterministic: lattice vertices first (sorted by
+    their lattice coordinates), then one edge qubit per lattice edge
+    (sorted canonically), so the same ``distance`` always yields the
+    same device.
+    """
+
+    kind = "heavy-hex"
+
+    def __init__(self, distance: int) -> None:
+        if distance < 1:
+            raise MappingError("heavy-hex distance must be at least 1")
+        self.distance_param = int(distance)
+        import networkx as nx
+
+        lattice = nx.hexagonal_lattice_graph(distance, distance)
+        vertices = sorted(lattice.nodes())
+        index = {node: position for position, node in enumerate(vertices)}
+        lattice_edges = sorted(
+            (min(index[a], index[b]), max(index[a], index[b]))
+            for a, b in lattice.edges()
+        )
+        edges: list[tuple[int, int]] = []
+        bridge = len(vertices)
+        # Subdivide: each lattice edge gains one "heavy" qubit.
+        for a, b in lattice_edges:
+            edges.append((a, bridge))
+            edges.append((bridge, b))
+            bridge += 1
+        super().__init__(bridge, edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"HeavyHexTopology(distance={self.distance_param}, "
+            f"{self._num_qubits} qubits)"
+        )
+
+
+def grid_for(num_qubits: int) -> GridTopology:
+    """Smallest near-square grid with at least ``num_qubits`` cells.
+
+    With ``rows = floor(sqrt(n))``, ``cols = ceil(n / rows)`` makes
+    ``rows * cols >= n`` by construction, and the grid stays near-square:
+    ``rows <= sqrt(n)`` and ``cols < sqrt(n) + 2`` (cols exceeds
+    ``n / rows <= sqrt(n) + 1`` by less than one).
+    """
+    if num_qubits < 1:
+        raise MappingError("need at least one qubit")
+    rows = math.isqrt(num_qubits)
+    return GridTopology(rows, math.ceil(num_qubits / rows))

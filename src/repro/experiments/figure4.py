@@ -19,8 +19,8 @@ from repro.compiler.strategies import CLS_AGGREGATION, ISA
 from repro.control.pulse import Pulse
 from repro.control.unit import OptimalControlUnit
 from repro.aggregation.instruction import AggregatedInstruction
+from repro.device.presets import device_by_key
 from repro.gates import library as lib
-from repro.mapping.topology import LineTopology
 
 PAPER_ISA_NS = 381.9
 PAPER_AGGREGATED_NS = 128.3
@@ -68,10 +68,10 @@ def run_figure4(
     """
     ocu = ocu or OptimalControlUnit(backend="model")
     circuit = triangle_circuit()
-    topology = LineTopology(3)
-    isa = compile_circuit(circuit, ISA, ocu=ocu, topology=topology)
+    device = device_by_key("line-3")
+    isa = compile_circuit(circuit, ISA, ocu=ocu, device=device)
     aggregated = compile_circuit(
-        circuit, CLS_AGGREGATION, ocu=ocu, topology=topology
+        circuit, CLS_AGGREGATION, ocu=ocu, device=device
     )
     result = Figure4Result(
         isa_latency_ns=isa.latency_ns,

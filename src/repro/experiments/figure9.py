@@ -14,6 +14,9 @@ from repro.benchmarks.registry import table3_suite
 from repro.compiler.batch import BatchCompiler, BatchJob, resolve_engine
 from repro.compiler.strategies import Strategy, all_strategies, strategy_by_key
 from repro.control.unit import OptimalControlUnit
+from repro.device.device import Device
+from repro.device.presets import device_by_key
+from repro.errors import ConfigError
 
 PAPER_GEOMEAN_CLS_AGGREGATION = 5.07
 PAPER_GEOMEAN_CLS_HAND = 2.338
@@ -31,6 +34,11 @@ class Figure9Row:
     """Per-job wall-clock.  Under a multi-worker engine each entry
     includes GIL wait while other jobs run; treat as relative cost, not
     serial compile time."""
+    swap_counts: dict[str, int] = dataclasses.field(default_factory=dict)
+    """Routed SWAPs per strategy (device-sensitive: sparser coupling
+    graphs route more)."""
+    device: str | None = None
+    """Device the row compiled onto (None: auto-sized paper grid)."""
 
     @property
     def baseline_key(self) -> str:
@@ -59,6 +67,7 @@ def run_figure9(
     benchmark_keys: list[str] | None = None,
     engine: BatchCompiler | None = None,
     max_workers: int | None = None,
+    device: Device | str | None = None,
 ) -> list[Figure9Row]:
     """Compile the suite under every strategy through the batch engine.
 
@@ -73,17 +82,41 @@ def run_figure9(
         benchmark_keys: Restrict to a subset of the suite.
         engine: Batch engine (shared, possibly disk-persistent cache).
         max_workers: Worker threads when no engine is passed.
+        device: Compilation target for every job — a
+            :class:`~repro.device.device.Device` or a preset key such as
+            ``"ring-6"``.  Benchmarks wider than the device are skipped
+            (a fixed machine cannot hold them); None keeps the paper's
+            per-circuit auto-sized grid.
     """
     strategies = [
         entry if isinstance(entry, Strategy) else strategy_by_key(entry)
         for entry in (strategies or all_strategies())
     ]
+    if isinstance(device, str):
+        device = device_by_key(device)
     engine = resolve_engine(engine, ocu, max_workers)
+    suite = table3_suite(scale)
+    if benchmark_keys:
+        known = {spec.key for spec in suite}
+        unknown = [key for key in benchmark_keys if key not in known]
+        if unknown:
+            raise ConfigError(
+                f"unknown benchmark keys {unknown}; the {scale!r} suite "
+                f"has: {', '.join(sorted(known))}"
+            )
     specs = [
-        spec
-        for spec in table3_suite(scale)
-        if not benchmark_keys or spec.key in benchmark_keys
+        spec for spec in suite if not benchmark_keys or spec.key in benchmark_keys
     ]
+    if device is not None:
+        specs = [
+            spec for spec in specs if spec.qubits <= device.num_qubits
+        ]
+        if not specs:
+            raise ConfigError(
+                f"no benchmark in the sweep fits on {device.num_qubits}-qubit "
+                f"device {device.name or device!r}; a silent empty sweep "
+                f"would report nothing while exiting green"
+            )
     jobs: list[BatchJob] = []
     for spec in specs:
         circuit = spec.build()
@@ -92,6 +125,7 @@ def run_figure9(
                 circuit=circuit,
                 strategy=strategy,
                 label=f"{spec.key}/{strategy.key}",
+                device=device,
             )
             for strategy in strategies
         )
@@ -101,9 +135,11 @@ def run_figure9(
     for spec in specs:
         latencies: dict[str, float] = {}
         seconds: dict[str, float] = {}
+        swaps: dict[str, int] = {}
         for strategy in strategies:
             latencies[strategy.key] = report.results[cursor].latency_ns
             seconds[strategy.key] = report.seconds[cursor]
+            swaps[strategy.key] = report.results[cursor].swap_count
             cursor += 1
         rows.append(
             Figure9Row(
@@ -111,6 +147,12 @@ def run_figure9(
                 qubits=spec.qubits,
                 latencies_ns=latencies,
                 seconds=seconds,
+                swap_counts=swaps,
+                # Unnamed custom devices keep their provenance via repr;
+                # only the default auto-sized paper grid reports None.
+                device=(device.name or repr(device))
+                if device is not None
+                else None,
             )
         )
     return rows
@@ -145,8 +187,9 @@ def format_figure9(rows: list[Figure9Row]) -> str:
     keys = list(rows[0].latencies_ns)
     baseline_key = rows[0].baseline_key
     header = f"{'benchmark':22s}" + "".join(f"{k:>16s}" for k in keys)
+    device_tag = f" on {rows[0].device}" if rows[0].device else ""
     lines = [
-        f"Figure 9: normalized latency ({baseline_key} = 1.0)",
+        f"Figure 9: normalized latency ({baseline_key} = 1.0){device_tag}",
         header,
     ]
     for row in rows:

@@ -6,11 +6,19 @@ cache.  Pass ``--cache PATH`` to persist that cache on disk: the first run
 pays for every optimal-control query, subsequent runs answer them from the
 cache and the whole sweep completes dramatically faster.
 
+The Figure 9 sweep also regenerates on any registered device: pass
+``--device`` (repeatable) with a preset key — ``paper-grid-NxM``,
+``line-N``, ``ring-N``, ``heavy-hex-D``, ``all-to-all-N``, or a key
+added via :func:`repro.device.register_device` — and the sweep compiles
+onto that coupling graph instead of the paper's auto-sized grid.
+
 Usage::
 
     python -m repro.experiments.runner --scale small
     python -m repro.experiments.runner --experiment figure9 --scale paper
     python -m repro.experiments.runner --cache results/pulse_cache --workers 4
+    python -m repro.experiments.runner --experiment figure9 --scale small \\
+        --device ring-6 --device heavy-hex-1 --benchmarks maxcut-line-6
 """
 
 from __future__ import annotations
@@ -38,11 +46,15 @@ def run_experiment(
     ocu: OptimalControlUnit | None = None,
     engine: BatchCompiler | None = None,
     strategies: list[str] | None = None,
+    devices: list[str] | None = None,
+    benchmarks: list[str] | None = None,
 ) -> str:
     """Run one experiment by name, returning its formatted report.
 
     ``strategies`` restricts the Figure 9 sweep to the named registered
-    strategy keys (built-in or custom); other experiments ignore it.
+    strategy keys (built-in or custom), ``benchmarks`` to a subset of
+    the Table 3 suite, and ``devices`` reruns the sweep once per named
+    device preset; other experiments ignore all three.
     """
     engine = resolve_engine(engine, ocu)
     if name == "table1":
@@ -52,12 +64,22 @@ def run_experiment(
     if name == "figure4":
         return format_figure4(run_figure4(ocu=engine.make_ocu()))
     if name == "figure9":
-        return format_figure9(
-            run_figure9(scale=scale, engine=engine, strategies=strategies)
-        )
+        reports = [
+            format_figure9(
+                run_figure9(
+                    scale=scale,
+                    engine=engine,
+                    strategies=strategies,
+                    benchmark_keys=benchmarks,
+                    device=device,
+                )
+            )
+            for device in (devices or [None])
+        ]
+        return "\n\n".join(reports)
     if name == "figure10":
         if scale == "small":
-            benchmarks = {
+            width_sweep_benchmarks = {
                 "maxcut-line-6": "parallel",
                 "ising-6": "parallel",
                 "sqrt-9": "serial",
@@ -65,7 +87,7 @@ def run_experiment(
             }
             return format_figure10(
                 run_figure10(
-                    benchmarks=benchmarks,
+                    benchmarks=width_sweep_benchmarks,
                     widths=range(2, 7),
                     scale=scale,
                     engine=engine,
@@ -112,10 +134,32 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated strategy keys for the figure9 sweep "
         "(built-in or registered via register_strategy); default: all five",
     )
+    parser.add_argument(
+        "--device",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="device preset for the figure9 sweep (paper-grid-NxM, line-N, "
+        "ring-N, heavy-hex-D, all-to-all-N, or a registered key); "
+        "repeatable — the sweep reruns once per device; default: the "
+        "paper's auto-sized grid",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        metavar="KEY[,KEY...]",
+        help="comma-separated benchmark keys restricting the figure9 "
+        "sweep to a subset of the Table 3 suite",
+    )
     args = parser.parse_args(argv)
     strategies = (
         [key.strip() for key in args.strategies.split(",") if key.strip()]
         if args.strategies
+        else None
+    )
+    benchmarks = (
+        [key.strip() for key in args.benchmarks.split(",") if key.strip()]
+        if args.benchmarks
         else None
     )
     cache = DiskPulseCache(args.cache) if args.cache else None
@@ -127,7 +171,12 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             started = time.perf_counter()
             report = run_experiment(
-                name, args.scale, engine=engine, strategies=strategies
+                name,
+                args.scale,
+                engine=engine,
+                strategies=strategies,
+                devices=args.device,
+                benchmarks=benchmarks,
             )
             elapsed = time.perf_counter() - started
             print(report)

@@ -1,15 +1,31 @@
-"""Qubit mapping: device topologies, placement, and SWAP routing."""
+"""Qubit mapping: placement and SWAP routing over device topologies.
 
-from repro.mapping.topology import GridTopology, LineTopology, grid_for
+Topology types live in :mod:`repro.device`; they are re-exported here
+for compatibility with pre-device-subsystem code.
+"""
+
+from repro.device.topology import (
+    FullyConnectedTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LineTopology,
+    RingTopology,
+    Topology,
+    grid_for,
+)
 from repro.mapping.partition import balanced_min_cut_bisection
 from repro.mapping.placement import Placement, initial_placement
 from repro.mapping.router import RoutingResult, route
 
 __all__ = [
+    "FullyConnectedTopology",
     "GridTopology",
+    "HeavyHexTopology",
     "LineTopology",
     "Placement",
+    "RingTopology",
     "RoutingResult",
+    "Topology",
     "balanced_min_cut_bisection",
     "grid_for",
     "initial_placement",

@@ -1,18 +1,25 @@
 """Initial qubit placement by recursive interaction-graph bisection.
 
 Following the paper (Sec. 3.4.1), the qubit-interaction graph is bisected
-recursively along small cuts; each bisection also halves the grid region,
-so strongly-interacting logical qubits land in the same region and CNOT
-distances shrink.
+recursively along small cuts; each bisection also halves the device
+region, so strongly-interacting logical qubits land in the same region
+and CNOT distances shrink.
+
+The device region is sliced along
+:meth:`~repro.device.topology.Topology.placement_order` — an ordering
+whose contiguous slices form compact connected regions.  On the paper's
+grid that is the boustrophedon scan (bit-identical to the pre-device
+pipeline); arbitrary coupling graphs use a BFS order seeded at the
+highest-degree qubit.
 """
 
 from __future__ import annotations
 
 import networkx as nx
 
+from repro.device.topology import Topology, grid_for
 from repro.errors import MappingError
 from repro.mapping.partition import balanced_min_cut_bisection
-from repro.mapping.topology import GridTopology, grid_for
 
 
 class Placement:
@@ -87,9 +94,15 @@ def interaction_graph_of(circuit) -> nx.Graph:
 
 def initial_placement(
     circuit,
-    topology: GridTopology | None = None,
+    topology: Topology | None = None,
 ) -> Placement:
-    """Place a circuit's qubits on a grid by recursive bisection."""
+    """Place a circuit's qubits on a device by recursive bisection.
+
+    Works for any coupling graph: the device cells are consumed in the
+    topology's :meth:`~repro.device.topology.Topology.placement_order`,
+    so each bisection of the interaction graph lands in a compact
+    connected region.  Defaults to the paper's near-square grid.
+    """
     topology = topology or grid_for(circuit.num_qubits)
     if topology.num_qubits < circuit.num_qubits:
         raise MappingError(
@@ -98,38 +111,17 @@ def initial_placement(
         )
     graph = interaction_graph_of(circuit)
     logical = list(range(circuit.num_qubits))
-    cells = _cells_in_geometric_order(topology)
+    cells = topology.placement_order()
     assignment: dict[int, int] = {}
     _place_recursive(graph, logical, cells, topology, assignment)
     return Placement(assignment, topology)
-
-
-def _cells_in_geometric_order(topology: GridTopology) -> list[int]:
-    """Cells ordered so contiguous slices form compact regions
-    (boustrophedon scan along the longer dimension)."""
-    cells = []
-    if topology.rows >= topology.cols:
-        for row in range(topology.rows):
-            columns = range(topology.cols)
-            if row % 2:
-                columns = reversed(columns)
-            for col in columns:
-                cells.append(topology.index(row, col))
-    else:
-        for col in range(topology.cols):
-            rows = range(topology.rows)
-            if col % 2:
-                rows = reversed(rows)
-            for row in rows:
-                cells.append(topology.index(row, col))
-    return cells
 
 
 def _place_recursive(
     graph: nx.Graph,
     vertices: list[int],
     cells: list[int],
-    topology: GridTopology,
+    topology: Topology,
     assignment: dict[int, int],
 ) -> None:
     if not vertices:

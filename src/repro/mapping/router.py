@@ -2,8 +2,11 @@
 
 Two-qubit operations between non-neighbouring physical qubits are
 prepended with SWAP rearrangements that walk the two operands toward each
-other along a shortest grid path; the placement is updated permanently
-(SWAPs are real gates, not bookkeeping).
+other along a shortest coupling path; the placement is updated permanently
+(SWAPs are real gates, not bookkeeping).  The router is topology-agnostic:
+it only asks the placement's :class:`~repro.device.topology.Topology` for
+adjacency and shortest paths, so grids, rings, heavy-hex lattices and
+arbitrary coupling graphs all route through the same code.
 
 The router processes nodes in a dependence-respecting order and emits a
 new node sequence over *physical* qubits.  Any node exposing ``on()``

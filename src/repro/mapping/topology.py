@@ -1,121 +1,27 @@
-"""Device topologies: rectangular qubit grids (paper Sec. 3.4.1).
+"""Compatibility shim: topologies moved to :mod:`repro.device.topology`.
 
-The paper assumes a rectangular-grid topology with two-qubit operations
-only between direct neighbours, representative of near-term
-superconducting devices.  Physical qubits are indexed row-major.
+The device/target refactor lifted the coupling-graph types out of the
+mapping layer (they describe hardware, not an algorithm) and generalized
+them to arbitrary graphs.  Import from :mod:`repro.device` in new code;
+this module keeps the original import path working.
 """
 
-from __future__ import annotations
+from repro.device.topology import (
+    FullyConnectedTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LineTopology,
+    RingTopology,
+    Topology,
+    grid_for,
+)
 
-import math
-from collections import deque
-
-from repro.errors import MappingError
-
-
-class GridTopology:
-    """A ``rows x cols`` nearest-neighbour grid."""
-
-    def __init__(self, rows: int, cols: int) -> None:
-        if rows < 1 or cols < 1:
-            raise MappingError("grid dimensions must be positive")
-        self.rows = int(rows)
-        self.cols = int(cols)
-        self._distance_cache: dict[int, list[int]] = {}
-
-    @property
-    def num_qubits(self) -> int:
-        return self.rows * self.cols
-
-    def coordinates(self, qubit: int) -> tuple[int, int]:
-        """(row, col) of a physical qubit."""
-        self._check(qubit)
-        return divmod(qubit, self.cols)
-
-    def index(self, row: int, col: int) -> int:
-        """Physical index of a grid cell."""
-        if not (0 <= row < self.rows and 0 <= col < self.cols):
-            raise MappingError(f"cell ({row}, {col}) outside the grid")
-        return row * self.cols + col
-
-    def neighbors(self, qubit: int) -> list[int]:
-        """Directly coupled physical qubits."""
-        row, col = self.coordinates(qubit)
-        adjacent = []
-        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
-            r, c = row + dr, col + dc
-            if 0 <= r < self.rows and 0 <= c < self.cols:
-                adjacent.append(self.index(r, c))
-        return adjacent
-
-    def are_adjacent(self, qubit_a: int, qubit_b: int) -> bool:
-        """True when a two-qubit operation is directly possible."""
-        row_a, col_a = self.coordinates(qubit_a)
-        row_b, col_b = self.coordinates(qubit_b)
-        return abs(row_a - row_b) + abs(col_a - col_b) == 1
-
-    def distance(self, qubit_a: int, qubit_b: int) -> int:
-        """Manhattan distance between two physical qubits."""
-        row_a, col_a = self.coordinates(qubit_a)
-        row_b, col_b = self.coordinates(qubit_b)
-        return abs(row_a - row_b) + abs(col_a - col_b)
-
-    def shortest_path(self, source: int, target: int) -> list[int]:
-        """A shortest path (inclusive of endpoints) via BFS.
-
-        BFS keeps this correct for subclasses with holes; on the plain
-        grid it returns one of the Manhattan staircase paths.
-        """
-        self._check(source)
-        self._check(target)
-        if source == target:
-            return [source]
-        parents: dict[int, int] = {source: source}
-        queue = deque([source])
-        while queue:
-            current = queue.popleft()
-            for neighbor in self.neighbors(current):
-                if neighbor not in parents:
-                    parents[neighbor] = current
-                    if neighbor == target:
-                        path = [target]
-                        while path[-1] != source:
-                            path.append(parents[path[-1]])
-                        path.reverse()
-                        return path
-                    queue.append(neighbor)
-        raise MappingError(f"no path from {source} to {target}")
-
-    def all_qubits(self) -> list[int]:
-        """All physical indices, row-major."""
-        return list(range(self.num_qubits))
-
-    def _check(self, qubit: int) -> None:
-        if not 0 <= qubit < self.num_qubits:
-            raise MappingError(f"physical qubit {qubit} outside the grid")
-
-    def __repr__(self) -> str:
-        return f"GridTopology({self.rows}x{self.cols})"
-
-
-class LineTopology(GridTopology):
-    """1-D nearest-neighbour chain (used in the paper's Fig. 4 example)."""
-
-    def __init__(self, num_qubits: int) -> None:
-        super().__init__(1, num_qubits)
-
-    def __repr__(self) -> str:
-        return f"LineTopology({self.cols})"
-
-
-def grid_for(num_qubits: int) -> GridTopology:
-    """Smallest near-square grid with at least ``num_qubits`` cells."""
-    if num_qubits < 1:
-        raise MappingError("need at least one qubit")
-    rows = int(math.floor(math.sqrt(num_qubits)))
-    while rows >= 1:
-        cols = math.ceil(num_qubits / rows)
-        if rows * cols >= num_qubits:
-            return GridTopology(rows, cols)
-        rows -= 1
-    return GridTopology(1, num_qubits)
+__all__ = [
+    "FullyConnectedTopology",
+    "GridTopology",
+    "HeavyHexTopology",
+    "LineTopology",
+    "RingTopology",
+    "Topology",
+    "grid_for",
+]

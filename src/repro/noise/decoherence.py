@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 
 from repro.config import DeviceConfig, DEFAULT_DEVICE
+from repro.device.device import Device
 from repro.errors import ConfigError
 
 _NS_PER_US = 1000.0
@@ -25,6 +26,17 @@ _NS_PER_US = 1000.0
 
 def _decoherence_rate_per_ns(device: DeviceConfig) -> float:
     return (1.0 / device.t1_us + 1.0 / device.t2_us) / _NS_PER_US
+
+
+def qubit_decoherence_rate_per_ns(device: Device, qubit: int) -> float:
+    """Combined ``1/T1 + 1/T2`` rate of one physical qubit (per ns).
+
+    Resolves the device's per-qubit overrides; qubits without one decay
+    at the homogeneous baseline rate.
+    """
+    return (
+        1.0 / device.t1_of(qubit) + 1.0 / device.t2_of(qubit)
+    ) / _NS_PER_US
 
 
 def circuit_survival_probability(
@@ -43,18 +55,31 @@ def circuit_survival_probability(
 
 def schedule_survival_probability(
     schedule,
-    device: DeviceConfig = DEFAULT_DEVICE,
+    device: DeviceConfig | Device = DEFAULT_DEVICE,
 ) -> float:
     """Survival probability of a schedule's active qubits.
 
     Every qubit touched by at least one operation must stay coherent for
     the full makespan (idle qubits still decohere while they wait).
+
+    With a full :class:`~repro.device.device.Device`, each active qubit
+    decays at its *own* combined rate (per-qubit ``t1_us``/``t2_us``
+    overrides); schedules over physical qubits can therefore distinguish
+    a mapping that parks work on a short-lived qubit from one that
+    avoids it.
     """
     active: set[int] = set()
     for operation in schedule.operations:
         active.update(operation.node.qubits)
     if not active:
         return 1.0
+    if isinstance(device, Device):
+        if schedule.makespan < 0:
+            raise ConfigError("latency must be non-negative")
+        total_rate = sum(
+            qubit_decoherence_rate_per_ns(device, qubit) for qubit in active
+        )
+        return math.exp(-total_rate * schedule.makespan)
     return circuit_survival_probability(
         schedule.makespan, len(active), device
     )

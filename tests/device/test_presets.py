@@ -1,0 +1,146 @@
+"""Tests for the device preset registry."""
+
+import pytest
+
+from repro.device.device import Device
+from repro.device.presets import (
+    available_device_keys,
+    device_by_key,
+    paper_device_for,
+    register_device,
+    registered_device_keys,
+    unregister_device,
+)
+from repro.device.topology import (
+    FullyConnectedTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LineTopology,
+    RingTopology,
+    Topology,
+)
+from repro.errors import ConfigError
+
+
+class TestBuiltinFamilies:
+    """The acceptance matrix: all five preset families resolve."""
+
+    @pytest.mark.parametrize(
+        "key,topology_type,num_qubits",
+        [
+            ("paper-grid-2x3", GridTopology, 6),
+            ("paper-grid-4x4", GridTopology, 16),
+            ("line-5", LineTopology, 5),
+            ("ring-6", RingTopology, 6),
+            ("heavy-hex-1", HeavyHexTopology, 12),
+            ("all-to-all-7", FullyConnectedTopology, 7),
+        ],
+    )
+    def test_resolves(self, key, topology_type, num_qubits):
+        device = device_by_key(key)
+        assert isinstance(device, Device)
+        assert isinstance(device.topology, topology_type)
+        assert device.num_qubits == num_qubits
+        assert device.name == key
+        assert not device.is_heterogeneous
+
+    def test_same_key_same_device(self):
+        assert (
+            device_by_key("ring-5").signature()
+            == device_by_key("ring-5").signature()
+        )
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "paper-grid-3",      # missing NxM
+            "paper-grid-0x2",    # non-positive dimension
+            "line-zero",
+            "ring--3",
+            "heavy-hex-",
+            "all-to-all-0",
+        ],
+    )
+    def test_bad_parameters_rejected_with_usage(self, key):
+        with pytest.raises(ConfigError, match="expected"):
+            device_by_key(key)
+
+    def test_unknown_key_lists_families(self):
+        with pytest.raises(ConfigError) as excinfo:
+            device_by_key("warp-core-9")
+        message = str(excinfo.value)
+        for family in (
+            "paper-grid-NxM",
+            "line-N",
+            "ring-N",
+            "heavy-hex-D",
+            "all-to-all-N",
+        ):
+            assert family in message
+
+
+class TestRegistry:
+    @pytest.fixture
+    def t_device(self):
+        # The examples/custom_device.py shape: a 5-qubit T.
+        topology = Topology(5, [(0, 1), (1, 2), (1, 3), (3, 4)])
+        device = Device(topology=topology, name="t5")
+        register_device("t5", device)
+        yield device
+        unregister_device("t5")
+
+    def test_registered_key_resolves(self, t_device):
+        assert device_by_key("t5") is t_device
+        assert "t5" in registered_device_keys()
+        assert "t5" in available_device_keys()
+
+    def test_factory_registration(self):
+        register_device(
+            "lazy-ring", lambda: Device(topology=RingTopology(4))
+        )
+        try:
+            assert device_by_key("lazy-ring").num_qubits == 4
+        finally:
+            unregister_device("lazy-ring")
+
+    def test_factory_returning_garbage_rejected(self):
+        register_device("broken", lambda: "oops")
+        try:
+            with pytest.raises(ConfigError, match="not a Device"):
+                device_by_key("broken")
+        finally:
+            unregister_device("broken")
+
+    def test_duplicate_rejected_unless_overwrite(self, t_device):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_device("t5", t_device)
+        register_device("t5", t_device, overwrite=True)
+
+    def test_family_prefixes_protected(self):
+        clash = Device(topology=RingTopology(3))
+        with pytest.raises(ConfigError, match="collides"):
+            register_device("ring-3", clash)
+        with pytest.raises(ConfigError, match="collides"):
+            register_device("heavy-hex", clash)
+
+    def test_unregister_unknown(self):
+        with pytest.raises(ConfigError):
+            unregister_device("never-was")
+
+    def test_non_device_rejected(self):
+        with pytest.raises(ConfigError):
+            register_device("bad", 17)
+        with pytest.raises(ConfigError):
+            register_device("", Device(topology=RingTopology(3)))
+
+
+class TestPaperDeviceFor:
+    def test_matches_auto_sized_grid(self):
+        device = paper_device_for(7)
+        assert isinstance(device.topology, GridTopology)
+        assert device.num_qubits >= 7
+        assert device.name == "paper-grid-2x4"
+        # Resolvable back through the registry to the same machine.
+        assert (
+            device_by_key(device.name).signature() == device.signature()
+        )

@@ -1,0 +1,218 @@
+"""Property tests over all five topology families.
+
+Every family must satisfy the same graph invariants — neighbour
+symmetry, BFS-distance symmetry, shortest-path validity/adjacency, and
+the family's degree bound — because placement and routing assume them
+for *any* device.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.topology import (
+    FullyConnectedTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LineTopology,
+    RingTopology,
+    Topology,
+    grid_for,
+)
+from repro.errors import MappingError
+
+# (constructor, max-degree bound as a function of the instance)
+_FAMILIES = {
+    "grid": (lambda n: grid_for(n), lambda t: 4),
+    "line": (lambda n: LineTopology(n), lambda t: 2),
+    "ring": (lambda n: RingTopology(max(n, 3)), lambda t: 2),
+    "heavy-hex": (
+        lambda n: HeavyHexTopology(1 + n % 3),
+        lambda t: 3,
+    ),
+    "all-to-all": (
+        lambda n: FullyConnectedTopology(n),
+        lambda t: t.num_qubits - 1,
+    ),
+}
+
+
+def _instances():
+    params = []
+    for family, (build, degree_bound) in _FAMILIES.items():
+        for n in (1, 2, 3, 5, 8, 12):
+            try:
+                topology = build(n)
+            except MappingError:
+                continue
+            params.append(
+                pytest.param(topology, degree_bound, id=f"{family}-{n}")
+            )
+    return params
+
+
+@pytest.mark.parametrize("topology,degree_bound", _instances())
+class TestTopologyInvariants:
+    def test_neighbor_symmetry(self, topology, degree_bound):
+        for q in topology.all_qubits():
+            for neighbor in topology.neighbors(q):
+                assert q in topology.neighbors(neighbor)
+                assert topology.are_adjacent(q, neighbor)
+                assert topology.are_adjacent(neighbor, q)
+
+    def test_distance_symmetry_and_metric(self, topology, degree_bound):
+        qubits = topology.all_qubits()
+        for a in qubits:
+            assert topology.distance(a, a) == 0
+            for b in qubits:
+                d = topology.distance(a, b)
+                assert d == topology.distance(b, a)
+                assert (d == 1) == topology.are_adjacent(a, b) or a == b
+                assert d >= 0
+
+    def test_shortest_paths_are_valid_and_shortest(self, topology, degree_bound):
+        qubits = topology.all_qubits()
+        for a in qubits:
+            for b in qubits:
+                path = topology.shortest_path(a, b)
+                assert path[0] == a and path[-1] == b
+                assert len(path) == topology.distance(a, b) + 1
+                for u, v in zip(path, path[1:]):
+                    assert topology.are_adjacent(u, v)
+
+    def test_degree_bound(self, topology, degree_bound):
+        bound = degree_bound(topology)
+        for q in topology.all_qubits():
+            degree = topology.degree(q)
+            assert len(topology.neighbors(q)) == degree
+            assert degree <= bound
+            if topology.num_qubits > 1:
+                assert degree >= 1  # connected: no isolated qubits
+
+    def test_edges_canonical_and_consistent(self, topology, degree_bound):
+        edges = topology.edges()
+        assert edges == tuple(sorted(set(edges)))
+        assert all(a < b for a, b in edges)
+        assert sum(topology.degree(q) for q in topology.all_qubits()) == (
+            2 * len(edges)
+        )
+
+    def test_placement_order_is_a_permutation(self, topology, degree_bound):
+        order = topology.placement_order()
+        assert sorted(order) == topology.all_qubits()
+
+    def test_placement_order_prefixes_connected(self, topology, degree_bound):
+        # Each prefix of the order must induce a connected region —
+        # that is what recursive bisection slices rely on.
+        order = topology.placement_order()
+        region: set[int] = set()
+        for qubit in order:
+            if region:
+                assert any(
+                    neighbor in region
+                    for neighbor in topology.neighbors(qubit)
+                )
+            region.add(qubit)
+
+    def test_signature_identifies_the_graph(self, topology, degree_bound):
+        kind, num_qubits, edges = topology.signature()
+        assert kind == type(topology).kind
+        assert num_qubits == topology.num_qubits
+        assert edges == topology.edges()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_qubits=st.integers(min_value=2, max_value=30),
+    edge_seed=st.data(),
+)
+def test_random_connected_graphs_satisfy_invariants(num_qubits, edge_seed):
+    """The generic Topology over random connected graphs keeps the same
+    invariants the named families do."""
+    # Spanning tree ensures connectivity; extra random edges densify.
+    edges = [
+        (edge_seed.draw(st.integers(0, q - 1), label=f"parent{q}"), q)
+        for q in range(1, num_qubits)
+    ]
+    extra = edge_seed.draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_qubits - 1),
+                st.integers(0, num_qubits - 1),
+            ),
+            max_size=10,
+        ),
+        label="extra",
+    )
+    edges.extend((a, b) for a, b in extra if a != b)
+    topology = Topology(num_qubits, edges)
+    for a, b in topology.edges():
+        assert topology.are_adjacent(a, b)
+        assert topology.distance(a, b) == 1
+    source = edge_seed.draw(st.integers(0, num_qubits - 1), label="src")
+    target = edge_seed.draw(st.integers(0, num_qubits - 1), label="dst")
+    path = topology.shortest_path(source, target)
+    assert path[0] == source and path[-1] == target
+    assert len(path) == topology.distance(source, target) + 1
+    assert topology.distance(source, target) == topology.distance(target, source)
+    assert sorted(topology.placement_order()) == topology.all_qubits()
+
+
+class TestConstruction:
+    def test_disconnected_rejected(self):
+        with pytest.raises(MappingError, match="disconnected"):
+            Topology(4, [(0, 1), (2, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(MappingError):
+            Topology(3, [(0, 0), (0, 1), (1, 2)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(MappingError):
+            Topology(3, [(0, 1), (1, 3)])
+
+    def test_duplicate_and_reversed_edges_deduped(self):
+        topology = Topology(3, [(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert topology.edges() == ((0, 1), (1, 2))
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(MappingError):
+            RingTopology(2)
+
+    def test_heavy_hex_minimum_distance(self):
+        with pytest.raises(MappingError):
+            HeavyHexTopology(0)
+
+    def test_heavy_hex_deterministic(self):
+        assert HeavyHexTopology(2).signature() == HeavyHexTopology(2).signature()
+
+    def test_single_qubit_topology(self):
+        topology = Topology(1, [])
+        assert topology.num_qubits == 1
+        assert topology.placement_order() == [0]
+
+
+class TestGridCompatibility:
+    """The grid keeps its pre-refactor geometry exactly (bit-identical
+    compilation on the default device depends on it)."""
+
+    def test_neighbor_order_is_up_down_left_right(self):
+        grid = GridTopology(3, 3)
+        assert grid.neighbors(4) == [1, 7, 3, 5]
+
+    def test_distance_is_manhattan(self):
+        grid = GridTopology(3, 4)
+        assert grid.distance(0, 11) == 5
+
+    def test_placement_order_is_boustrophedon(self):
+        grid = GridTopology(2, 3)  # wider than tall: scan columns
+        assert grid.placement_order() == [0, 3, 4, 1, 2, 5]
+        tall = GridTopology(3, 2)  # taller than wide: scan rows
+        assert tall.placement_order() == [0, 1, 3, 2, 4, 5]
+
+    def test_grid_for_near_square_and_sufficient(self):
+        for n in (1, 2, 5, 16, 17, 20, 30, 47, 60):
+            grid = grid_for(n)
+            assert grid.num_qubits >= n
+            assert grid.rows <= grid.cols
+            # cols exceeds n/rows by less than one full row's worth.
+            assert (grid.cols - 1) * grid.rows < n
