@@ -49,6 +49,11 @@ from repro.device import (
     unregister_device,
 )
 from repro.errors import ReproError
+from repro.verification.equivalence import (
+    EquivalenceReport,
+    VerifyEquivalencePass,
+    verify_equivalence,
+)
 
 __version__ = "0.1.0"
 
@@ -63,6 +68,7 @@ __all__ = [
     "CompilerConfig",
     "Device",
     "DeviceConfig",
+    "EquivalenceReport",
     "ISA",
     "OptimalControlUnit",
     "Pass",
@@ -70,6 +76,7 @@ __all__ = [
     "ReproError",
     "Strategy",
     "Topology",
+    "VerifyEquivalencePass",
     "all_strategies",
     "available_device_keys",
     "compile_circuit",
@@ -82,4 +89,5 @@ __all__ = [
     "registered_strategies",
     "strategy_by_key",
     "unregister_device",
+    "verify_equivalence",
 ]

@@ -282,18 +282,26 @@ class _RoundTiming:
         return worst <= self.makespan + _EPSILON
 
     def has_indirect_path(self, earlier, later) -> bool:
-        """Exact merge-cycle pre-check via est-pruned reachability.
+        """Merge-cycle pre-check via est-pruned reachability.
 
-        A post-merge cycle exists iff a pre-merge path ``earlier -> X ->
-        ... -> later`` leaves the shared commutation-group region.  Any
+        A post-merge cycle needs a pre-merge path ``earlier -> X -> ...
+        -> later`` that leaves the shared commutation-group region.  Any
         node on such a path is an ancestor of ``later``, so nodes with
         ``est + latency > est(later)`` can be pruned; the search cone is
         tiny in tightly-scheduled circuits.
+
+        The check is a fast filter, not the final word: in-between chain
+        members are excluded wholesale, but ones in ``later``'s
+        commutation group slide *after* the merged node (the splice's
+        group-boundary placement), so a side path from such a member back
+        to ``later`` still cycles.  ``merge(check_cycles=True)`` is the
+        exact, transactional backstop.
         """
         shared = set(earlier.qubits) & set(later.qubits)
         skip: set[int] = {id(earlier), id(later)}
-        # In-between group members slide before the merged node and do
-        # not create cycles; exclude the direct hop through them.
+        # In-between group members are not themselves obstacles (the
+        # chain hop through them is rewired by the splice); exclude the
+        # direct hop.
         for q in shared:
             pos = self.positions[q]
             ia, ib = pos[id(earlier)], pos[id(later)]

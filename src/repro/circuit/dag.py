@@ -328,15 +328,45 @@ class GateDependenceGraph:
         first, second = (a, b)
         if self._position(probe, a) > self._position(probe, b):
             first, second = (b, a)
-        for q in set(a.qubits) | set(b.qubits):
+        # The merged node sits at the *commutation-group boundary* on
+        # every shared qubit: in-between members of ``first``'s group
+        # commute with ``first`` and slide before the merged node, but
+        # members of ``second``'s group only commute with ``second`` —
+        # sliding them before the merged node (which contains ``first``'s
+        # gates) would silently reorder non-commuting operations, so
+        # they must slide after it.  Placement is decided for all shared
+        # qubits before any sequence mutates (group indices are
+        # positional and go stale mid-splice).
+        placements: dict[int, list] = {}
+        for q in shared:
             sequence = self._qubit_order[q]
-            if q in shared:
-                sequence.remove(first)
-                index = next(
-                    i for i, node in enumerate(sequence) if node is second
-                )
-                sequence[index] = merged
+            first_at = self._position(q, first)
+            second_at = self._position(q, second)
+            between = sequence[first_at + 1 : second_at]
+            boundary = self.group_index(second, q)
+            if between and self.group_index(first, q) != boundary:
+                before = [
+                    m for m in between if self.group_index(m, q) < boundary
+                ]
+                after = [
+                    m for m in between if self.group_index(m, q) >= boundary
+                ]
             else:
+                # Same group: everything in between commutes with both
+                # nodes, so the historical placement (all before) stands.
+                before, after = list(between), []
+            placements[q] = (
+                sequence[:first_at]
+                + before
+                + [merged]
+                + after
+                + sequence[second_at + 1 :]
+            )
+        for q in set(a.qubits) | set(b.qubits):
+            if q in shared:
+                self._qubit_order[q] = placements[q]
+            else:
+                sequence = self._qubit_order[q]
                 owner = a if q in a.qubits else b
                 index = next(
                     i for i, node in enumerate(sequence) if node is owner

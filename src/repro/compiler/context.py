@@ -301,4 +301,5 @@ class CompilationContext:
             initial_mapping=routing.initial_placement.as_dict(),
             pass_seconds=dict(self.pass_seconds),
             device_name=self.device.name if self.device is not None else None,
+            source_circuit=self.circuit,
         )

@@ -46,6 +46,11 @@ class CompilationResult:
     device_name: str | None = None
     """Name of the compilation target (preset key or custom Device name;
     None for anonymous devices, including the auto-sized paper grid)."""
+    source_circuit: object | None = None
+    """The circuit this result compiled (a
+    :class:`~repro.circuit.circuit.Circuit`), kept so
+    :meth:`verify_equivalence` can check the compiled schedule against
+    it; None for results deserialized without their source."""
 
     @property
     def node_count(self) -> int:
@@ -72,6 +77,24 @@ class CompilationResult:
         return max(
             (len(set(op.node.qubits)) for op in self.schedule), default=0
         )
+
+    def verify_equivalence(self, circuit=None, **options):
+        """Check that this result still implements its source circuit.
+
+        Compares the compiled schedule against ``circuit`` (default: the
+        recorded ``source_circuit``) up to global phase and the routing
+        permutation; see
+        :func:`repro.verification.equivalence.verify_equivalence` for
+        the ``method``/``states``/``atol``/``seed``/``ocu``/
+        ``raise_on_failure`` options.
+
+        Returns:
+            An :class:`~repro.verification.equivalence.EquivalenceReport`
+            (truthy iff equivalent).
+        """
+        from repro.verification.equivalence import verify_equivalence
+
+        return verify_equivalence(self, circuit, **options)
 
     def speedup_over(self, baseline: CompilationResult) -> float:
         """Latency ratio ``baseline / self`` (the Figure 9 metric)."""

@@ -113,7 +113,7 @@ class OptimalControlUnit:
         """
         signature = _signature_of(node)
         if self._position_dependent and positional:
-            return signature + (("support",) + _support_of(node),)
+            return signature + (("support",) + support_of(node),)
         return signature
 
     # ------------------------------------------------------------------
@@ -141,8 +141,8 @@ class OptimalControlUnit:
         if cached is not None:
             self.cache_hits += 1
             return cached
-        gates = _gates_of(node)
-        if self.backend == "grape" and len(_support_of(node)) <= self.grape_qubit_limit:
+        gates = gates_of(node)
+        if self.backend == "grape" and len(support_of(node)) <= self.grape_qubit_limit:
             value = self._grape_latency(node, gates, positional)
         else:
             if self.backend == "grape":
@@ -165,7 +165,7 @@ class OptimalControlUnit:
             self.cache_hits += 1
             return cached
         self.model_evals += 1
-        value = self.model.sequence_latency(_gates_of(node))
+        value = self.model.sequence_latency(gates_of(node))
         self.cache.put_latency(key, value)
         return value
 
@@ -196,13 +196,13 @@ class OptimalControlUnit:
         if cached is not None:
             self.cache_hits += 1
             return cached
-        support = _support_of(node)
+        support = support_of(node)
         if len(support) > self.grape_qubit_limit:
             raise ControlError(
                 f"instruction width {len(support)} exceeds the GRAPE limit "
                 f"{self.grape_qubit_limit}"
             )
-        gates = _gates_of(node)
+        gates = gates_of(node)
         target, hamiltonian = self._local_problem(support, gates, positional)
         self.model_evals += 1
         # The search estimate must respect the same positional policy as
@@ -273,7 +273,10 @@ class OptimalControlUnit:
         }
 
 
-def _gates_of(node) -> list[Gate]:
+def gates_of(node) -> list[Gate]:
+    """The plain gates a node executes: ``[node]`` for a
+    :class:`~repro.gates.gate.Gate`, the member list for anything
+    exposing ``gates`` (aggregated and hand-optimized instructions)."""
     if isinstance(node, Gate):
         return [node]
     gates = getattr(node, "gates", None)
@@ -282,14 +285,26 @@ def _gates_of(node) -> list[Gate]:
     return list(gates)
 
 
-def _support_of(node) -> tuple[int, ...]:
+def support_of(node) -> tuple[int, ...]:
+    """A node's qubit support, sorted and deduplicated.
+
+    This is the instruction-local qubit order every dense representation
+    uses (``AggregatedInstruction.matrix``, the OCU's local problems, the
+    pulse propagator), so callers embedding such a matrix into a register
+    must place its axes on exactly this tuple.
+    """
     return tuple(sorted(set(node.qubits)))
+
+
+# Backwards-compatible aliases (pre-PR-4 internal names).
+_gates_of = gates_of
+_support_of = support_of
 
 
 def _signature_of(node) -> tuple:
     """Structural identity: gate signatures + relative qubit geometry."""
-    gates = _gates_of(node)
-    support = _support_of(node)
+    gates = gates_of(node)
+    support = support_of(node)
     index = {qubit: position for position, qubit in enumerate(support)}
     parts = []
     for gate in gates:

@@ -1,0 +1,64 @@
+"""Differential-testing toolkit: generators, strategies, fuzzing.
+
+Public surface:
+
+* :func:`~repro.testing.generators.random_circuit` and the per-family
+  shorthands — seeded, fully reproducible random circuits.
+* :func:`~repro.testing.strategies.circuits` /
+  :func:`~repro.testing.strategies.device_presets` /
+  :func:`~repro.testing.strategies.devices` — hypothesis strategies
+  (hypothesis is required only when these are called).
+* :func:`~repro.testing.differential.differential_compile` — one
+  circuit under every strategy x device, all verified against the
+  source semantics.
+* :func:`~repro.testing.fuzz.run_fuzz` — the seeded fuzzing session the
+  CI smoke job runs (``python -m repro.testing``), with failure
+  minimization via
+  :func:`~repro.testing.differential.minimize_circuit`.
+"""
+
+from repro.testing.differential import (
+    DEFAULT_DEVICE_FAMILIES,
+    CompileOutcome,
+    DifferentialReport,
+    default_device_presets,
+    differential_compile,
+    minimize_circuit,
+)
+from repro.testing.fuzz import FuzzFailure, FuzzReport, run_fuzz
+from repro.testing.generators import (
+    CIRCUIT_FAMILIES,
+    diagonal_heavy_circuit,
+    gate_soup_circuit,
+    layered_circuit,
+    random_circuit,
+)
+from repro.testing.strategies import (
+    SIZEABLE_DEVICE_FAMILIES,
+    circuits,
+    device_presets,
+    devices,
+    preset_key_for,
+)
+
+__all__ = [
+    "CIRCUIT_FAMILIES",
+    "CompileOutcome",
+    "DEFAULT_DEVICE_FAMILIES",
+    "DifferentialReport",
+    "FuzzFailure",
+    "FuzzReport",
+    "SIZEABLE_DEVICE_FAMILIES",
+    "circuits",
+    "default_device_presets",
+    "device_presets",
+    "devices",
+    "diagonal_heavy_circuit",
+    "differential_compile",
+    "gate_soup_circuit",
+    "layered_circuit",
+    "minimize_circuit",
+    "preset_key_for",
+    "random_circuit",
+    "run_fuzz",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.testing`` runs the differential fuzz CLI."""
+
+import sys
+
+from repro.testing.fuzz import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,380 @@
+"""Seeded differential fuzzing with failure minimization.
+
+:func:`run_fuzz` generates seeded random circuits (cycling through the
+generator families), runs each through
+:func:`~repro.testing.differential.differential_compile` — every
+registered strategy crossed with a set of device presets — and, when a
+cell fails, shrinks the circuit with
+:func:`~repro.testing.differential.minimize_circuit` to a minimal
+failing ``(circuit, strategy, device)`` triple.
+
+The module is also a CLI (the CI smoke job)::
+
+    python -m repro.testing --circuits 25 --seed 20190413 \\
+        --max-qubits 4 --time-budget 900 --artifact fuzz-reproducer.json
+
+A failure prints its reproduction recipe (family, width, gates, seed,
+strategy, device) and the minimized circuit as QASM, writes the same to
+the ``--artifact`` JSON, and exits nonzero.  Reproduce locally with the
+same ``--seed``, or rebuild the one circuit via
+``repro.testing.random_circuit(width, gates, seed, family)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.circuit.qasm import circuit_to_qasm
+from repro.compiler.strategies import available_strategy_keys
+from repro.control.cache import PulseCache
+from repro.errors import BenchmarkError
+from repro.testing.differential import (
+    DEFAULT_DEVICE_FAMILIES,
+    default_device_presets,
+    differential_compile,
+    minimize_circuit,
+)
+from repro.testing.generators import CIRCUIT_FAMILIES, random_circuit
+from repro.testing.strategies import SIZEABLE_DEVICE_FAMILIES, preset_key_for
+
+_DEFAULT_SEED = 20190413
+
+
+@dataclasses.dataclass
+class FuzzFailure:
+    """One minimized failing (circuit, strategy, device) triple."""
+
+    family: str
+    num_qubits: int
+    num_gates: int
+    seed: int
+    strategy_key: str
+    device_key: str
+    detail: str
+    minimized_gates: int
+    minimized_qasm: str
+
+    def reproduction(self) -> str:
+        """A copy-pasteable recipe that rebuilds the failing scenario."""
+        return (
+            f"circuit = repro.testing.random_circuit("
+            f"{self.num_qubits}, {self.num_gates}, {self.seed}, "
+            f"{self.family!r})\n"
+            f"repro.testing.differential_compile(circuit, "
+            f"strategies=[{self.strategy_key!r}], "
+            f"devices=[{self.device_key!r}])"
+        )
+
+    def as_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["reproduction"] = self.reproduction()
+        return payload
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one fuzzing session."""
+
+    circuits_checked: int
+    compilations: int
+    failures: list[FuzzFailure]
+    elapsed_seconds: float
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        verdict = "all equivalent" if self.ok else (
+            f"{len(self.failures)} FAILING triple(s)"
+        )
+        budget = " (time budget exhausted)" if self.budget_exhausted else ""
+        return (
+            f"fuzz: {self.circuits_checked} circuits, "
+            f"{self.compilations} compilations in "
+            f"{self.elapsed_seconds:.1f}s{budget}: {verdict}"
+        )
+
+
+def run_fuzz(
+    num_circuits: int = 25,
+    seed: int = _DEFAULT_SEED,
+    strategies: Sequence[str] | None = None,
+    devices: Sequence[str] | None = None,
+    families: Sequence[str] = CIRCUIT_FAMILIES,
+    min_qubits: int = 2,
+    max_qubits: int = 4,
+    max_gates: int = 16,
+    *,
+    method: str = "auto",
+    states: int = 6,
+    time_budget_s: float | None = None,
+    minimize: bool = True,
+    fail_fast: bool = False,
+    on_progress=None,
+) -> FuzzReport:
+    """Differentially fuzz the compiler with seeded random circuits.
+
+    Args:
+        num_circuits: Circuits to generate (round-robin over families,
+            widths cycling through ``[min_qubits, max_qubits]``).
+        seed: Master seed; circuit ``i`` uses ``seed + i``, so any
+            failure reproduces from the numbers in its report.
+        strategies: Strategy keys; default every registered strategy.
+        devices: Device entries — a sizeable family name (``"ring"``,
+            sized per circuit) or an exact preset key (``"ring-6"``);
+            default :data:`DEFAULT_DEVICE_FAMILIES`.
+        families / min_qubits / max_qubits / max_gates: Circuit recipe
+            space.
+        method / states: Equivalence-check configuration.
+        time_budget_s: Wall-clock cap; generation stops (reported, not
+            an error) once exceeded.
+        minimize: Shrink each failing circuit to a minimal reproducer.
+        fail_fast: Stop at the first failing circuit.
+        on_progress: Optional callback ``(index, circuit, report)``.
+
+    Returns:
+        A :class:`FuzzReport` (truthy iff no failures).
+    """
+    if num_circuits < 1:
+        raise BenchmarkError("run_fuzz needs at least one circuit")
+    if strategies is None:
+        strategies = available_strategy_keys()
+    if devices is None:
+        devices = DEFAULT_DEVICE_FAMILIES
+    started = time.perf_counter()
+    cache = PulseCache()
+    failures: list[FuzzFailure] = []
+    compilations = 0
+    checked = 0
+    budget_exhausted = False
+    widths = list(range(min_qubits, max_qubits + 1))
+    for index in range(num_circuits):
+        if (
+            time_budget_s is not None
+            and time.perf_counter() - started > time_budget_s
+        ):
+            budget_exhausted = True
+            break
+        family = families[index % len(families)]
+        num_qubits = widths[index % len(widths)]
+        circuit_seed = seed + index
+        num_gates = max(1, max_gates - (index % 3) * (max_gates // 4))
+        circuit = random_circuit(num_qubits, num_gates, circuit_seed, family)
+        device_keys = _size_devices(devices, num_qubits)
+        report = differential_compile(
+            circuit,
+            strategies=strategies,
+            devices=device_keys,
+            method=method,
+            states=states,
+            cache=cache,
+        )
+        checked += 1
+        compilations += len(report.outcomes)
+        if on_progress is not None:
+            on_progress(index, circuit, report)
+        for outcome in report.failures:
+            failures.append(
+                _build_failure(
+                    circuit,
+                    family,
+                    circuit_seed,
+                    num_gates,
+                    outcome,
+                    method=method,
+                    states=states,
+                    minimize=minimize,
+                )
+            )
+        if fail_fast and failures:
+            break
+    return FuzzReport(
+        circuits_checked=checked,
+        compilations=compilations,
+        failures=failures,
+        elapsed_seconds=time.perf_counter() - started,
+        budget_exhausted=budget_exhausted,
+    )
+
+
+def _size_devices(devices: Sequence[str], num_qubits: int) -> list[str]:
+    """Resolve family names per circuit width; pass exact keys through.
+
+    Family entries go through :func:`default_device_presets`, which
+    deduplicates isomorphic wirings (at width 3 the 1x3 grid *is* the
+    line and the ring *is* all-to-all) and pads with larger
+    ancilla-bearing targets so narrow circuits still see up to three
+    distinct topologies.  Exact preset keys follow, unmodified.
+    """
+    families = [e for e in devices if e in SIZEABLE_DEVICE_FAMILIES]
+    keys: list[str] = []
+    if families:
+        keys.extend(
+            default_device_presets(
+                num_qubits, families, minimum=min(3, len(families))
+            )
+        )
+    keys.extend(e for e in devices if e not in SIZEABLE_DEVICE_FAMILIES)
+    return keys
+
+
+def _build_failure(
+    circuit,
+    family: str,
+    seed: int,
+    num_gates: int,
+    outcome,
+    *,
+    method: str,
+    states: int,
+    minimize: bool,
+) -> FuzzFailure:
+    minimized = circuit
+    if minimize:
+        def still_fails(candidate) -> bool:
+            retry = differential_compile(
+                candidate,
+                strategies=[outcome.strategy_key],
+                devices=[outcome.device_key],
+                method=method,
+                states=states,
+            )
+            return not retry.ok
+
+        minimized = minimize_circuit(circuit, still_fails)
+    detail = outcome.error
+    if detail is None and outcome.report is not None:
+        detail = (
+            f"mismatch: max deviation {outcome.report.max_deviation:.3e}, "
+            f"leakage {outcome.report.ancilla_leakage:.3e} "
+            f"(atol {outcome.report.atol:g})"
+        )
+    return FuzzFailure(
+        family=family,
+        num_qubits=circuit.num_qubits,
+        num_gates=num_gates,
+        seed=seed,
+        strategy_key=outcome.strategy_key,
+        device_key=outcome.device_key,
+        detail=detail or "unknown failure",
+        minimized_gates=len(minimized.gates),
+        minimized_qasm=circuit_to_qasm(minimized),
+    )
+
+
+def write_reproducer(report: FuzzReport, path: str) -> None:
+    """Write a fuzz report's failures as a JSON artifact."""
+    payload = {
+        "circuits_checked": report.circuits_checked,
+        "compilations": report.compilations,
+        "elapsed_seconds": report.elapsed_seconds,
+        "failures": [failure.as_dict() for failure in report.failures],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description=(
+            "Differentially fuzz the compiler: seeded random circuits x "
+            "every strategy x device presets, verified for semantic "
+            "equivalence."
+        ),
+    )
+    parser.add_argument("--circuits", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=_DEFAULT_SEED)
+    parser.add_argument(
+        "--strategies",
+        default=None,
+        help="comma-separated strategy keys (default: every registered)",
+    )
+    parser.add_argument(
+        "--devices",
+        default=None,
+        help=(
+            "comma-separated device families (sized per circuit) or "
+            "exact preset keys; default: "
+            + ",".join(DEFAULT_DEVICE_FAMILIES)
+        ),
+    )
+    parser.add_argument(
+        "--families", default=",".join(CIRCUIT_FAMILIES),
+        help="comma-separated circuit families",
+    )
+    parser.add_argument("--min-qubits", type=int, default=2)
+    parser.add_argument("--max-qubits", type=int, default=4)
+    parser.add_argument("--max-gates", type=int, default=16)
+    parser.add_argument("--states", type=int, default=6)
+    parser.add_argument(
+        "--method", default="auto",
+        choices=("auto", "statevector", "unitary"),
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; stops generating new circuits past it",
+    )
+    parser.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="write minimized reproducers to this JSON file on failure",
+    )
+    parser.add_argument("--no-minimize", action="store_true")
+    parser.add_argument("--fail-fast", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    def on_progress(index, circuit, report):
+        if not args.quiet:
+            status = "ok" if report.ok else "FAIL"
+            print(f"[{index + 1}/{args.circuits}] {circuit.name}: {status}")
+
+    report = run_fuzz(
+        num_circuits=args.circuits,
+        seed=args.seed,
+        strategies=args.strategies.split(",") if args.strategies else None,
+        devices=args.devices.split(",") if args.devices else None,
+        families=tuple(args.families.split(",")),
+        min_qubits=args.min_qubits,
+        max_qubits=args.max_qubits,
+        max_gates=args.max_gates,
+        method=args.method,
+        states=args.states,
+        time_budget_s=args.time_budget,
+        minimize=not args.no_minimize,
+        fail_fast=args.fail_fast,
+        on_progress=on_progress,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(
+            f"\nFAILING TRIPLE: {failure.family}-q{failure.num_qubits}"
+            f"-g{failure.num_gates}-s{failure.seed} under "
+            f"{failure.strategy_key!r} on {failure.device_key!r}\n"
+            f"  {failure.detail}\n"
+            f"  minimized to {failure.minimized_gates} gate(s):\n"
+            + "\n".join(
+                "    " + line
+                for line in failure.minimized_qasm.strip().splitlines()
+            )
+            + "\n  reproduce with:\n"
+            + "\n".join("    " + line for line in failure.reproduction().splitlines())
+        )
+    if report.failures and args.artifact:
+        write_reproducer(report, args.artifact)
+        print(f"\nwrote reproducer artifact to {args.artifact}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Seeded random-circuit generators for differential testing.
+
+Three circuit *families* stress different compiler paths:
+
+* ``"soup"`` — unstructured gate soup (uniform mix of drives, phases
+  and entanglers): exercises routing and generic scheduling.
+* ``"diagonal"`` — diagonal-heavy programs (RZ/CZ/CPHASE/RZZ runs with
+  occasional basis changes): exercises diagonal-block detection, CLS
+  reordering and the hand-optimization rewrite rules.
+* ``"layered"`` — QAOA-shaped alternation of an entangling phase layer
+  over random pairs and a transverse drive layer: exercises
+  commutativity analysis at scale and the aggregation loop.
+
+Every generator is a pure function of its arguments — the same
+``(family, num_qubits, num_gates, seed)`` quadruple always produces the
+same circuit, which is what lets a fuzz failure be reproduced from the
+numbers in its printed report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.errors import BenchmarkError
+
+CIRCUIT_FAMILIES: tuple[str, ...] = ("soup", "diagonal", "layered")
+"""Registered family names, accepted by :func:`random_circuit`."""
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int,
+    family: str = "soup",
+    name: str | None = None,
+) -> Circuit:
+    """One seeded random circuit from the named family.
+
+    Args:
+        num_qubits: Register width (parameterizes every family).
+        num_gates: Target gate count (the ``"layered"`` family rounds to
+            whole layers, so its exact count may differ slightly).
+        seed: Determines the circuit completely, given the other args.
+        family: One of :data:`CIRCUIT_FAMILIES`.
+        name: Circuit name; defaults to a self-describing
+            ``<family>-q<width>-g<gates>-s<seed>`` label so failures
+            identify their own recipe.
+    """
+    try:
+        generator = _GENERATORS[family]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown circuit family {family!r}; "
+            f"choose from {CIRCUIT_FAMILIES}"
+        ) from None
+    if num_qubits < 1:
+        raise BenchmarkError("random circuits need at least one qubit")
+    if num_gates < 0:
+        raise BenchmarkError(f"negative gate count {num_gates}")
+    if name is None:
+        name = f"{family}-q{num_qubits}-g{num_gates}-s{seed}"
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=name)
+    generator(circuit, num_gates, rng)
+    return circuit
+
+
+def gate_soup_circuit(
+    num_qubits: int, num_gates: int, seed: int, name: str | None = None
+) -> Circuit:
+    """Unstructured uniform gate soup (see :func:`random_circuit`)."""
+    return random_circuit(num_qubits, num_gates, seed, "soup", name)
+
+
+def diagonal_heavy_circuit(
+    num_qubits: int, num_gates: int, seed: int, name: str | None = None
+) -> Circuit:
+    """Diagonal-dominated circuit (see :func:`random_circuit`)."""
+    return random_circuit(num_qubits, num_gates, seed, "diagonal", name)
+
+
+def layered_circuit(
+    num_qubits: int, num_gates: int, seed: int, name: str | None = None
+) -> Circuit:
+    """QAOA-shaped layered circuit (see :func:`random_circuit`)."""
+    return random_circuit(num_qubits, num_gates, seed, "layered", name)
+
+
+# ----------------------------------------------------------------------
+# Family bodies (append into the circuit in place)
+
+
+def _random_pair(rng: np.random.Generator, num_qubits: int) -> tuple[int, int]:
+    a, b = rng.choice(num_qubits, size=2, replace=False)
+    return int(a), int(b)
+
+
+def _angle(rng: np.random.Generator) -> float:
+    return float(rng.uniform(0.1, 2.0 * np.pi - 0.1))
+
+
+def _soup(circuit: Circuit, num_gates: int, rng: np.random.Generator) -> None:
+    n = circuit.num_qubits
+    for _ in range(num_gates):
+        kind = int(rng.integers(0, 8 if n >= 2 else 5))
+        qubit = int(rng.integers(n))
+        if kind == 0:
+            circuit.h(qubit)
+        elif kind == 1:
+            circuit.rx(_angle(rng), qubit)
+        elif kind == 2:
+            circuit.ry(_angle(rng), qubit)
+        elif kind == 3:
+            circuit.rz(_angle(rng), qubit)
+        elif kind == 4:
+            circuit.t(qubit)
+        elif kind == 5:
+            circuit.cnot(*_random_pair(rng, n))
+        elif kind == 6:
+            circuit.rzz(_angle(rng), *_random_pair(rng, n))
+        else:
+            circuit.cz(*_random_pair(rng, n))
+
+
+def _diagonal(
+    circuit: Circuit, num_gates: int, rng: np.random.Generator
+) -> None:
+    n = circuit.num_qubits
+    for _ in range(num_gates):
+        # ~80% diagonal content; the rest are basis changes that break
+        # diagonal runs and force the detector to close blocks.
+        if rng.random() < 0.8:
+            kind = int(rng.integers(0, 5 if n >= 2 else 2))
+            qubit = int(rng.integers(n))
+            if kind == 0:
+                circuit.rz(_angle(rng), qubit)
+            elif kind == 1:
+                circuit.t(qubit)
+            elif kind == 2:
+                circuit.cz(*_random_pair(rng, n))
+            elif kind == 3:
+                circuit.cphase(_angle(rng), *_random_pair(rng, n))
+            else:
+                circuit.rzz(_angle(rng), *_random_pair(rng, n))
+        else:
+            qubit = int(rng.integers(n))
+            if rng.random() < 0.5:
+                circuit.h(qubit)
+            else:
+                circuit.rx(_angle(rng), qubit)
+
+
+def _layered(
+    circuit: Circuit, num_gates: int, rng: np.random.Generator
+) -> None:
+    n = circuit.num_qubits
+    if n == 1:
+        for _ in range(num_gates):
+            circuit.rx(_angle(rng), 0)
+        return
+    # One layer = ~n/2 random-pair phase couplings + n mixer drives.
+    gates_per_layer = max(1, n // 2) + n
+    layers = max(1, round(num_gates / gates_per_layer))
+    for _ in range(layers):
+        for _ in range(max(1, n // 2)):
+            circuit.rzz(_angle(rng), *_random_pair(rng, n))
+        beta = _angle(rng)
+        for qubit in range(n):
+            circuit.rx(beta, qubit)
+
+
+_GENERATORS = {
+    "soup": _soup,
+    "diagonal": _diagonal,
+    "layered": _layered,
+}

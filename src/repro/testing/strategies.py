@@ -1,0 +1,136 @@
+"""Hypothesis strategies for circuits and devices.
+
+Property tests draw whole compiler inputs from these strategies::
+
+    from hypothesis import given
+    from repro.testing import circuits, device_presets
+
+    @given(circuit=circuits(max_qubits=4), device=device_presets(4, 6))
+    def test_property(circuit, device): ...
+
+Hypothesis is a test-time dependency only — the strategies are built
+lazily so importing :mod:`repro.testing` never requires it; calling one
+of these functions without hypothesis installed raises a clear
+:class:`~repro.errors.BenchmarkError`.
+
+Shrinking note: circuits are generated from a seeded recipe
+``(family, width, gate count, seed)``, so hypothesis shrinks toward
+narrower, shorter, lower-seed circuits; for a minimal *gate-level*
+counterexample, feed the shrunken circuit to
+:func:`repro.testing.differential.minimize_circuit`.
+"""
+
+from __future__ import annotations
+
+from repro.device.topology import grid_for
+from repro.errors import BenchmarkError
+from repro.testing.generators import CIRCUIT_FAMILIES, random_circuit
+
+#: Device families :func:`device_presets` can size to a qubit count.
+SIZEABLE_DEVICE_FAMILIES: tuple[str, ...] = (
+    "paper-grid",
+    "line",
+    "ring",
+    "all-to-all",
+)
+
+_MAX_SEED = 2**32 - 1
+
+
+def _hypothesis_strategies():
+    try:
+        from hypothesis import strategies as st
+    except ImportError:  # pragma: no cover - exercised only without dev deps
+        raise BenchmarkError(
+            "repro.testing's hypothesis strategies need the 'hypothesis' "
+            "package (a test-time dependency); install it or use "
+            "repro.testing.generators directly"
+        ) from None
+    return st
+
+
+def circuits(
+    min_qubits: int = 1,
+    max_qubits: int = 5,
+    min_gates: int = 1,
+    max_gates: int = 20,
+    families: tuple[str, ...] = CIRCUIT_FAMILIES,
+):
+    """Strategy producing seeded random :class:`~repro.circuit.Circuit`\\ s.
+
+    Draws a family, a width, a gate count and a generator seed, then
+    builds the circuit through :func:`repro.testing.random_circuit`, so
+    every example prints a reproducible recipe in its name.
+    """
+    st = _hypothesis_strategies()
+    if not 1 <= min_qubits <= max_qubits:
+        raise BenchmarkError(
+            f"bad qubit range [{min_qubits}, {max_qubits}]"
+        )
+    if not 0 <= min_gates <= max_gates:
+        raise BenchmarkError(f"bad gate range [{min_gates}, {max_gates}]")
+    return st.builds(
+        lambda family, n, gates, seed: random_circuit(n, gates, seed, family),
+        st.sampled_from(families),
+        st.integers(min_qubits, max_qubits),
+        st.integers(min_gates, max_gates),
+        st.integers(0, _MAX_SEED),
+    )
+
+
+def preset_key_for(family: str, num_qubits: int) -> str:
+    """The preset key of ``family`` sized to hold ``num_qubits``.
+
+    ``paper-grid`` becomes the near-square grid, ``ring`` is padded to
+    its three-qubit minimum; ``heavy-hex`` is not sizeable (its qubit
+    counts are lattice-determined) — sample ``heavy-hex-D`` directly.
+    """
+    if family == "paper-grid":
+        grid = grid_for(num_qubits)
+        return f"paper-grid-{grid.rows}x{grid.cols}"
+    if family == "line":
+        return f"line-{num_qubits}"
+    if family == "ring":
+        return f"ring-{max(num_qubits, 3)}"
+    if family == "all-to-all":
+        return f"all-to-all-{num_qubits}"
+    raise BenchmarkError(
+        f"cannot size device family {family!r}; "
+        f"choose from {SIZEABLE_DEVICE_FAMILIES}"
+    )
+
+
+def device_presets(
+    min_qubits: int = 2,
+    max_qubits: int = 9,
+    families: tuple[str, ...] = SIZEABLE_DEVICE_FAMILIES,
+):
+    """Strategy producing preset *keys* (``"ring-5"``, ``"line-3"``, ...).
+
+    Every drawn key resolves to a device with at least ``min_qubits``
+    cells, so any circuit of that width places onto it.
+    """
+    st = _hypothesis_strategies()
+    if not 1 <= min_qubits <= max_qubits:
+        raise BenchmarkError(
+            f"bad qubit range [{min_qubits}, {max_qubits}]"
+        )
+    return st.builds(
+        preset_key_for,
+        st.sampled_from(families),
+        st.integers(min_qubits, max_qubits),
+    )
+
+
+def devices(
+    min_qubits: int = 2,
+    max_qubits: int = 9,
+    families: tuple[str, ...] = SIZEABLE_DEVICE_FAMILIES,
+):
+    """Strategy producing resolved :class:`~repro.device.Device` objects."""
+    from repro.device.presets import device_by_key
+
+    st = _hypothesis_strategies()
+    return st.builds(
+        device_by_key, device_presets(min_qubits, max_qubits, families)
+    )

@@ -1,5 +1,10 @@
-"""Verification of synthesized pulses against their target unitaries."""
+"""Verification: sampled pulse checks and whole-program equivalence."""
 
+from repro.verification.equivalence import (
+    EquivalenceReport,
+    VerifyEquivalencePass,
+    verify_equivalence,
+)
 from repro.verification.propagator import propagate_pulse
 from repro.verification.verify import (
     VerificationResult,
@@ -9,8 +14,11 @@ from repro.verification.verify import (
 )
 
 __all__ = [
+    "EquivalenceReport",
     "VerificationResult",
+    "VerifyEquivalencePass",
     "propagate_pulse",
+    "verify_equivalence",
     "verify_instruction",
     "verify_pulse",
     "verify_sampled_instructions",

@@ -12,7 +12,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.control.unit import OptimalControlUnit, _gates_of, _support_of
+from repro.control.unit import OptimalControlUnit, gates_of, support_of
 from repro.errors import VerificationError
 from repro.linalg.fidelity import unitary_trace_fidelity
 from repro.verification.propagator import propagate_pulse
@@ -51,8 +51,8 @@ def verify_instruction(
 ) -> VerificationResult:
     """Synthesize a pulse for a node and verify it end to end."""
     grape_result = ocu.synthesize_pulse(node)
-    support = _support_of(node)
-    target, hamiltonian = ocu._local_problem(support, _gates_of(node))
+    support = support_of(node)
+    target, hamiltonian = ocu._local_problem(support, gates_of(node))
     label = getattr(node, "name", repr(node))
     return verify_pulse(
         grape_result.pulse, hamiltonian, target, threshold, label=label

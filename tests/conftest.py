@@ -1,4 +1,10 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures, helpers and the test-tier option.
+
+Tier-1 is the default ``pytest -x -q`` run: fast, every push.  Tests
+tagged ``@pytest.mark.slow`` (long GRAPE optimizations, fuzz sessions)
+form tier-2 and are skipped unless ``--runslow`` is given; CI runs them
+in a separate job so coverage is never lost, only re-scheduled.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +12,26 @@ import numpy as np
 import pytest
 
 from repro.linalg.embed import embed_operator
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow (tier-2)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow tier-2 test; use --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

@@ -32,6 +32,9 @@ def _target_of(gates, width):
     return total
 
 
+pytestmark = pytest.mark.slow  # every test runs real GRAPE optimizations
+
+
 class TestModelTracksGrape:
     def test_model_busy_time_is_feasible_for_cnot(self, model, two_qubit_ham):
         # GRAPE must reach the target within the model's busy-time

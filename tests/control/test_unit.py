@@ -74,6 +74,7 @@ class TestSignature:
         assert _signature_of(chain) != _signature_of(fan)
 
 
+@pytest.mark.slow
 class TestGrapeBackend:
     def test_grape_latency_close_to_model(self):
         grape_ocu = OptimalControlUnit(backend="grape", seed=11)

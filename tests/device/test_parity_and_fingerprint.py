@@ -256,6 +256,7 @@ class TestHeterogeneousFingerprints:
             device=variant
         ).fingerprint
 
+    @pytest.mark.slow
     def test_grape_nonpositional_latency_ignores_logical_labels(self):
         # Non-positional GRAPE pricing (logical stage) must not vary
         # with which logical labels happen to coincide with overridden

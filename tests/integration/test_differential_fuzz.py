@@ -1,0 +1,57 @@
+"""Cross-strategy differential fuzz suites.
+
+Tier-1 carries a quick seeded smoke (a handful of circuits through every
+strategy x several devices); the full CI-sized session — 25 circuits,
+every registered strategy, every default device family — runs in the
+slow tier (``--runslow``) and as the dedicated CI fuzz job
+(``python -m repro.testing.fuzz``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.testing import circuits, differential_compile, run_fuzz
+
+
+class TestDifferentialSmoke:
+    def test_seeded_smoke_every_strategy_three_devices(self):
+        report = run_fuzz(
+            num_circuits=5,
+            seed=20190413,
+            min_qubits=3,
+            max_qubits=4,
+            max_gates=12,
+            states=4,
+        )
+        assert report.ok, report.summary()
+        assert report.circuits_checked == 5
+        # every registered strategy (>=5) x >=3 presets per circuit
+        assert report.compilations >= 5 * 5 * 3
+
+    @given(circuit=circuits(min_qubits=2, max_qubits=4, max_gates=10))
+    @settings(max_examples=8, deadline=None)
+    def test_property_any_circuit_compiles_equivalently_everywhere(
+        self, circuit
+    ):
+        report = differential_compile(circuit, states=3)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.slow
+class TestDifferentialFuzzFull:
+    def test_ci_sized_session(self):
+        # Mirrors the CI fuzz job: >=25 circuits x all strategies x >=3
+        # device presets, fixed seed.
+        report = run_fuzz(
+            num_circuits=25,
+            seed=20190413,
+            min_qubits=3,
+            max_qubits=5,
+            max_gates=16,
+            states=5,
+        )
+        assert report.ok, report.summary()
+        assert report.circuits_checked == 25
+        assert report.compilations >= 25 * 5 * 3

@@ -1,0 +1,87 @@
+"""Router property tests over every device preset family.
+
+For any circuit routed onto any topology — grid, line, ring, heavy-hex,
+all-to-all — the router must (a) only emit multi-qubit operations on
+physical coupling-graph edges, and (b) preserve the gate content: the
+routed stream is the original gates (retargeted) plus inserted SWAPs,
+nothing more, nothing less.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.presets import device_by_key
+from repro.gates.decompositions import lower_to_standard_set
+from repro.mapping.placement import initial_placement
+from repro.mapping.router import route
+from repro.testing import random_circuit
+from repro.testing.strategies import preset_key_for
+
+ALL_FAMILIES = ("paper-grid", "line", "ring", "all-to-all", "heavy-hex")
+
+
+@st.composite
+def preset_keys(draw):
+    """A preset key drawn from every family, heavy-hex included."""
+    family = draw(st.sampled_from(ALL_FAMILIES))
+    if family == "heavy-hex":
+        return f"heavy-hex-{draw(st.integers(1, 2))}"
+    return preset_key_for(family, draw(st.integers(2, 8)))
+
+
+def _content_key(gate) -> tuple:
+    """Gate identity that survives retargeting (name + rounded params)."""
+    return (gate.name, tuple(round(p, 10) for p in gate.params))
+
+
+class TestRouterOnEveryPresetFamily:
+    @given(
+        key=preset_keys(),
+        width=st.integers(1, 6),
+        gates=st.integers(1, 20),
+        seed=st.integers(0, 2**32 - 1),
+        family=st.sampled_from(("soup", "diagonal", "layered")),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_routed_nodes_use_topology_edges_and_preserve_gates(
+        self, key, width, gates, seed, family
+    ):
+        device = device_by_key(key)
+        topology = device.topology
+        width = min(width, topology.num_qubits)
+        circuit = random_circuit(width, gates, seed, family)
+
+        lowered = lower_to_standard_set(circuit.gates)
+        placement = initial_placement(circuit, topology)
+        routing = route(lowered, placement)
+
+        # (a) Every multi-qubit routed node sits on a coupling edge.
+        for node in routing.nodes:
+            qubits = list(node.qubits)
+            assert all(0 <= q < topology.num_qubits for q in qubits)
+            if len(qubits) == 2:
+                assert topology.are_adjacent(qubits[0], qubits[1]), (
+                    f"{node} uses a non-edge of {key}"
+                )
+
+        # (b) Gate multiset preserved up to SWAP insertions.
+        original = Counter(
+            _content_key(g) for g in lowered if g.name != "SWAP"
+        )
+        routed = Counter(
+            _content_key(g) for g in routing.nodes if g.name != "SWAP"
+        )
+        assert routed == original
+        original_swaps = sum(1 for g in lowered if g.name == "SWAP")
+        routed_swaps = sum(1 for g in routing.nodes if g.name == "SWAP")
+        assert routed_swaps == original_swaps + routing.swap_count
+        assert len(routing.nodes) == len(lowered) + routing.swap_count
+
+        # Routing must leave a consistent bijection behind.
+        final = routing.placement.as_dict()
+        assert sorted(final) == list(range(width))
+        assert len(set(final.values())) == width

@@ -1,0 +1,241 @@
+"""Differential-compile harness tests, including the broken-compiler
+negative path the acceptance criteria require."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.passes import Pass, PlaceAndRoutePass
+from repro.compiler.strategies import (
+    Strategy,
+    default_pipeline,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.errors import BenchmarkError
+from repro.gates.gate import Gate
+from repro.testing import (
+    default_device_presets,
+    differential_compile,
+    minimize_circuit,
+    random_circuit,
+    run_fuzz,
+)
+
+
+class _DropFirstSwapPass(Pass):
+    def run(self, context) -> None:
+        nodes = context.require("physical_nodes", self.name, "route first")
+        for index, node in enumerate(nodes):
+            if isinstance(node, Gate) and node.name == "SWAP":
+                context.physical_nodes = nodes[:index] + nodes[index + 1:]
+                context.invalidate_physical_dag()
+                return
+
+
+@pytest.fixture
+def broken_strategy():
+    """A registered strategy whose pipeline drops a routed SWAP."""
+    strategy = Strategy(
+        key="broken-swap",
+        description="drops the first routed SWAP (test sabotage)",
+        commutativity_detection=False,
+        cls_scheduling=False,
+        aggregation=False,
+        hand_optimization=False,
+    )
+
+    def pipeline(strat):
+        passes = default_pipeline(strat)
+        index = max(
+            i
+            for i, p in enumerate(passes)
+            if isinstance(p, PlaceAndRoutePass)
+        )
+        return passes[: index + 1] + [_DropFirstSwapPass()] + passes[index + 1:]
+
+    register_strategy(strategy, pipeline)
+    yield strategy
+    unregister_strategy("broken-swap")
+
+
+class TestDefaultDevicePresets:
+    def test_covers_at_least_three_distinct_targets(self):
+        for width in (3, 4, 5):
+            keys = default_device_presets(width)
+            assert len(keys) >= 3
+            assert len(set(keys)) == len(keys)
+
+    def test_isomorphic_targets_are_deduplicated(self):
+        # For 3 qubits the 1x3 paper grid *is* the line; only one stays.
+        keys = default_device_presets(3)
+        assert "paper-grid-1x3" in keys
+        assert "line-3" not in keys
+
+
+class TestDifferentialCompile:
+    def test_all_strategies_and_devices_pass_on_a_healthy_compiler(self):
+        circuit = random_circuit(4, 12, 3, "soup")
+        report = differential_compile(circuit, states=4)
+        assert report.ok, report.summary()
+        # every registered strategy x >=3 devices actually ran
+        assert len(report.outcomes) >= 5 * 3
+        assert all(outcome.latency_ns > 0 for outcome in report.outcomes)
+
+    def test_summary_reads_well(self):
+        circuit = random_circuit(3, 8, 4, "diagonal")
+        report = differential_compile(
+            circuit, strategies=["isa"], devices=["line-3"], states=3
+        )
+        assert "all equivalent" in report.summary()
+
+    def test_broken_strategy_is_caught(self, broken_strategy):
+        circuit = random_circuit(4, 16, 5, "soup")
+        report = differential_compile(
+            circuit,
+            strategies=["isa", "broken-swap"],
+            devices=["line-4"],
+            states=4,
+        )
+        assert not report.ok
+        failing = report.failures
+        assert {outcome.strategy_key for outcome in failing} == {"broken-swap"}
+        assert "MISMATCH" in failing[0].describe()
+
+    def test_too_small_device_is_an_error(self):
+        circuit = random_circuit(4, 6, 6, "soup")
+        with pytest.raises(BenchmarkError, match="qubits for the"):
+            differential_compile(circuit, devices=["line-3"])
+
+    def test_empty_strategy_list_is_an_error(self):
+        circuit = random_circuit(2, 4, 7, "soup")
+        with pytest.raises(BenchmarkError, match="at least one strategy"):
+            differential_compile(circuit, strategies=[])
+
+    def test_fail_fast_stops_early(self, broken_strategy):
+        circuit = random_circuit(4, 16, 5, "soup")
+        report = differential_compile(
+            circuit,
+            strategies=["broken-swap", "isa"],
+            devices=["line-4"],
+            states=4,
+            fail_fast=True,
+        )
+        assert not report.ok
+        assert len(report.outcomes) == 1
+
+
+class TestMinimizeCircuit:
+    def test_minimizes_to_a_still_failing_core(self, broken_strategy):
+        circuit = random_circuit(4, 16, 5, "soup")
+
+        def still_fails(candidate) -> bool:
+            return not differential_compile(
+                candidate,
+                strategies=["broken-swap"],
+                devices=["line-4"],
+                states=4,
+            ).ok
+
+        assert still_fails(circuit)
+        minimized = minimize_circuit(circuit, still_fails)
+        assert still_fails(minimized)
+        assert len(minimized.gates) < len(circuit.gates)
+        assert minimized.num_qubits == circuit.num_qubits
+        assert minimized.name.endswith("-min")
+
+    def test_budget_is_respected(self):
+        circuit = random_circuit(3, 12, 8, "soup")
+        calls = 0
+
+        def expensive(candidate) -> bool:
+            nonlocal calls
+            calls += 1
+            return True
+
+        minimize_circuit(circuit, expensive, max_checks=5)
+        assert calls <= 5
+
+
+class TestPropagatorForwarding:
+    @pytest.mark.slow
+    def test_propagator_method_reaches_the_per_device_ocu(self):
+        # Regression: the per-device oracle must be forwarded, else
+        # every cell errors with "the propagator method ... needs ocu=".
+        circuit = random_circuit(2, 4, 1, "diagonal")
+        report = differential_compile(
+            circuit,
+            strategies=["cls+aggregation"],
+            devices=["line-2"],
+            method="propagator",
+            states=2,
+        )
+        assert report.ok, report.summary()
+
+
+class TestSizeDevices:
+    def test_family_entries_are_deduped_and_padded_per_width(self):
+        from repro.testing.fuzz import _size_devices
+
+        keys = _size_devices(
+            ("paper-grid", "line", "ring", "all-to-all"), 3
+        )
+        # 1x3 grid == line-3 and ring-3 == all-to-all-3; padding must
+        # restore three topologically distinct targets.
+        assert len(keys) >= 3
+        assert len(set(keys)) == len(keys)
+        assert "line-3" not in keys and "all-to-all-3" not in keys
+
+    def test_exact_keys_pass_through_unmodified(self):
+        from repro.testing.fuzz import _size_devices
+
+        assert _size_devices(("ring-6",), 3) == ["ring-6"]
+        assert _size_devices(("line", "ring-6"), 4) == ["line-4", "ring-6"]
+
+
+class TestRunFuzz:
+    def test_small_session_is_green(self):
+        report = run_fuzz(
+            num_circuits=3,
+            seed=20190413,
+            min_qubits=3,
+            max_qubits=4,
+            max_gates=10,
+            states=3,
+        )
+        assert report.ok, report.summary()
+        assert report.circuits_checked == 3
+        assert report.compilations >= 3 * 5 * 3
+
+    def test_fuzz_catches_and_minimizes_a_broken_strategy(
+        self, broken_strategy
+    ):
+        report = run_fuzz(
+            num_circuits=4,
+            seed=5,
+            strategies=["broken-swap"],
+            devices=["line"],
+            min_qubits=4,
+            max_qubits=4,
+            max_gates=16,
+            states=4,
+            fail_fast=True,
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.strategy_key == "broken-swap"
+        assert failure.minimized_gates <= failure.num_gates
+        assert f"qubits {failure.num_qubits}" in failure.minimized_qasm
+        assert "random_circuit" in failure.reproduction()
+
+    def test_time_budget_short_circuits(self):
+        report = run_fuzz(
+            num_circuits=50,
+            min_qubits=3,
+            max_qubits=3,
+            max_gates=6,
+            states=2,
+            time_budget_s=0.0,
+        )
+        assert report.budget_exhausted
+        assert report.circuits_checked == 0

@@ -1,0 +1,81 @@
+"""Random-circuit generator tests: determinism, families, validity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.testing import (
+    CIRCUIT_FAMILIES,
+    diagonal_heavy_circuit,
+    gate_soup_circuit,
+    layered_circuit,
+    random_circuit,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", CIRCUIT_FAMILIES)
+    def test_same_recipe_same_circuit(self, family):
+        first = random_circuit(4, 15, 123, family)
+        second = random_circuit(4, 15, 123, family)
+        assert len(first.gates) == len(second.gates)
+        for a, b in zip(first.gates, second.gates):
+            assert a.signature == b.signature
+            assert a.qubits == b.qubits
+
+    @pytest.mark.parametrize("family", CIRCUIT_FAMILIES)
+    def test_different_seeds_differ(self, family):
+        first = random_circuit(4, 15, 1, family)
+        second = random_circuit(4, 15, 2, family)
+        fingerprints = [
+            tuple((g.signature, g.qubits) for g in circuit.gates)
+            for circuit in (first, second)
+        ]
+        assert fingerprints[0] != fingerprints[1]
+
+    def test_name_encodes_the_recipe(self):
+        circuit = random_circuit(3, 9, 77, "diagonal")
+        assert circuit.name == "diagonal-q3-g9-s77"
+
+
+class TestFamilies:
+    def test_soup_mixes_gate_kinds(self):
+        counts = gate_soup_circuit(4, 60, 5).gate_counts()
+        assert len(counts) >= 4
+
+    def test_diagonal_family_is_diagonal_heavy(self):
+        circuit = diagonal_heavy_circuit(4, 80, 5)
+        diagonal = sum(1 for gate in circuit.gates if gate.is_diagonal)
+        assert diagonal / len(circuit.gates) > 0.6
+
+    def test_layered_family_alternates_layers(self):
+        circuit = layered_circuit(4, 24, 5)
+        names = {gate.name for gate in circuit.gates}
+        assert names == {"RZZ", "RX"}
+
+    def test_single_qubit_registers_work_everywhere(self):
+        for family in CIRCUIT_FAMILIES:
+            circuit = random_circuit(1, 6, 9, family)
+            assert circuit.num_qubits == 1
+            assert all(gate.num_qubits == 1 for gate in circuit.gates)
+
+    def test_gates_respect_register_width(self):
+        for family in CIRCUIT_FAMILIES:
+            circuit = random_circuit(3, 30, 31, family)
+            for gate in circuit.gates:
+                assert all(0 <= q < 3 for q in gate.qubits)
+
+
+class TestValidation:
+    def test_unknown_family_raises(self):
+        with pytest.raises(BenchmarkError, match="unknown circuit family"):
+            random_circuit(3, 5, 0, "spaghetti")
+
+    def test_zero_qubits_raises(self):
+        with pytest.raises(BenchmarkError, match="at least one qubit"):
+            random_circuit(0, 5, 0)
+
+    def test_negative_gates_raises(self):
+        with pytest.raises(BenchmarkError, match="negative gate count"):
+            random_circuit(2, -1, 0)

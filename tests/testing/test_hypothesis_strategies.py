@@ -1,0 +1,54 @@
+"""Hypothesis-strategy tests: drawn circuits and devices are valid."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.device.presets import device_by_key
+from repro.errors import BenchmarkError
+from repro.testing import (
+    SIZEABLE_DEVICE_FAMILIES,
+    circuits,
+    device_presets,
+    devices,
+    preset_key_for,
+)
+
+
+class TestCircuitStrategy:
+    @given(circuit=circuits(max_qubits=4, max_gates=12))
+    @settings(max_examples=25, deadline=None)
+    def test_drawn_circuits_are_well_formed(self, circuit):
+        assert 1 <= circuit.num_qubits <= 4
+        assert 1 <= len(circuit.gates) <= 12
+        for gate in circuit.gates:
+            assert all(0 <= q < circuit.num_qubits for q in gate.qubits)
+
+    def test_bad_ranges_raise(self):
+        with pytest.raises(BenchmarkError, match="bad qubit range"):
+            circuits(min_qubits=5, max_qubits=2)
+        with pytest.raises(BenchmarkError, match="bad gate range"):
+            circuits(min_gates=9, max_gates=2)
+
+
+class TestDeviceStrategy:
+    @given(key=device_presets(min_qubits=3, max_qubits=7))
+    @settings(max_examples=25, deadline=None)
+    def test_drawn_presets_resolve_and_fit(self, key):
+        device = device_by_key(key)
+        assert device.num_qubits >= 3
+
+    @given(device=devices(min_qubits=2, max_qubits=5))
+    @settings(max_examples=10, deadline=None)
+    def test_devices_strategy_resolves(self, device):
+        assert device.num_qubits >= 2
+
+    @pytest.mark.parametrize("family", SIZEABLE_DEVICE_FAMILIES)
+    def test_preset_key_for_sizes_every_family(self, family):
+        key = preset_key_for(family, 5)
+        assert device_by_key(key).num_qubits >= 5
+
+    def test_heavy_hex_is_not_sizeable(self):
+        with pytest.raises(BenchmarkError, match="cannot size"):
+            preset_key_for("heavy-hex", 5)

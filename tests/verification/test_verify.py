@@ -17,6 +17,7 @@ def grape_ocu():
     return OptimalControlUnit(backend="grape", seed=5)
 
 
+@pytest.mark.slow
 class TestVerifyInstruction:
     def test_cnot_pulse_verifies(self, grape_ocu):
         result = verify_instruction(lib.CNOT(0, 1), grape_ocu, threshold=0.99)
@@ -36,6 +37,7 @@ class TestVerifyInstruction:
         assert result.passed
 
 
+@pytest.mark.slow
 class TestVerifySample:
     def test_sample_respects_size(self, grape_ocu):
         nodes = [lib.RZ(0.1 * i, 0) for i in range(1, 6)]
