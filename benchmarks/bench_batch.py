@@ -1,13 +1,31 @@
-"""Batch-compilation throughput: cold vs warm shared-cache runs.
+"""Batch-compilation throughput: cold vs warm runs, thread vs process.
 
-Tracks the batch engine's two headline numbers: wall-clock for a
-multi-benchmark strategy sweep, and how much optimal-control work a warm
-cache skips.  The timed round runs against the cache the cold round
-filled, so the reported time is the engine's steady-state throughput;
-the assertions pin the warm/cold contract (result parity, >= 5x fewer
-model evaluations) that `tests/compiler/test_batch.py` checks at unit
-scale.
+Tracks the batch engine's headline numbers: wall-clock for a
+multi-benchmark strategy sweep, how much optimal-control work a warm
+cache skips, and how the two executors compare on this machine.  The
+timed round runs against the cache the cold round filled, so the
+reported time is the engine's steady-state throughput; the assertions
+pin the warm/cold contract (result parity, >= 5x fewer model
+evaluations) that `tests/compiler/test_batch.py` checks at unit scale.
+
+The thread-vs-process sweep additionally writes a machine-readable
+``BENCH_batch.json`` (path overridable via the ``BENCH_BATCH_JSON``
+environment variable) recording both executors' cold wall-clock, the
+machine's CPU count and the parity verdict, so the performance
+trajectory of the batch engine is recorded run over run.  Threads
+serialize the pure-Python pipeline on the GIL; the process executor's
+speedup therefore scales with physical cores and is expected to be
+>= 1.5x on multi-core CI runners (and necessarily ~1x or below on a
+single-core machine, where only serialization overhead remains).
 """
+
+import json
+import os
+import time
+
+from repro.compiler.batch import BatchCompiler
+from repro.ir import canonical_result_dict
+
 
 def test_batch_throughput(benchmark, sweep_jobs, batch_engine, capsys):
     engine = batch_engine
@@ -35,3 +53,61 @@ def test_batch_throughput(benchmark, sweep_jobs, batch_engine, capsys):
     assert warm.cache_info["model_evals"] * 5 <= max(
         cold.cache_info["model_evals"], 1
     )
+
+
+def test_thread_vs_process_executor_sweep(sweep_jobs, bench_scale, capsys):
+    """Cold Figure 9 strategy sweep under both executors + BENCH_batch.json.
+
+    Fresh engines (and fresh caches) on both sides so neither mode
+    starts warm; parity is asserted on the canonical wire form, and the
+    measured numbers land in ``BENCH_batch.json`` for the perf record.
+    """
+    jobs = sweep_jobs
+    workers = min(4, os.cpu_count() or 1)
+
+    started = time.perf_counter()
+    thread = BatchCompiler(max_workers=workers).compile_batch(jobs)
+    thread_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    process = BatchCompiler(
+        max_workers=workers, executor="process"
+    ).compile_batch(jobs)
+    process_wall = time.perf_counter() - started
+
+    parity = all(
+        canonical_result_dict(a) == canonical_result_dict(b)
+        for a, b in zip(thread, process)
+    )
+    assert parity, "thread and process executors diverged"
+
+    speedup = thread_wall / process_wall if process_wall > 0 else float("inf")
+    payload = {
+        "format": "repro-bench-batch-v1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": bench_scale,
+        "jobs": len(jobs),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "thread": {
+            "cold_wall_seconds": thread_wall,
+            "model_evals": thread.cache_info["model_evals"],
+        },
+        "process": {
+            "cold_wall_seconds": process_wall,
+            "model_evals": process.cache_info["model_evals"],
+        },
+        "process_speedup_over_thread": speedup,
+        "canonical_parity": parity,
+    }
+    path = os.environ.get("BENCH_BATCH_JSON", "BENCH_batch.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    with capsys.disabled():
+        print()
+        print(
+            f"executor sweep ({len(jobs)} jobs, {workers} workers, "
+            f"{os.cpu_count()} CPUs): thread {thread_wall:.2f}s, "
+            f"process {process_wall:.2f}s "
+            f"({speedup:.2f}x) -> {path}"
+        )

@@ -49,6 +49,13 @@ from repro.device import (
     unregister_device,
 )
 from repro.errors import ReproError
+from repro.ir import (
+    IR_FORMAT,
+    TimedInstruction,
+    canonical_result_dict,
+    dumps,
+    loads,
+)
 from repro.verification.equivalence import (
     EquivalenceReport,
     VerifyEquivalencePass,
@@ -69,19 +76,24 @@ __all__ = [
     "Device",
     "DeviceConfig",
     "EquivalenceReport",
+    "IR_FORMAT",
     "ISA",
     "OptimalControlUnit",
     "Pass",
     "PassManager",
     "ReproError",
     "Strategy",
+    "TimedInstruction",
     "Topology",
     "VerifyEquivalencePass",
     "all_strategies",
     "available_device_keys",
+    "canonical_result_dict",
     "compile_circuit",
     "compile_with_pipeline",
     "device_by_key",
+    "dumps",
+    "loads",
     "paper_device_for",
     "register_device",
     "register_strategy",

@@ -15,10 +15,34 @@ read-through view of the shared store — so workers never contend on the
 store lock for writes; when a job finishes, its delta of newly computed
 latencies/pulses is merged back into the store, and later jobs see it.
 
+Two executors share that contract:
+
+* ``executor="thread"`` (default) — worker threads over the shared
+  in-memory store.  Cheap to start, full cache sharing, but the pure-
+  Python pass pipeline serializes on the GIL.
+* ``executor="process"`` — worker *processes*.  Each job ships to a
+  worker as a :mod:`repro.ir` wire payload (circuit, device, configs —
+  nothing process-local crosses the boundary), compiles there against a
+  worker-resident cache, and returns a serialized result plus the
+  :class:`~repro.control.cache.CacheDelta` of newly computed entries,
+  which the parent merges into the shared store.  This sidesteps the
+  GIL entirely — the speedup on many-core machines is what
+  ``benchmarks/bench_batch.py`` records — at the cost of per-job
+  serialization and no *cross-worker* cache sharing during one batch
+  (each worker is seeded with a snapshot of the shared store at pool
+  start and then warms up over its own job stream; the merged store
+  carries everything forward to the next batch).  Jobs carrying
+  in-memory pass objects (``BatchJob.passes``) or engines with
+  ``pass_callbacks`` cannot cross a process boundary and are rejected
+  with a :class:`~repro.errors.ConfigError`; strategies ship by
+  registered key.
+
 Results are returned in job order and are bit-identical to serial
 :func:`compile_circuit` calls: the latency model and GRAPE are
-deterministic functions of instruction structure, so sharing their cached
-values across jobs cannot change any result.
+deterministic functions of instruction structure, so neither sharing
+cached values across jobs nor the choice of executor can change any
+result (``tests/compiler/test_batch_process.py`` pins thread/process
+parity on the canonical wire form).
 """
 
 from __future__ import annotations
@@ -27,7 +51,12 @@ import dataclasses
 import os
 import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 
 from repro.circuit.circuit import Circuit
 from repro.compiler.manager import PassCallback
@@ -49,6 +78,8 @@ from repro.device.topology import Topology
 from repro.errors import ConfigError
 
 _COUNTER_KEYS = ("cache_hits", "grape_calls", "grape_fallbacks", "model_evals")
+
+_EXECUTORS = ("thread", "process")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -121,6 +152,8 @@ class BatchReport:
     workers: int
     cache_info: dict[str, int]
     """OCU counters summed across all jobs, plus final store entry counts."""
+    executor: str = "thread"
+    """Which worker pool ran the batch (``"thread"`` or ``"process"``)."""
 
     def __len__(self) -> int:
         return len(self.results)
@@ -171,6 +204,13 @@ class BatchCompiler:
             job's :class:`~repro.compiler.manager.PassManager`; invoked
             as ``(pass_, context, elapsed_seconds)``.  With several
             workers, hooks run concurrently — keep them thread-safe.
+            Incompatible with ``executor="process"`` (hooks cannot cross
+            a process boundary).
+        executor: ``"thread"`` (default) or ``"process"``.  Process
+            workers receive each job as a serialized :mod:`repro.ir`
+            payload and return serialized results plus a cache delta,
+            so the pure-Python pipeline runs GIL-free in parallel; see
+            the module docstring for the trade-offs.
     """
 
     def __init__(
@@ -184,9 +224,19 @@ class BatchCompiler:
         grape_dt: float | None = None,
         seed: int = 20190413,
         pass_callbacks: Sequence[PassCallback] = (),
+        executor: str = "thread",
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be at least 1")
+        if executor not in _EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        if executor == "process" and pass_callbacks:
+            raise ConfigError(
+                "pass_callbacks cannot cross a process boundary; use "
+                "executor='thread' for per-pass instrumentation hooks"
+            )
         if isinstance(device, str):
             device = device_by_key(device)
         self.device = device
@@ -198,6 +248,7 @@ class BatchCompiler:
         self.grape_dt = grape_dt
         self.seed = seed
         self.pass_callbacks = list(pass_callbacks)
+        self.executor = executor
 
     @classmethod
     def from_ocu(
@@ -284,6 +335,7 @@ class BatchCompiler:
                 wall_seconds=0.0,
                 workers=0,
                 cache_info=self._store_info(dict.fromkeys(_COUNTER_KEYS, 0)),
+                executor=self.executor,
             )
         workers = self.max_workers
         if workers is None:
@@ -294,7 +346,14 @@ class BatchCompiler:
         counters = {key: 0 for key in _COUNTER_KEYS}
         results: list[CompilationResult | None] = [None] * len(jobs)
         seconds = [0.0] * len(jobs)
-        if workers == 1:
+        if self.executor == "process":
+            # Even a single worker goes through the pool: the point of
+            # the mode is the serialized-job path, and silently running
+            # inline would hide wire-format regressions.
+            self._run_parallel_processes(
+                jobs, workers, counters, results, seconds
+            )
+        elif workers == 1:
             for index, job in enumerate(jobs):
                 results[index], seconds[index], used = self._run_job(job)
                 for key in _COUNTER_KEYS:
@@ -307,6 +366,7 @@ class BatchCompiler:
             wall_seconds=time.perf_counter() - started,
             workers=workers,
             cache_info=self._store_info(counters),
+            executor=self.executor,
         )
 
     # ------------------------------------------------------------------
@@ -392,6 +452,120 @@ class BatchCompiler:
                     if len(active) >= workers:
                         break
 
+    # -- process executor ----------------------------------------------
+
+    def _config_payload(self) -> dict:
+        """Engine-level settings as one :mod:`repro.ir` wire payload."""
+        from repro.ir.serialize import (
+            compiler_config_to_dict,
+            device_config_to_dict,
+            device_to_dict,
+        )
+
+        if isinstance(self.device, Device):
+            device_payload = device_to_dict(self.device)
+        else:
+            device_payload = device_config_to_dict(self.device)
+        return {
+            "device": device_payload,
+            "compiler": compiler_config_to_dict(self.compiler_config),
+            "backend": self.backend,
+            "grape_qubit_limit": self.grape_qubit_limit,
+            "grape_dt": self.grape_dt,
+            "seed": self.seed,
+        }
+
+    def _job_payload(self, job: BatchJob) -> dict:
+        """One job as a wire payload, or a clear error when it cannot ship.
+
+        Strategies travel by registered key (the worker re-resolves it;
+        under a ``fork`` start method custom registrations are inherited,
+        under ``spawn`` only importable registrations survive).  In-memory
+        pass objects cannot travel at all.
+        """
+        from repro.ir.serialize import (
+            circuit_to_dict,
+            device_to_dict,
+            topology_to_dict,
+        )
+
+        if job.passes is not None:
+            raise ConfigError(
+                f"job {job.key!r} carries an explicit passes= list, which "
+                f"cannot cross a process boundary; use executor='thread' "
+                f"for custom pipelines"
+            )
+        try:
+            strategy_by_key(job.strategy.key)
+        except ConfigError:
+            raise ConfigError(
+                f"job {job.key!r} uses unregistered strategy "
+                f"{job.strategy.key!r}: process workers rebuild strategies "
+                f"from their registered keys, so register it "
+                f"(register_strategy) or use executor='thread'"
+            ) from None
+        payload = {
+            "circuit": circuit_to_dict(job.circuit),
+            "strategy_key": job.strategy.key,
+            "width_limit": job.width_limit,
+            "label": job.label,
+            "pulse_backend": job.pulse_backend,
+        }
+        if job.device is not None:
+            payload["device"] = device_to_dict(job.device)
+        if job.topology is not None:
+            payload["topology"] = topology_to_dict(job.topology)
+        return payload
+
+    def _run_parallel_processes(
+        self, jobs, workers, counters, results, seconds
+    ) -> None:
+        """Fan serialized jobs across worker processes.
+
+        All jobs are submitted up front (unlike the thread path's bounded
+        window: workers hold process-local caches, so delaying submission
+        would not improve reuse).  Each worker is seeded once, at pool
+        start, with a serialized snapshot of the shared store — a warm
+        (e.g. disk-loaded) cache therefore skips optimal-control work in
+        process mode too.  Each completed future contributes its
+        serialized result and its cache delta; the delta merges into the
+        shared store so subsequent batches — process or thread — start
+        warm.  (Within one batch, workers do not see each other's
+        deltas; each warms up over its own job stream.)
+        """
+        from repro.ir.serialize import (
+            cache_delta_from_dict,
+            cache_delta_to_dict,
+            result_from_dict,
+        )
+
+        config = self._config_payload()
+        payloads = [self._job_payload(job) for job in jobs]
+        snapshot = cache_delta_to_dict(self.cache.snapshot_delta())
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_seed_worker_store,
+            initargs=(snapshot,),
+        ) as pool:
+            active = {
+                pool.submit(_compile_job_payload, config, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            while active:
+                done, _ = wait(active, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = active.pop(future)
+                    result_payload, delta_payload, elapsed, used = (
+                        future.result()
+                    )
+                    results[index] = result_from_dict(result_payload)
+                    seconds[index] = elapsed
+                    self.cache.merge_delta(
+                        cache_delta_from_dict(delta_payload)
+                    )
+                    for key in _COUNTER_KEYS:
+                        counters[key] += used[key]
+
     def _store_info(self, counters) -> dict[str, int]:
         info = dict(counters)
         info["latency_entries"] = self.cache.latency_count
@@ -403,6 +577,96 @@ class BatchCompiler:
         if isinstance(self.cache, DiskPulseCache):
             return self.cache.save()
         return 0
+
+
+#: Process-local cache each worker accumulates across its job stream.
+#: One store per worker process is safe for mixed configurations because
+#: every cache key carries its configuration fingerprint.
+_WORKER_STORE: PulseCache | None = None
+
+
+def _worker_store() -> PulseCache:
+    global _WORKER_STORE
+    if _WORKER_STORE is None:
+        _WORKER_STORE = PulseCache()
+    return _WORKER_STORE
+
+
+def _seed_worker_store(snapshot_payload: dict) -> None:
+    """Pool initializer: warm this worker's store from the parent's.
+
+    Runs once per worker process.  The snapshot is the parent's shared
+    store serialized as one cache delta, so a warm (disk-loaded) cache
+    reaches process workers instead of every worker starting cold.
+    """
+    from repro.ir.serialize import cache_delta_from_dict
+
+    _worker_store().merge_delta(cache_delta_from_dict(snapshot_payload))
+
+
+def _compile_job_payload(config: dict, job_payload: dict) -> tuple:
+    """Worker-process entry: compile one serialized job.
+
+    Runs in a ``ProcessPoolExecutor`` worker.  Rebuilds the job and the
+    engine configuration from their wire payloads, compiles through a
+    session over the worker-local store, and returns
+    ``(result_payload, delta_payload, seconds, counters)`` — all wire
+    payloads again, so nothing process-local leaks back to the parent.
+    """
+    from repro.ir.serialize import (
+        cache_delta_to_dict,
+        circuit_from_dict,
+        compiler_config_from_dict,
+        device_config_from_dict,
+        device_from_dict,
+        result_to_dict,
+        topology_from_dict,
+    )
+
+    started = time.perf_counter()
+    device_payload = config["device"]
+    if device_payload.get("kind") == "device":
+        device = device_from_dict(device_payload)
+    else:
+        device = device_config_from_dict(device_payload)
+    engine = BatchCompiler(
+        device=device,
+        compiler_config=compiler_config_from_dict(config["compiler"]),
+        cache=_worker_store(),
+        backend=config["backend"],
+        max_workers=1,
+        grape_qubit_limit=config["grape_qubit_limit"],
+        grape_dt=config["grape_dt"],
+        seed=config["seed"],
+    )
+    job = BatchJob(
+        circuit=circuit_from_dict(job_payload["circuit"]),
+        strategy=job_payload["strategy_key"],
+        width_limit=job_payload["width_limit"],
+        topology=(
+            topology_from_dict(job_payload["topology"])
+            if "topology" in job_payload
+            else None
+        ),
+        label=job_payload["label"],
+        pulse_backend=job_payload["pulse_backend"],
+        device=(
+            device_from_dict(job_payload["device"])
+            if "device" in job_payload
+            else None
+        ),
+    )
+    session = CacheSession(engine.cache)
+    ocu = engine.make_ocu(cache=session, device=engine._job_target(job))
+    result = engine._compile_job(job, ocu)
+    engine.cache.merge_delta(session.delta)
+    used = {key: getattr(ocu, key) for key in _COUNTER_KEYS}
+    return (
+        result_to_dict(result),
+        cache_delta_to_dict(session.delta),
+        time.perf_counter() - started,
+        used,
+    )
 
 
 def _as_job(job) -> BatchJob:
@@ -457,6 +721,7 @@ def compile_batch(
     cache: PulseCache | None = None,
     backend: str = "model",
     max_workers: int | None = None,
+    executor: str = "thread",
 ) -> BatchReport:
     """Compile a batch of (circuit, strategy) jobs; results in job order.
 
@@ -470,5 +735,6 @@ def compile_batch(
         cache=cache,
         backend=backend,
         max_workers=max_workers,
+        executor=executor,
     )
     return engine.compile_batch(jobs)

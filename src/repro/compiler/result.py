@@ -96,6 +96,57 @@ class CompilationResult:
 
         return verify_equivalence(self, circuit, **options)
 
+    # ------------------------------------------------------------------
+    # Serialization (wire format: repro.ir.serialize)
+
+    def to_dict(self, include_source: bool = True) -> dict:
+        """Versioned wire form of the whole result.
+
+        ``include_source=False`` drops the source circuit for a smaller
+        payload; the loaded result then needs an explicit circuit to
+        :meth:`verify_equivalence`.
+        """
+        from repro.ir.serialize import result_to_dict
+
+        return result_to_dict(self, include_source=include_source)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> CompilationResult:
+        """Rebuild a result from its wire form."""
+        from repro.ir.serialize import result_from_dict
+
+        return result_from_dict(payload)
+
+    def save(self, path, include_source: bool = True) -> str:
+        """Write the result as a JSON artifact; returns the path written.
+
+        The artifact is self-contained: :meth:`load` in another process
+        (or on another machine) rebuilds a result whose fingerprints and
+        signatures match this one's and which still passes
+        :meth:`verify_equivalence` against its embedded source circuit.
+        """
+        import json
+        import os
+
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        payload = self.to_dict(include_source=include_source)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path) -> CompilationResult:
+        """Read a result previously written by :meth:`save`."""
+        import json
+
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
     def speedup_over(self, baseline: CompilationResult) -> float:
         """Latency ratio ``baseline / self`` (the Figure 9 metric)."""
         if self.latency_ns <= 0:

@@ -198,6 +198,20 @@ class PulseCache:
                 self._pulses[key] = result
         return added
 
+    def snapshot_delta(self) -> CacheDelta:
+        """The whole store as one :class:`CacheDelta` (copied under lock).
+
+        This is how a warm store travels: serialize the snapshot
+        (:func:`repro.ir.serialize.cache_delta_to_dict`), ship it across
+        the process boundary, and ``merge_delta`` it into the far store —
+        the batch engine seeds each worker process this way so warm
+        caches skip optimal-control work in process mode too.
+        """
+        with self._lock:
+            return CacheDelta(
+                latencies=dict(self._latencies), pulses=dict(self._pulses)
+            )
+
     @property
     def latency_count(self) -> int:
         return len(self._latencies)

@@ -95,5 +95,13 @@ class VerificationError(ReproError):
     """A pulse sequence failed to reproduce its target unitary."""
 
 
+class SerializationError(ReproError):
+    """A wire-format payload could not be written or read.
+
+    Raised by :mod:`repro.ir.serialize` on version mismatches, unknown
+    artifact kinds, and structurally malformed payloads.
+    """
+
+
 class BenchmarkError(ReproError):
     """Invalid benchmark-generator parameters."""

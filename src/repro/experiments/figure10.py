@@ -128,10 +128,7 @@ def _critical_path_optimization_band(result, ocu) -> tuple[float, float]:
     serial per-gate latency of its members: 1.0 means no optimization,
     smaller is more optimized (the paper's filled band edges).
     """
-    finish = {}
-    for operation in result.schedule:
-        finish[id(operation.node)] = operation.end
-    if not finish:
+    if not len(result.schedule):
         return 1.0, 1.0
     makespan = result.schedule.makespan
     ratios = []

@@ -39,6 +39,11 @@ class Figure9Row:
     graphs route more)."""
     device: str | None = None
     """Device the row compiled onto (None: auto-sized paper grid)."""
+    results: dict[str, object] = dataclasses.field(
+        default_factory=dict, repr=False
+    )
+    """Full :class:`~repro.compiler.result.CompilationResult` per
+    strategy — what ``--save-artifacts`` persists as JSON artifacts."""
 
     @property
     def baseline_key(self) -> str:
@@ -136,10 +141,12 @@ def run_figure9(
         latencies: dict[str, float] = {}
         seconds: dict[str, float] = {}
         swaps: dict[str, int] = {}
+        results: dict[str, object] = {}
         for strategy in strategies:
             latencies[strategy.key] = report.results[cursor].latency_ns
             seconds[strategy.key] = report.seconds[cursor]
             swaps[strategy.key] = report.results[cursor].swap_count
+            results[strategy.key] = report.results[cursor]
             cursor += 1
         rows.append(
             Figure9Row(
@@ -148,6 +155,7 @@ def run_figure9(
                 latencies_ns=latencies,
                 seconds=seconds,
                 swap_counts=swaps,
+                results=results,
                 # Unnamed custom devices keep their provenance via repr;
                 # only the default auto-sized paper grid reports None.
                 device=(device.name or repr(device))

@@ -12,6 +12,15 @@ The Figure 9 sweep also regenerates on any registered device: pass
 added via :func:`repro.device.register_device` — and the sweep compiles
 onto that coupling graph instead of the paper's auto-sized grid.
 
+Compiled artifacts can leave the process: ``--save-artifacts DIR``
+writes every Figure 9 compilation result as a versioned JSON artifact
+(:mod:`repro.ir` wire format, source circuit embedded), and
+``--load-artifacts DIR`` re-reads a directory of artifacts *without
+recompiling*, re-verifies each against its embedded source circuit, and
+reprints the Figure 9 table from the loaded results.  ``--executor
+process`` fans batch jobs across worker processes instead of threads,
+which sidesteps the GIL on multi-core machines.
+
 Usage::
 
     python -m repro.experiments.runner --scale small
@@ -19,19 +28,26 @@ Usage::
     python -m repro.experiments.runner --cache results/pulse_cache --workers 4
     python -m repro.experiments.runner --experiment figure9 --scale small \\
         --device ring-6 --device heavy-hex-1 --benchmarks maxcut-line-6
+    python -m repro.experiments.runner --experiment figure9 --scale small \\
+        --save-artifacts results/artifacts --executor process
+    python -m repro.experiments.runner --load-artifacts results/artifacts
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import os
 import sys
 import time
+from collections import defaultdict
 
 from repro.compiler.batch import BatchCompiler, resolve_engine
+from repro.compiler.result import CompilationResult
 from repro.control.cache import DiskPulseCache
 from repro.control.unit import OptimalControlUnit
 from repro.experiments.figure4 import format_figure4, run_figure4
-from repro.experiments.figure9 import format_figure9, run_figure9
+from repro.experiments.figure9 import Figure9Row, format_figure9, run_figure9
 from repro.experiments.figure10 import format_figure10, run_figure10
 from repro.experiments.figure11 import format_figure11, run_figure11
 from repro.experiments.table1 import format_table1, run_table1
@@ -48,13 +64,15 @@ def run_experiment(
     strategies: list[str] | None = None,
     devices: list[str] | None = None,
     benchmarks: list[str] | None = None,
+    artifact_dir: str | None = None,
 ) -> str:
     """Run one experiment by name, returning its formatted report.
 
     ``strategies`` restricts the Figure 9 sweep to the named registered
     strategy keys (built-in or custom), ``benchmarks`` to a subset of
     the Table 3 suite, and ``devices`` reruns the sweep once per named
-    device preset; other experiments ignore all three.
+    device preset; ``artifact_dir`` saves every Figure 9 compilation
+    result there as a JSON artifact.  Other experiments ignore all four.
     """
     engine = resolve_engine(engine, ocu)
     if name == "table1":
@@ -64,18 +82,23 @@ def run_experiment(
     if name == "figure4":
         return format_figure4(run_figure4(ocu=engine.make_ocu()))
     if name == "figure9":
-        reports = [
-            format_figure9(
-                run_figure9(
-                    scale=scale,
-                    engine=engine,
-                    strategies=strategies,
-                    benchmark_keys=benchmarks,
-                    device=device,
-                )
+        reports = []
+        for device in devices or [None]:
+            rows = run_figure9(
+                scale=scale,
+                engine=engine,
+                strategies=strategies,
+                benchmark_keys=benchmarks,
+                device=device,
             )
-            for device in (devices or [None])
-        ]
+            if artifact_dir is not None:
+                written = save_figure9_artifacts(rows, artifact_dir)
+                reports.append(
+                    format_figure9(rows)
+                    + f"\n[{written} artifacts -> {artifact_dir}]"
+                )
+            else:
+                reports.append(format_figure9(rows))
         return "\n\n".join(reports)
     if name == "figure10":
         if scale == "small":
@@ -97,6 +120,135 @@ def run_experiment(
     if name == "figure11":
         return format_figure11(run_figure11(scale=scale, engine=engine))
     raise ValueError(f"unknown experiment {name!r}")
+
+
+def artifact_filename(result: CompilationResult) -> str:
+    """Deterministic artifact name for one result.
+
+    ``<circuit>__<strategy>[__<device>].json`` with path separators
+    sanitized, so a sweep's artifacts land as a flat, greppable set.
+    """
+    parts = [result.circuit_name, result.strategy_key]
+    if result.device_name:
+        parts.append(result.device_name)
+    stem = "__".join(part.replace("/", "-").replace(os.sep, "-") for part in parts)
+    return f"{stem}.json"
+
+
+def save_figure9_artifacts(rows, directory: str | os.PathLike) -> int:
+    """Persist every result of a Figure 9 sweep; returns files written."""
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    written = 0
+    for row in rows:
+        for result in row.results.values():
+            result.save(os.path.join(directory, artifact_filename(result)))
+            written += 1
+    return written
+
+
+def load_artifacts_report(directory: str | os.PathLike) -> tuple[str, bool]:
+    """Reload a directory of result artifacts without recompiling.
+
+    Every ``*.json`` artifact is loaded, re-verified against its
+    embedded source circuit (artifacts saved without one are reported
+    as unverifiable, not failed), and regrouped into Figure 9 rows.
+
+    Returns:
+        ``(report_text, ok)`` — ``ok`` is False when any artifact fails
+        verification or cannot be read.
+    """
+    directory = os.fspath(directory)
+    names = sorted(
+        name for name in os.listdir(directory) if name.endswith(".json")
+    )
+    if not names:
+        return f"no .json artifacts in {directory}", False
+    loaded: list[CompilationResult] = []
+    lines = [f"loaded artifacts from {directory}:"]
+    ok = True
+    unverified = 0
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            result = CompilationResult.load(path)
+        except Exception as error:  # corrupt artifact: report, keep going
+            lines.append(f"  {name}: UNREADABLE ({error})")
+            ok = False
+            continue
+        if result.source_circuit is None:
+            unverified += 1
+            lines.append(f"  {result.summary()} [no source circuit]")
+        else:
+            report = result.verify_equivalence()
+            if not report:
+                ok = False
+            lines.append(
+                f"  {result.summary()} "
+                f"[{'verified' if report else 'VERIFICATION FAILED'}]"
+            )
+        loaded.append(result)
+
+    # Regroup into Figure 9 rows per (device, circuit) so the loaded
+    # artifacts reprint as the same table the sweep produced.  Rows of
+    # one table must share a strategy-key set (the formatter indexes
+    # every row by the first row's keys), so each device's table is
+    # restricted to the strategies present in all of its rows — a
+    # directory mixing sweeps, or one with an unreadable artifact,
+    # still prints instead of crashing.
+    grouped: dict[tuple, dict[str, CompilationResult]] = defaultdict(dict)
+    for result in loaded:
+        grouped[(result.device_name, result.circuit_name)][
+            result.strategy_key
+        ] = result
+    rows = [
+        Figure9Row(
+            benchmark=circuit_name,
+            qubits=next(iter(cells.values())).logical_qubits,
+            latencies_ns={k: r.latency_ns for k, r in cells.items()},
+            seconds={},
+            swap_counts={k: r.swap_count for k, r in cells.items()},
+            device=device_name,
+            results=dict(cells),
+        )
+        for (device_name, circuit_name), cells in sorted(
+            grouped.items(), key=lambda item: (item[0][0] or "", item[0][1])
+        )
+    ]
+    by_device: dict[str | None, list[Figure9Row]] = defaultdict(list)
+    for row in rows:
+        by_device[row.device].append(row)
+    for device_rows in by_device.values():
+        common = set(device_rows[0].latencies_ns)
+        for row in device_rows[1:]:
+            common &= set(row.latencies_ns)
+        if not common:
+            lines.append("")
+            lines.append(
+                "(rows share no common strategy; no table for device "
+                f"{device_rows[0].device or 'auto-sized grid'})"
+            )
+            continue
+        table_rows = [
+            dataclasses.replace(
+                row,
+                latencies_ns={
+                    k: v for k, v in row.latencies_ns.items() if k in common
+                },
+                swap_counts={
+                    k: v for k, v in row.swap_counts.items() if k in common
+                },
+            )
+            for row in device_rows
+        ]
+        lines.append("")
+        lines.append(format_figure9(table_rows))
+    verdict = "all verified" if ok else "FAILURES above"
+    if unverified:
+        verdict += f" ({unverified} without source circuits)"
+    lines.append("")
+    lines.append(f"{len(loaded)} artifacts: {verdict}")
+    return "\n".join(lines), ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -125,7 +277,29 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="batch worker threads (default: one per CPU)",
+        help="batch workers (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="batch worker pool: threads (shared cache, GIL-bound) or "
+        "processes (serialized jobs, GIL-free on multi-core machines)",
+    )
+    parser.add_argument(
+        "--save-artifacts",
+        default=None,
+        metavar="DIR",
+        help="write every figure9 compilation result to DIR as versioned "
+        "JSON artifacts (repro.ir wire format, source circuit embedded)",
+    )
+    parser.add_argument(
+        "--load-artifacts",
+        default=None,
+        metavar="DIR",
+        help="skip compiling: reload artifacts from DIR, re-verify each "
+        "against its embedded source circuit, and reprint the figure9 "
+        "table; exits nonzero on verification failure",
     )
     parser.add_argument(
         "--strategies",
@@ -152,6 +326,10 @@ def main(argv: list[str] | None = None) -> int:
         "sweep to a subset of the Table 3 suite",
     )
     args = parser.parse_args(argv)
+    if args.load_artifacts:
+        report, ok = load_artifacts_report(args.load_artifacts)
+        print(report)
+        return 0 if ok else 1
     strategies = (
         [key.strip() for key in args.strategies.split(",") if key.strip()]
         if args.strategies
@@ -163,7 +341,9 @@ def main(argv: list[str] | None = None) -> int:
         else None
     )
     cache = DiskPulseCache(args.cache) if args.cache else None
-    engine = BatchCompiler(cache=cache, max_workers=args.workers)
+    engine = BatchCompiler(
+        cache=cache, max_workers=args.workers, executor=args.executor
+    )
     if cache is not None and cache.loaded_entries:
         print(f"[warm cache: {cache.loaded_entries} entries from {args.cache}]")
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
@@ -177,6 +357,7 @@ def main(argv: list[str] | None = None) -> int:
                 strategies=strategies,
                 devices=args.device,
                 benchmarks=benchmarks,
+                artifact_dir=args.save_artifacts,
             )
             elapsed = time.perf_counter() - started
             print(report)

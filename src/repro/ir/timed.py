@@ -1,0 +1,72 @@
+"""The typed schedule atom and the scheduling tolerances.
+
+This module is import-light on purpose: :mod:`repro.scheduling.schedule`
+builds on it, so it must not pull in any compiler-side module (which
+would close an import cycle through :mod:`repro.ir.serialize`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+OVERLAP_EPSILON_NS = 1e-12
+"""Slack (ns) when testing whether two time windows intersect.
+
+Two operations whose windows share less than this much time count as
+back-to-back, not overlapping, so a node starting exactly where its
+qubit-neighbour ends never trips the overlap validator on float
+round-off.  This is a *numerical* tolerance: it only needs to absorb
+last-bit errors of start/duration arithmetic, hence the tight value.
+"""
+
+DEPENDENCE_EPSILON_NS = 1e-9
+"""Slack (ns) when checking that a node starts after its predecessors.
+
+Looser than :data:`OVERLAP_EPSILON_NS` because dependence times are
+*derived* quantities — a start time is a max over sums of many float
+latencies (scheduler accumulation), so the comparison must absorb the
+accumulated error of whole latency chains, not a single subtraction.
+Keep the two distinct: tightening this one to ``1e-12`` makes long
+schedules fail validation on benign accumulation noise, and loosening
+the overlap tolerance to ``1e-9`` lets the schedulers hide real
+sub-nanosecond double-booking.
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class TimedInstruction:
+    """A node placed on the time axis.
+
+    The typed replacement for the historical ``TimedOperation`` whose
+    ``node`` was an untyped ``object`` keyed by ``id()``: ``node`` is a
+    :class:`~repro.gates.gate.Gate` or an
+    :class:`~repro.aggregation.instruction.AggregatedInstruction` (both
+    expose ``qubits``/``signature``), and :attr:`node_id` is a stable
+    per-schedule integer — assigned by :meth:`Schedule.add
+    <repro.scheduling.schedule.Schedule.add>` in insertion order — that
+    survives serialization, unlike ``id()``.
+
+    Attributes:
+        node: The scheduled gate or aggregated instruction.
+        start: Start time (ns).
+        duration: Duration (ns).
+        node_id: Stable integer identity within the owning schedule
+            (insertion index); ``-1`` for free-standing instances built
+            outside a :class:`~repro.scheduling.schedule.Schedule`.
+    """
+
+    node: object
+    start: float
+    duration: float
+    node_id: int = -1
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, other: TimedInstruction) -> bool:
+        """True when the two operations' time windows intersect."""
+        return (
+            self.start < other.end - OVERLAP_EPSILON_NS
+            and other.start < self.end - OVERLAP_EPSILON_NS
+        )

@@ -1,28 +1,38 @@
-"""Schedule data structures: timed operations with validation."""
+"""Schedule data structures: timed operations with validation.
+
+The schedule atom is the typed :class:`~repro.ir.timed.TimedInstruction`
+(``TimedOperation`` remains as a compatibility alias): every placed node
+carries a stable integer ``node_id`` assigned in insertion order, which
+is what the wire format (:mod:`repro.ir.serialize`) references instead
+of process-local ``id()`` values.
+
+Per-qubit queries (:meth:`Schedule.qubit_timeline`, overlap validation,
+:meth:`Schedule.busy_time`) share one lazily built per-qubit index
+instead of rescanning the full operation list per qubit; the index is
+invalidated on :meth:`Schedule.add` and rebuilt on the next query.
+"""
 
 from __future__ import annotations
 
-import dataclasses
 from collections import defaultdict
 
 from repro.errors import SchedulingError
+from repro.ir.timed import (
+    DEPENDENCE_EPSILON_NS,
+    OVERLAP_EPSILON_NS,
+    TimedInstruction,
+)
 
+#: Compatibility alias for the pre-typed-IR name.
+TimedOperation = TimedInstruction
 
-@dataclasses.dataclass(frozen=True)
-class TimedOperation:
-    """A node placed on the time axis."""
-
-    node: object
-    start: float
-    duration: float
-
-    @property
-    def end(self) -> float:
-        return self.start + self.duration
-
-    def overlaps(self, other: TimedOperation) -> bool:
-        """True when the two operations' time windows intersect."""
-        return self.start < other.end - 1e-12 and other.start < self.end - 1e-12
+__all__ = [
+    "DEPENDENCE_EPSILON_NS",
+    "OVERLAP_EPSILON_NS",
+    "Schedule",
+    "TimedInstruction",
+    "TimedOperation",
+]
 
 
 class Schedule:
@@ -30,16 +40,24 @@ class Schedule:
 
     def __init__(self, num_qubits: int) -> None:
         self.num_qubits = int(num_qubits)
-        self.operations: list[TimedOperation] = []
+        self.operations: list[TimedInstruction] = []
+        self._per_qubit: dict[int, list[TimedInstruction]] | None = None
 
-    def add(self, node, start: float, duration: float) -> TimedOperation:
-        """Place a node; durations must be non-negative."""
+    def add(self, node, start: float, duration: float) -> TimedInstruction:
+        """Place a node; durations must be non-negative.
+
+        The operation's ``node_id`` is its insertion index — stable for
+        the schedule's lifetime and across serialization round trips.
+        """
         if start < 0 or duration < 0:
             raise SchedulingError(
                 f"negative time placing {node}: start={start}, duration={duration}"
             )
-        operation = TimedOperation(node, float(start), float(duration))
+        operation = TimedInstruction(
+            node, float(start), float(duration), node_id=len(self.operations)
+        )
         self.operations.append(operation)
+        self._per_qubit = None
         return operation
 
     @property
@@ -53,17 +71,33 @@ class Schedule:
     def __iter__(self):
         return iter(self.operations)
 
-    def qubit_timeline(self, qubit: int) -> list[TimedOperation]:
+    def _qubit_index(self) -> dict[int, list[TimedInstruction]]:
+        """Operations per qubit, each list sorted by start time.
+
+        Built once and reused by every per-qubit query until the next
+        :meth:`add` invalidates it — the structure ``validate`` needs is
+        exactly the one ``qubit_timeline`` and ``busy_time`` need.
+        """
+        if self._per_qubit is None:
+            per_qubit: dict[int, list[TimedInstruction]] = defaultdict(list)
+            for operation in self.operations:
+                for q in operation.node.qubits:
+                    per_qubit[q].append(operation)
+            for timeline in per_qubit.values():
+                timeline.sort(key=lambda op: (op.start, op.node_id))
+            self._per_qubit = dict(per_qubit)
+        return self._per_qubit
+
+    def qubit_timeline(self, qubit: int) -> list[TimedInstruction]:
         """Operations touching ``qubit``, sorted by start time."""
-        timeline = [
-            op for op in self.operations if qubit in op.node.qubits
-        ]
-        return sorted(timeline, key=lambda op: op.start)
+        return list(self._qubit_index().get(qubit, ()))
 
     def busy_time(self) -> float:
         """Total qubit-time occupied by operations."""
         return sum(
-            op.duration * len(op.node.qubits) for op in self.operations
+            op.duration
+            for timeline in self._qubit_index().values()
+            for op in timeline
         )
 
     def utilization(self) -> float:
@@ -77,14 +111,13 @@ class Schedule:
         """Check physical consistency; raises SchedulingError on violation.
 
         Verifies that no two operations overlap on a qubit and — when a
-        DAG is given — that every chain dependence is respected.
+        DAG is given — that every chain dependence is respected.  The
+        overlap check uses :data:`~repro.ir.timed.OVERLAP_EPSILON_NS`,
+        the dependence check the looser
+        :data:`~repro.ir.timed.DEPENDENCE_EPSILON_NS` (see their docs
+        for why the two tolerances differ).
         """
-        per_qubit: dict[int, list[TimedOperation]] = defaultdict(list)
-        for operation in self.operations:
-            for q in operation.node.qubits:
-                per_qubit[q].append(operation)
-        for qubit, timeline in per_qubit.items():
-            timeline.sort(key=lambda op: op.start)
+        for qubit, timeline in self._qubit_index().items():
             for first, second in zip(timeline, timeline[1:]):
                 if first.overlaps(second):
                     raise SchedulingError(
@@ -92,16 +125,23 @@ class Schedule:
                         f"{first.node} and {second.node}"
                     )
         if dag is not None:
-            finish = {id(op.node): op.end for op in self.operations}
-            start = {id(op.node): op.start for op in self.operations}
+            # Nodes hash by identity (gates and instructions never
+            # define value equality), so keying by the node itself is
+            # the sound replacement for the old id() maps — and it
+            # cannot be confused by id() reuse after garbage collection.
+            finish = {op.node: op.end for op in self.operations}
+            start = {op.node: op.start for op in self.operations}
             for operation in self.operations:
                 for predecessor in dag.predecessors(operation.node):
-                    if id(predecessor) not in finish:
+                    if predecessor not in finish:
                         raise SchedulingError(
                             f"{operation.node} scheduled without its "
                             f"predecessor {predecessor}"
                         )
-                    if finish[id(predecessor)] > start[id(operation.node)] + 1e-9:
+                    if (
+                        finish[predecessor]
+                        > start[operation.node] + DEPENDENCE_EPSILON_NS
+                    ):
                         raise SchedulingError(
                             f"{operation.node} starts before predecessor "
                             f"{predecessor} finishes"
@@ -109,6 +149,20 @@ class Schedule:
 
     def ordered_nodes(self) -> list:
         """Nodes sorted by (start time, insertion order)."""
-        indexed = list(enumerate(self.operations))
-        indexed.sort(key=lambda pair: (pair[1].start, pair[0]))
-        return [operation.node for _, operation in indexed]
+        ordered = sorted(
+            self.operations, key=lambda op: (op.start, op.node_id)
+        )
+        return [operation.node for operation in ordered]
+
+    def to_dict(self) -> dict:
+        """Versioned wire form (see :mod:`repro.ir.serialize`)."""
+        from repro.ir.serialize import schedule_to_dict
+
+        return schedule_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> Schedule:
+        """Rebuild a schedule from its wire form."""
+        from repro.ir.serialize import schedule_from_dict
+
+        return schedule_from_dict(payload)

@@ -152,6 +152,7 @@ def differential_compile(
     seed: int = 20190413,
     cache: PulseCache | None = None,
     fail_fast: bool = False,
+    executor: str = "serial",
 ) -> DifferentialReport:
     """Compile one circuit under every strategy x device and verify all.
 
@@ -166,11 +167,22 @@ def differential_compile(
         cache: Shared pulse cache; one is created (and shared across
             every cell of this sweep) when omitted.
         fail_fast: Stop at the first failing cell.
+        executor: ``"serial"`` compiles every cell in this process;
+            ``"process"`` fans the cells across a
+            ``BatchCompiler(executor="process")`` — each cell's job and
+            result cross the process boundary as :mod:`repro.ir` wire
+            payloads, so the differential sweep doubles as an end-to-end
+            round-trip check.  A cell that raises in batch mode is
+            re-attributed by rerunning the circuit serially.
 
     Returns:
         A :class:`DifferentialReport`; ``report.ok`` iff every cell
         compiled and verified.
     """
+    if executor not in ("serial", "process"):
+        raise BenchmarkError(
+            f"executor must be 'serial' or 'process', got {executor!r}"
+        )
     if strategies is None:
         strategies = registered_strategies()
     strategies = [
@@ -195,6 +207,28 @@ def differential_compile(
                 f"{circuit.name!r}"
             )
         resolved.append((device.name or repr(device), device))
+
+    if executor == "process":
+        if method == "propagator":
+            raise BenchmarkError(
+                "the propagator method needs an in-process oracle; "
+                "use executor='serial'"
+            )
+        report = _differential_via_processes(
+            circuit,
+            strategies,
+            resolved,
+            method=method,
+            states=states,
+            atol=atol,
+            seed=seed,
+            cache=cache,
+            fail_fast=fail_fast,
+        )
+        if report is not None:
+            return report
+        # A cell raised inside the batch (which aborts the whole batch);
+        # fall through to the serial sweep so the error lands on its cell.
 
     outcomes: list[CompileOutcome] = []
     for device_key, device in resolved:
@@ -226,6 +260,64 @@ def differential_compile(
             outcomes.append(outcome)
             if fail_fast and not outcome.ok:
                 return DifferentialReport(circuit.name, outcomes)
+    return DifferentialReport(circuit.name, outcomes)
+
+
+def _differential_via_processes(
+    circuit: Circuit,
+    strategies: Sequence[Strategy | str],
+    resolved: Sequence[tuple[str, Device]],
+    *,
+    method: str,
+    states: int,
+    atol: float | None,
+    seed: int,
+    cache: PulseCache,
+    fail_fast: bool,
+) -> DifferentialReport | None:
+    """One circuit's cells through the process-backed batch engine.
+
+    Returns None when any cell raised: batch mode aborts on the first
+    job error without telling us which cells would have succeeded, so
+    the caller reruns serially for per-cell attribution.
+    """
+    from repro.compiler.batch import BatchCompiler, BatchJob
+
+    cells = [
+        (strategy, device_key, device)
+        for device_key, device in resolved
+        for strategy in strategies
+    ]
+    jobs = [
+        BatchJob(circuit=circuit, strategy=strategy, device=device)
+        for strategy, _, device in cells
+    ]
+    engine = BatchCompiler(cache=cache, executor="process")
+    try:
+        report = engine.compile_batch(jobs)
+    except ReproError:
+        return None
+    outcomes: list[CompileOutcome] = []
+    for (strategy, device_key, _), result in zip(cells, report.results):
+        strategy_key = (
+            strategy.key if isinstance(strategy, Strategy) else strategy
+        )
+        outcome = CompileOutcome(
+            strategy_key=strategy_key, device_key=device_key
+        )
+        outcome.latency_ns = result.latency_ns
+        # The result crossed the process boundary; verifying it against
+        # the *local* source circuit checks compilation and round trip.
+        # A raising verifier is a per-cell failure, same as serially.
+        try:
+            outcome.report = result.verify_equivalence(
+                circuit, method=method, states=states, atol=atol, seed=seed
+            )
+        except ReproError as error:
+            outcome.error = f"{type(error).__name__}: {error}"
+        outcomes.append(outcome)
+        if fail_fast and not outcome.ok:
+            break
     return DifferentialReport(circuit.name, outcomes)
 
 

@@ -40,7 +40,7 @@ from repro.testing.differential import (
     minimize_circuit,
 )
 from repro.testing.generators import CIRCUIT_FAMILIES, random_circuit
-from repro.testing.strategies import SIZEABLE_DEVICE_FAMILIES, preset_key_for
+from repro.testing.strategies import SIZEABLE_DEVICE_FAMILIES
 
 _DEFAULT_SEED = 20190413
 
@@ -121,6 +121,7 @@ def run_fuzz(
     minimize: bool = True,
     fail_fast: bool = False,
     on_progress=None,
+    executor: str = "serial",
 ) -> FuzzReport:
     """Differentially fuzz the compiler with seeded random circuits.
 
@@ -141,6 +142,11 @@ def run_fuzz(
         minimize: Shrink each failing circuit to a minimal reproducer.
         fail_fast: Stop at the first failing circuit.
         on_progress: Optional callback ``(index, circuit, report)``.
+        executor: ``"serial"`` (default) or ``"process"`` — the latter
+            routes every compilation through the batch engine's
+            process-executor path, so each job and result crosses the
+            process boundary as a :mod:`repro.ir` wire payload and the
+            fuzz session also exercises serialization end to end.
 
     Returns:
         A :class:`FuzzReport` (truthy iff no failures).
@@ -178,6 +184,7 @@ def run_fuzz(
             method=method,
             states=states,
             cache=cache,
+            executor=executor,
         )
         checked += 1
         compilations += len(report.outcomes)
@@ -322,6 +329,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         choices=("auto", "statevector", "unitary"),
     )
     parser.add_argument(
+        "--executor", default="serial", choices=("serial", "process"),
+        help="compile cells in-process, or through the batch engine's "
+        "process workers (also exercises the repro.ir wire format)",
+    )
+    parser.add_argument(
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget; stops generating new circuits past it",
     )
@@ -354,6 +366,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         minimize=not args.no_minimize,
         fail_fast=args.fail_fast,
         on_progress=on_progress,
+        executor=args.executor,
     )
     print(report.summary())
     for failure in report.failures:

@@ -417,26 +417,27 @@ class _PulseRealizer:
         self.ocu = ocu
         self.propagated = 0
         self.fallbacks = 0
-        self._memo: dict[int, np.ndarray | None] = {}
+        # Keyed by the node itself (nodes hash by identity, and the dict
+        # keeps them alive), not by reusable id() integers.
+        self._memo: dict[object, np.ndarray | None] = {}
 
     def __call__(self, node) -> np.ndarray | None:
         from repro.aggregation.instruction import AggregatedInstruction
 
         if not isinstance(node, AggregatedInstruction):
             return None
-        cached = self._memo.get(id(node))
-        if cached is not None or id(node) in self._memo:
-            return cached
+        if node in self._memo:
+            return self._memo[node]
         support = support_of(node)
         if len(support) > self.ocu.grape_qubit_limit:
             self.fallbacks += 1
-            self._memo[id(node)] = None
+            self._memo[node] = None
             return None
         grape = self.ocu.synthesize_pulse(node)
         _, hamiltonian = self.ocu._local_problem(support, gates_of(node))
         realized = propagate_pulse(grape.pulse, hamiltonian)
         self.propagated += 1
-        self._memo[id(node)] = realized
+        self._memo[node] = realized
         return realized
 
 

@@ -124,6 +124,60 @@ class TestDifferentialCompile:
         assert not report.ok
         assert len(report.outcomes) == 1
 
+    def test_unknown_executor_rejected(self):
+        circuit = random_circuit(2, 4, 8, "soup")
+        with pytest.raises(BenchmarkError, match="executor"):
+            differential_compile(circuit, executor="fiber")
+
+
+class TestDifferentialProcessExecutor:
+    def test_process_cells_match_serial_cells(self):
+        circuit = random_circuit(3, 10, 9, "soup")
+        serial = differential_compile(
+            circuit,
+            strategies=["isa", "cls+aggregation"],
+            devices=["line-3", "ring-4"],
+            states=4,
+        )
+        process = differential_compile(
+            circuit,
+            strategies=["isa", "cls+aggregation"],
+            devices=["line-3", "ring-4"],
+            states=4,
+            executor="process",
+        )
+        assert process.ok, process.summary()
+        serial_cells = {
+            (o.strategy_key, o.device_key): o.latency_ns
+            for o in serial.outcomes
+        }
+        process_cells = {
+            (o.strategy_key, o.device_key): o.latency_ns
+            for o in process.outcomes
+        }
+        assert serial_cells == process_cells
+
+    def test_broken_strategy_still_attributed_under_processes(
+        self, broken_strategy
+    ):
+        circuit = random_circuit(4, 16, 5, "soup")
+        report = differential_compile(
+            circuit,
+            strategies=["isa", "broken-swap"],
+            devices=["line-4"],
+            states=4,
+            executor="process",
+        )
+        assert not report.ok
+        assert {o.strategy_key for o in report.failures} == {"broken-swap"}
+
+    def test_propagator_method_needs_serial(self):
+        circuit = random_circuit(2, 4, 10, "soup")
+        with pytest.raises(BenchmarkError, match="propagator"):
+            differential_compile(
+                circuit, method="propagator", executor="process"
+            )
+
 
 class TestMinimizeCircuit:
     def test_minimizes_to_a_still_failing_core(self, broken_strategy):
