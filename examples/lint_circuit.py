@@ -1,0 +1,79 @@
+"""Lint circuits and saved artifacts with the static analysis rules.
+
+Walks the three entry points of :mod:`repro.analysis` without ever
+invoking optimal control:
+
+1. lint a circuit straight from the IR (``analyze_circuit``),
+2. statically analyze a pass pipeline and watch a misordered one get
+   rejected *before* any compilation (``analyze_pipeline``),
+3. compile once under ``verify_ir=True``, save the result, and re-lint
+   the artifact from disk (``lint_path``) — the workflow for checking
+   results produced elsewhere.
+
+Exits nonzero when any clean input fails to lint or the misordered
+pipeline is not rejected, so CI can run it as a smoke check.
+
+Run:  python examples/lint_circuit.py
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import Circuit, compile_circuit
+from repro.analysis import analyze_circuit, analyze_pipeline, analyze_result
+from repro.analysis.lint import lint_path
+from repro.compiler.passes import (
+    AggregatePass,
+    FinalSchedulePass,
+    LowerPass,
+    PlaceAndRoutePass,
+)
+
+
+def main() -> int:
+    circuit = (
+        Circuit(3, name="lint-demo")
+        .h(0)
+        .cnot(0, 1)
+        .rz(0.7, 1)
+        .cnot(1, 2)
+        .rzz(0.3, 0, 2)
+    )
+
+    # 1. Lint the circuit IR directly.
+    report = analyze_circuit(circuit)
+    print(f"circuit: {report.summary()}")
+    if not report:
+        return 1
+
+    # 2. Static pipeline analysis: aggregation before routing requires
+    #    'physical_nodes' before anything produces it — rejected with
+    #    no compilation at all.
+    bad = analyze_pipeline(
+        [LowerPass(), AggregatePass(), PlaceAndRoutePass(), FinalSchedulePass()]
+    )
+    print(f"misordered pipeline: {bad.summary()}")
+    if bad.ok or "REP201" not in bad.fired_rule_ids():
+        return 1
+
+    # 3. Compile under the between-pass verifier, save, re-lint the
+    #    artifact from disk (exactly what `python -m repro.analysis
+    #    result.json` does).
+    result = compile_circuit(circuit, "cls+aggregation", verify_ir=True)
+    with tempfile.TemporaryDirectory() as scratch:
+        path = os.path.join(scratch, "result.json")
+        result.save(path)
+        saved = lint_path(path)
+        print(f"artifact: {saved.summary()}")
+        if not saved:
+            return 1
+
+    # The post-hoc analysis agrees with the between-pass verifier.
+    final = analyze_result(result)
+    print(f"result: {final.summary()}")
+    return 0 if final else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

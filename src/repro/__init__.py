@@ -18,6 +18,18 @@ Quick example::
     print(optimized.speedup_over(baseline))
 """
 
+from repro.analysis import (
+    AnalysisReport,
+    PipelineVerifier,
+    Severity,
+    VerifierPass,
+    Violation,
+    analyze_circuit,
+    analyze_pipeline,
+    analyze_result,
+    check_pipeline,
+    lint_path,
+)
 from repro.circuit.circuit import Circuit
 from repro.compiler.context import CompilationContext
 from repro.compiler.manager import PassManager
@@ -66,6 +78,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AGGREGATION",
+    "AnalysisReport",
     "CLS",
     "CLS_AGGREGATION",
     "CLS_HAND",
@@ -81,18 +94,27 @@ __all__ = [
     "OptimalControlUnit",
     "Pass",
     "PassManager",
+    "PipelineVerifier",
     "ReproError",
+    "Severity",
     "Strategy",
     "TimedInstruction",
     "Topology",
+    "VerifierPass",
     "VerifyEquivalencePass",
+    "Violation",
     "all_strategies",
+    "analyze_circuit",
+    "analyze_pipeline",
+    "analyze_result",
     "available_device_keys",
     "canonical_result_dict",
+    "check_pipeline",
     "compile_circuit",
     "compile_with_pipeline",
     "device_by_key",
     "dumps",
+    "lint_path",
     "loads",
     "paper_device_for",
     "register_device",

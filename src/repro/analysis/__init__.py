@@ -1,0 +1,71 @@
+"""Static analysis over compiler IR: rules, verifiers, contracts.
+
+Two halves:
+
+* **IR verifier** — declarative rules with stable IDs (``REP1xx``) over
+  every artifact kind (circuits, dependence graphs, routed nodes,
+  aggregation blocks, schedules, results), runnable standalone
+  (:func:`analyze_result` and friends, or ``python -m repro.analysis``)
+  and between compiler passes (``verify_ir=True`` /
+  :class:`VerifierPass`), where before/after snapshots additionally
+  catch illegal reorders and dropped gates (``REP133``/``REP134`` — the
+  PR 4 splice-merge bug class).
+* **Pipeline contract analyzer** — ``REP2xx`` rules over
+  ``Pass.requires``/``Pass.produces`` declarations:
+  :func:`analyze_pipeline` statically rejects misordered pass lists
+  with no compilation, and runs automatically at strategy-registration
+  time.
+
+Analysis never mutates its subject and never invokes optimal control.
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    rule_by_id,
+    rules_for,
+)
+from repro.analysis.contracts import (
+    analyze_pipeline,
+    check_pipeline,
+    producers_of,
+)
+from repro.analysis.verify import (
+    analyze_aggregation,
+    analyze_circuit,
+    analyze_context,
+    analyze_dag,
+    analyze_nodes,
+    analyze_result,
+    analyze_routing,
+    analyze_schedule,
+)
+from repro.analysis.verifier import PipelineVerifier, VerifierPass
+from repro.analysis.lint import lint_path
+
+__all__ = [
+    "AnalysisReport",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "rule_by_id",
+    "rules_for",
+    "analyze_pipeline",
+    "check_pipeline",
+    "producers_of",
+    "analyze_aggregation",
+    "analyze_circuit",
+    "analyze_context",
+    "analyze_dag",
+    "analyze_nodes",
+    "analyze_result",
+    "analyze_routing",
+    "analyze_schedule",
+    "PipelineVerifier",
+    "VerifierPass",
+    "lint_path",
+]

@@ -1,0 +1,173 @@
+"""``python -m repro.analysis`` — lint artifacts and check pipelines.
+
+Examples::
+
+    # Lint saved repro-ir-v1 artifacts and QASM files (no compilation)
+    python -m repro.analysis result.json circuit.qasm
+
+    # Statically analyze every registered strategy's pipeline
+    python -m repro.analysis --pipelines
+
+    # Print the rule table (the IDs the README documents)
+    python -m repro.analysis --rules
+
+Exit status: 0 when every report is clean of ERROR-severity violations,
+1 when any rule fired an ERROR, 2 when an input could not be analyzed
+at all (unreadable file, unknown artifact kind, unknown strategy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.core import Severity, all_rules
+from repro.analysis.lint import lint_path
+from repro.errors import AnalysisError, ReproError
+
+
+def _print_report(report, verbose: bool) -> None:
+    if report.violations or verbose:
+        print(report.summary())
+    else:
+        print(f"{report.subject}: clean")
+
+
+def _lint_files(paths, width_limit, verbose: bool) -> tuple[int, int]:
+    failures = 0
+    hard_errors = 0
+    for path in paths:
+        try:
+            report = lint_path(path, width_limit=width_limit)
+        except AnalysisError as error:
+            print(f"{path}: analysis failed: {error}", file=sys.stderr)
+            hard_errors += 1
+            continue
+        _print_report(report, verbose)
+        if not report.ok:
+            failures += 1
+    return failures, hard_errors
+
+
+def _analyze_pipelines(keys, verbose: bool) -> tuple[int, int]:
+    from repro.analysis.contracts import analyze_pipeline
+    from repro.compiler.strategies import (
+        registered_strategies,
+        strategy_by_key,
+    )
+
+    failures = 0
+    hard_errors = 0
+    if keys:
+        try:
+            strategies = [strategy_by_key(key) for key in keys]
+        except ReproError as error:
+            print(f"pipeline analysis failed: {error}", file=sys.stderr)
+            return 0, 1
+    else:
+        strategies = registered_strategies()
+    for strategy in strategies:
+        try:
+            pipeline = strategy.pipeline()
+        except ReproError as error:
+            print(
+                f"strategy {strategy.key!r}: pipeline resolution failed: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            hard_errors += 1
+            continue
+        report = analyze_pipeline(pipeline, strategy_key=strategy.key)
+        names = " -> ".join(pass_.name for pass_ in pipeline)
+        if verbose:
+            print(f"{strategy.key}: {names}")
+        _print_report(report, verbose)
+        if not report.ok:
+            failures += 1
+    return failures, hard_errors
+
+
+def _print_rule_table() -> None:
+    width = max(len(rule.rule_id) for rule in all_rules())
+    for rule in all_rules():
+        severity = (
+            "" if rule.severity == Severity.ERROR else f" [{rule.severity}]"
+        )
+        print(f"{rule.rule_id:<{width}}  {rule.kind:<12} {rule.title}{severity}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Lint circuits, repro-ir-v1 artifacts and QASM files, and "
+            "statically analyze pass pipelines — without compiling."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=".json artifacts and .qasm files to lint",
+    )
+    parser.add_argument(
+        "--pipelines",
+        action="store_true",
+        help="statically analyze every registered strategy's pipeline",
+    )
+    parser.add_argument(
+        "--strategy",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="with --pipelines: analyze only this strategy (repeatable)",
+    )
+    parser.add_argument(
+        "--width-limit",
+        type=int,
+        default=None,
+        help=(
+            "aggregation width limit for result artifacts (enables "
+            "REP131; the limit is not stored on the wire)"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule-ID table and exit",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print full reports even when clean",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_rule_table()
+        return 0
+    if not args.paths and not args.pipelines:
+        parser.error("nothing to do: give artifact paths, --pipelines, or --rules")
+
+    failures = 0
+    hard_errors = 0
+    if args.paths:
+        file_failures, file_errors = _lint_files(
+            args.paths, args.width_limit, args.verbose
+        )
+        failures += file_failures
+        hard_errors += file_errors
+    if args.pipelines:
+        pipe_failures, pipe_errors = _analyze_pipelines(
+            args.strategy, args.verbose
+        )
+        failures += pipe_failures
+        hard_errors += pipe_errors
+
+    if hard_errors:
+        return 2
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Static pipeline-contract analysis.
+
+Every :class:`~repro.compiler.passes.Pass` declares which context fields
+it ``requires`` and which it ``produces`` (class attributes, so the
+declaration is data, not behaviour).  This module is the *single source
+of truth* for interpreting those declarations: the static analyzer
+(:func:`analyze_pipeline`, run at strategy-registration time), and the
+runtime :meth:`~repro.compiler.context.CompilationContext.require`
+message both derive from the same metadata.
+
+The analysis is conservative about fields a caller *may* supply up
+front: ``device``/``topology`` can arrive pre-resolved on the context,
+but the built-in contract treats them as products of
+``PlaceAndRoutePass`` so a pipeline is only accepted when it is correct
+for *every* caller.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import AnalysisReport, run_rules
+from repro.errors import PassOrderingError
+
+INITIAL_FIELDS = frozenset(
+    {
+        "circuit",
+        "device_config",
+        "compiler_config",
+        "ocu",
+        "checker",
+        "width_limit",
+        "strategy_key",
+        "pulse_backend",
+    }
+)
+"""Context fields every :meth:`CompilationContext.create` call fills."""
+
+RESULT_FIELDS = frozenset({"schedule", "routing", "topology"})
+"""Fields :meth:`CompilationContext.result` requires of a finished run."""
+
+
+def contract_of(pass_) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The (requires, produces) declaration of a pass instance."""
+    return (
+        tuple(getattr(pass_, "requires", ())),
+        tuple(getattr(pass_, "produces", ())),
+    )
+
+
+def _pass_classes() -> list[type]:
+    from repro.compiler.passes import Pass
+
+    classes: list[type] = []
+    frontier: list[type] = [Pass]
+    while frontier:
+        current = frontier.pop()
+        for subclass in current.__subclasses__():
+            classes.append(subclass)
+            frontier.append(subclass)
+    return classes
+
+
+def producers_of(field: str) -> tuple[str, ...]:
+    """Names of the known pass classes whose contract produces ``field``.
+
+    Scans every imported :class:`Pass` subclass, so user passes that
+    declare ``produces`` are found too.
+    """
+    names = {
+        cls.__name__
+        for cls in _pass_classes()
+        if field in getattr(cls, "produces", ())
+    }
+    return tuple(sorted(names))
+
+
+def missing_field_hint(field: str) -> str:
+    """Human hint naming what produces a missing context field."""
+    producers = producers_of(field)
+    if producers:
+        return f"produced by {', '.join(producers)}"
+    if field in INITIAL_FIELDS:
+        return "an initial context field"
+    return "produced by no known pass"
+
+
+def analyze_pipeline(
+    passes,
+    *,
+    strategy_key: str = "pipeline",
+    require_result: bool = True,
+) -> AnalysisReport:
+    """Statically check a pass list's ordering and completeness.
+
+    Walks the pipeline front to back tracking which context fields are
+    available, without constructing a context or compiling anything.
+    ``require_result=False`` accepts partial pipelines (e.g. an
+    analysis-only prefix) that never produce a schedule.
+    """
+    import repro.analysis.packs.pipeline  # noqa: F401  (registers rules)
+
+    return run_rules(
+        "pipeline",
+        list(passes),
+        f"pipeline[{strategy_key}]",
+        {"strategy_key": strategy_key, "require_result": require_result},
+    )
+
+
+def check_pipeline(
+    passes,
+    *,
+    strategy_key: str = "pipeline",
+    require_result: bool = True,
+) -> None:
+    """Raise :class:`PassOrderingError` when a pipeline is misordered."""
+    report = analyze_pipeline(
+        passes, strategy_key=strategy_key, require_result=require_result
+    )
+    if report.errors:
+        details = "; ".join(v.describe() for v in report.errors)
+        raise PassOrderingError(
+            f"pipeline for strategy {strategy_key!r} fails static contract "
+            f"analysis: {details}"
+        )

@@ -1,0 +1,248 @@
+"""The rule framework: severities, violations, reports, and the registry.
+
+A :class:`Rule` is a named, stable-ID'd invariant over one artifact kind
+(``"circuit"``, ``"dag"``, ``"routing"``, ``"aggregation"``,
+``"schedule"``, ``"result"``, ``"pipeline"``, or the between-pass
+``"transition"`` kind).  Rules are declarative data: the concrete packs
+(:mod:`repro.analysis.packs`) register them at import time with the
+:func:`rule` decorator, and the analyzers (:mod:`repro.analysis.verify`)
+run every registered rule of a kind over a subject and collect the
+:class:`Violation` findings into an :class:`AnalysisReport`.
+
+Rule IDs are part of the public contract: ``REP1xx`` are artifact
+invariants, ``REP2xx`` pipeline contracts.  An ID is never reused for a
+different invariant (retired IDs stay retired), so reports, CI logs and
+suppressions stay meaningful across versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.errors import AnalysisError
+
+
+class Severity(enum.IntEnum):
+    """How bad a violation is; ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    """Observation only; never fails a lint run."""
+    WARNING = 20
+    """Suspicious but not provably wrong (e.g. an unverifiable reorder)."""
+    ERROR = 30
+    """A broken invariant: the artifact is corrupt or semantics-unsafe."""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule firing at one location.
+
+    Attributes:
+        rule_id: Stable identifier of the fired rule (``"REP101"``).
+        severity: The rule's severity (rules fire at their declared
+            severity unless they explicitly downgrade, e.g. when a
+            matrix is too wide to check exactly).
+        message: Human-readable description of what is wrong, naming
+            the offending object.
+        location: Where in the artifact (a qubit, a node repr, a
+            pipeline position) the violation sits; free-form text.
+        subject_kind: Artifact kind the rule ran over.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: str = ""
+    subject_kind: str = ""
+
+    def describe(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.rule_id} {self.severity}{where}: {self.message}"
+
+
+@dataclasses.dataclass
+class AnalysisReport:
+    """Every violation one analysis run produced.
+
+    Truthiness is "no ERROR violations": warnings and infos do not fail
+    a report, mirroring how the lint CLI exits.
+    """
+
+    subject: str
+    violations: list[Violation] = dataclasses.field(default_factory=list)
+    checked_rules: tuple[str, ...] = ()
+    """IDs of every rule that ran (fired or not), for coverage reports."""
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity violation fired."""
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self.violations)
+
+    def fired_rule_ids(self) -> tuple[str, ...]:
+        """Sorted unique IDs of the rules that fired."""
+        return tuple(sorted({v.rule_id for v in self.violations}))
+
+    def by_rule(self, rule_id: str) -> list[Violation]:
+        """Violations of one rule."""
+        return [v for v in self.violations if v.rule_id == rule_id]
+
+    def extend(self, other: AnalysisReport) -> AnalysisReport:
+        """Fold another report's findings into this one (chainable)."""
+        self.violations.extend(other.violations)
+        merged = dict.fromkeys(self.checked_rules)
+        merged.update(dict.fromkeys(other.checked_rules))
+        self.checked_rules = tuple(merged)
+        return self
+
+    def summary(self) -> str:
+        if not self.violations:
+            return f"{self.subject}: clean ({len(self.checked_rules)} rules)"
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        lines = [f"{self.subject}: {counts}"]
+        lines.extend(f"  {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+#: Signature of a rule body: ``(subject, options) -> iterable of
+#: violations``.  ``options`` is a plain dict of analyzer-supplied
+#: context (width limits, devices, commutation checkers, snapshots).
+RuleCheck = Callable[[object, dict], Iterable[Violation]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One registered invariant.
+
+    Attributes:
+        rule_id: Stable identifier, unique across the registry.
+        kind: Artifact kind the rule applies to.
+        severity: Default severity of this rule's violations.
+        title: One-line summary (the rule-ID table in the README).
+        check: The rule body.
+    """
+
+    rule_id: str
+    kind: str
+    severity: Severity
+    title: str
+    check: RuleCheck
+
+    def violation(self, message: str, location: str = "",
+                  severity: Severity | None = None) -> Violation:
+        """A violation of this rule (helper for rule bodies)."""
+        return Violation(
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            location=location,
+            subject_kind=self.kind,
+        )
+
+    def run(self, subject: object, options: dict) -> list[Violation]:
+        return list(self.check(subject, options))
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule_obj: Rule) -> Rule:
+    """Add a rule to the registry; IDs must be unique."""
+    if rule_obj.rule_id in _RULES:
+        raise AnalysisError(
+            f"rule ID {rule_obj.rule_id!r} is already registered "
+            f"({_RULES[rule_obj.rule_id].title!r})"
+        )
+    _RULES[rule_obj.rule_id] = rule_obj
+    return rule_obj
+
+
+def rule(rule_id: str, kind: str, severity: Severity, title: str):
+    """Decorator registering a function as a rule body.
+
+    The decorated function receives ``(rule, subject, options)`` — the
+    rule object first, so bodies can mint violations via
+    :meth:`Rule.violation` without repeating their own ID::
+
+        @rule("REP101", "circuit", Severity.ERROR, "qubit index in range")
+        def _qubits_in_range(rule, circuit, options):
+            ...
+            yield rule.violation("qubit 7 outside register", "gate 3")
+    """
+
+    def decorate(fn: Callable) -> Rule:
+        def check(subject: object, options: dict) -> Iterable[Violation]:
+            return fn(registered, subject, options)
+
+        registered = Rule(
+            rule_id=rule_id,
+            kind=kind,
+            severity=severity,
+            title=title,
+            check=check,
+        )
+        register_rule(registered)
+        return registered
+
+    return decorate
+
+
+def rules_for(kind: str) -> list[Rule]:
+    """Every registered rule of one artifact kind, in ID order."""
+    return sorted(
+        (r for r in _RULES.values() if r.kind == kind),
+        key=lambda r: r.rule_id,
+    )
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in ID order."""
+    return sorted(_RULES.values(), key=lambda r: r.rule_id)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look a rule up by its stable ID."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule ID {rule_id!r}; known: "
+            f"{', '.join(sorted(_RULES))}"
+        ) from None
+
+
+def run_rules(kind: str, subject: object, subject_label: str,
+              options: dict | None = None) -> AnalysisReport:
+    """Run every rule of ``kind`` over a subject; collect the findings."""
+    options = options or {}
+    selected = rules_for(kind)
+    report = AnalysisReport(
+        subject=subject_label,
+        checked_rules=tuple(r.rule_id for r in selected),
+    )
+    for entry in selected:
+        report.violations.extend(entry.run(subject, options))
+    return report

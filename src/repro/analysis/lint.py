@@ -1,0 +1,102 @@
+"""File-level linting: run the rule packs over saved artifacts.
+
+Accepts the formats the repository produces: ``repro-ir-v1`` JSON
+envelopes (any kind :mod:`repro.ir.serialize` can load) and ``.qasm``
+files in the supported dialect.  Loading never compiles and never
+invokes optimal control — a result artifact lints from its recorded
+schedule alone.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.core import AnalysisReport
+from repro.analysis.verify import (
+    analyze_circuit,
+    analyze_nodes,
+    analyze_result,
+    analyze_schedule,
+)
+from repro.errors import AnalysisError, ReproError
+
+
+def _lint_artifact(text: str, label: str, width_limit: int | None):
+    from repro.aggregation.instruction import AggregatedInstruction
+    from repro.circuit.circuit import Circuit
+    from repro.compiler.result import CompilationResult
+    from repro.gates.gate import Gate
+    from repro.ir.serialize import loads
+    from repro.scheduling.schedule import Schedule
+
+    artifact = loads(text)
+    if isinstance(artifact, CompilationResult):
+        report = analyze_result(artifact, width_limit=width_limit)
+    elif isinstance(artifact, Circuit):
+        report = analyze_circuit(artifact)
+    elif isinstance(artifact, Schedule):
+        report = analyze_schedule(artifact)
+    elif isinstance(artifact, (Gate, AggregatedInstruction)):
+        report = analyze_nodes(
+            [artifact],
+            max(artifact.qubits) + 1,
+            label=type(artifact).__name__.lower(),
+        )
+    else:
+        raise AnalysisError(
+            f"no lint rules for {type(artifact).__name__} artifacts "
+            f"in {label}"
+        )
+    report.subject = f"{label}: {report.subject}"
+    return report
+
+
+def lint_path(path: str, *, width_limit: int | None = None) -> AnalysisReport:
+    """Lint one file; the extension picks the loader.
+
+    Args:
+        path: A ``.json`` ``repro-ir-v1`` artifact or a ``.qasm`` file.
+        width_limit: Enables the aggregation width rule (REP131) for
+            result artifacts; the limit is not recorded on the wire, so
+            it is off unless given.
+
+    Returns:
+        The combined :class:`AnalysisReport` (truthy iff no ERROR).
+
+    Raises:
+        AnalysisError: Unreadable file, unknown extension, malformed
+            payload, or an artifact kind with no lint rules.
+    """
+    extension = os.path.splitext(path)[1].lower()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise AnalysisError(f"cannot read {path!r}: {error}") from error
+
+    if extension == ".qasm":
+        from repro.circuit.qasm import parse_qasm
+
+        try:
+            circuit = parse_qasm(text)
+        except ReproError as error:
+            raise AnalysisError(
+                f"{path!r} is not parseable QASM: {error}"
+            ) from error
+        report = analyze_circuit(circuit)
+        report.subject = f"{path}: {report.subject}"
+        return report
+
+    if extension == ".json":
+        try:
+            return _lint_artifact(text, path, width_limit)
+        except AnalysisError:
+            raise
+        except ReproError as error:
+            raise AnalysisError(
+                f"{path!r} is not a loadable repro-ir-v1 artifact: {error}"
+            ) from error
+
+    raise AnalysisError(
+        f"cannot lint {path!r}: expected a .json artifact or .qasm file"
+    )

@@ -1,0 +1,16 @@
+"""Concrete rule packs.
+
+Importing this package registers every shipped rule with the registry in
+:mod:`repro.analysis.core`; the submodules have no other side effects.
+"""
+
+from repro.analysis.packs import (  # noqa: F401
+    aggregation,
+    circuit,
+    dag,
+    pipeline,
+    result,
+    routing,
+    schedule,
+    transition,
+)

@@ -1,0 +1,72 @@
+"""Aggregation legality rules (REP13x, artifact half).
+
+The ``"aggregation"`` kind runs over a *sequence of nodes*;
+``options["width_limit"]`` bounds instruction width (None disables the
+width rule).  The transition half of the aggregation contract — merged
+nodes respect commutation-group boundaries, the PR 4 bug class — lives
+in :mod:`repro.analysis.packs.transition` because it needs before/after
+snapshots, not a single artifact.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Severity, rule
+from repro.linalg.predicates import is_diagonal as _matrix_is_diagonal
+
+
+def _claimed_diagonal(node) -> bool | None:
+    """The node's *cached* diagonality claim, or None when unclaimed.
+
+    Both :class:`~repro.gates.gate.Gate` (manual ``_is_diagonal``
+    memo) and aggregated instructions (``functools.cached_property``)
+    memoize into ``__dict__``; an absent memo means any later query
+    would recompute honestly, so there is nothing to cross-check.
+    """
+    cache = getattr(node, "__dict__", {})
+    if "is_diagonal" in cache:
+        return bool(cache["is_diagonal"])
+    if "_is_diagonal" in cache:
+        return bool(cache["_is_diagonal"])
+    return None
+
+
+@rule("REP131", "aggregation", Severity.ERROR, "block width within width_limit")
+def _width_within_limit(rule_obj, subject, options):
+    width_limit = options.get("width_limit")
+    if width_limit is None:
+        return
+    for position, node in enumerate(subject):
+        if not hasattr(node, "gates"):
+            continue  # plain gates are not aggregation products
+        width = len(set(node.qubits))
+        if width > width_limit:
+            yield rule_obj.violation(
+                f"{node!r} spans {width} qubits, over the aggregation "
+                f"width limit of {width_limit}",
+                location=f"node {position}",
+            )
+
+
+@rule(
+    "REP132",
+    "aggregation",
+    Severity.ERROR,
+    "claimed-diagonal nodes verifiably diagonal",
+)
+def _diagonal_claims_true(rule_obj, subject, options):
+    for position, node in enumerate(subject):
+        claim = _claimed_diagonal(node)
+        if claim is not True:
+            continue
+        matrix = getattr(node, "matrix", None)
+        if matrix is None:
+            yield rule_obj.violation(
+                f"{node!r} claims diagonality but is too wide to verify",
+                location=f"node {position}",
+                severity=Severity.WARNING,
+            )
+        elif not _matrix_is_diagonal(matrix):
+            yield rule_obj.violation(
+                f"{node!r} claims to be diagonal but its matrix is not",
+                location=f"node {position}",
+            )

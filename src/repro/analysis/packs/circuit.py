@@ -1,0 +1,79 @@
+"""Circuit well-formedness rules (REP10x).
+
+The ``"circuit"`` kind runs over any *sequence of nodes* — plain
+:class:`~repro.gates.gate.Gate` objects or aggregated instructions —
+with ``options["num_qubits"]`` giving the register width.  The public
+entry point :func:`repro.analysis.analyze_circuit` adapts a
+:class:`~repro.circuit.circuit.Circuit` to this shape; the between-pass
+verifier feeds it the evolving node list directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.core import Severity, rule
+from repro.linalg.predicates import is_unitary
+
+#: Widest node whose matrix the unitarity rule checks exactly.  Matches
+#: the aggregation dense-matrix limit: wider instructions report
+#: ``matrix is None`` and are skipped.
+UNITARY_CHECK_QUBIT_LIMIT = 6
+
+
+def _nodes(subject) -> list:
+    return list(subject)
+
+
+@rule("REP101", "circuit", Severity.ERROR, "qubit indices within the register")
+def _qubits_in_range(rule_obj, subject, options):
+    num_qubits = options.get("num_qubits")
+    for position, node in enumerate(_nodes(subject)):
+        qubits = tuple(node.qubits)
+        seen = set()
+        for q in qubits:
+            if q in seen:
+                yield rule_obj.violation(
+                    f"{node!r} names qubit {q} twice",
+                    location=f"node {position}",
+                )
+            seen.add(q)
+            if q < 0 or (num_qubits is not None and q >= num_qubits):
+                yield rule_obj.violation(
+                    f"{node!r} acts on qubit {q}, outside the "
+                    f"{num_qubits}-qubit register",
+                    location=f"node {position}",
+                )
+
+
+@rule("REP102", "circuit", Severity.ERROR, "gate parameters finite")
+def _params_finite(rule_obj, subject, options):
+    for position, node in enumerate(_nodes(subject)):
+        for param in getattr(node, "params", ()):
+            if not math.isfinite(param):
+                yield rule_obj.violation(
+                    f"{node!r} has non-finite parameter {param!r}",
+                    location=f"node {position}",
+                )
+
+
+@rule("REP103", "circuit", Severity.ERROR, "node matrices unitary")
+def _matrices_unitary(rule_obj, subject, options):
+    for position, node in enumerate(_nodes(subject)):
+        if len(set(node.qubits)) > UNITARY_CHECK_QUBIT_LIMIT:
+            continue
+        matrix = getattr(node, "matrix", None)
+        if matrix is None:
+            continue
+        dimension = 2 ** len(set(node.qubits))
+        if matrix.shape != (dimension, dimension):
+            yield rule_obj.violation(
+                f"{node!r} matrix has shape {matrix.shape}, expected "
+                f"({dimension}, {dimension})",
+                location=f"node {position}",
+            )
+        elif not is_unitary(matrix, atol=1e-7):
+            yield rule_obj.violation(
+                f"{node!r} matrix is not unitary",
+                location=f"node {position}",
+            )

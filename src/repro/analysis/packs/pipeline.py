@@ -1,0 +1,78 @@
+"""Pipeline-contract rules (REP20x).
+
+The ``"pipeline"`` kind runs over a *list of pass instances* — no
+context, no compilation.  Options: ``strategy_key`` for messages,
+``require_result`` (default True) demanding the pipeline end in a state
+:meth:`CompilationContext.result` accepts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Severity, rule
+from repro.analysis.contracts import (
+    INITIAL_FIELDS,
+    RESULT_FIELDS,
+    contract_of,
+    missing_field_hint,
+)
+
+
+def _is_pass(entry) -> bool:
+    from repro.compiler.passes import Pass
+
+    return isinstance(entry, Pass)
+
+
+@rule(
+    "REP201",
+    "pipeline",
+    Severity.ERROR,
+    "every pass's requires is produced by an earlier pass",
+)
+def _requirements_met(rule_obj, passes, options):
+    available = set(INITIAL_FIELDS)
+    for index, pass_ in enumerate(passes):
+        if not _is_pass(pass_):
+            continue  # REP203's finding
+        requires, produces = contract_of(pass_)
+        name = getattr(pass_, "name", type(pass_).__name__)
+        for field in requires:
+            if field not in available:
+                yield rule_obj.violation(
+                    f"{name} requires context.{field}, which no earlier "
+                    f"pass produces ({missing_field_hint(field)})",
+                    location=f"position {index}",
+                )
+        available.update(produces)
+
+
+@rule(
+    "REP202",
+    "pipeline",
+    Severity.ERROR,
+    "the pipeline produces a complete compilation result",
+)
+def _result_complete(rule_obj, passes, options):
+    if not options.get("require_result", True):
+        return
+    available = set(INITIAL_FIELDS)
+    for pass_ in passes:
+        if _is_pass(pass_):
+            available.update(contract_of(pass_)[1])
+    missing = sorted(RESULT_FIELDS - available)
+    for field in missing:
+        yield rule_obj.violation(
+            f"no pass produces context.{field} "
+            f"({missing_field_hint(field)}), so "
+            f"CompilationContext.result() cannot run",
+        )
+
+
+@rule("REP203", "pipeline", Severity.ERROR, "pipeline entries are passes")
+def _entries_are_passes(rule_obj, passes, options):
+    for index, entry in enumerate(passes):
+        if not _is_pass(entry):
+            yield rule_obj.violation(
+                f"pipeline entry {entry!r} is not a Pass instance",
+                location=f"position {index}",
+            )

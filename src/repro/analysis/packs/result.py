@@ -1,0 +1,75 @@
+"""Compilation-result consistency rules (REP15x).
+
+The ``"result"`` kind runs over a
+:class:`~repro.compiler.result.CompilationResult`.  These are the
+*cross-field* invariants; the embedded schedule, nodes and mappings are
+additionally checked by the circuit/aggregation/schedule/routing packs,
+which :func:`repro.analysis.analyze_result` composes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.core import Severity, rule
+
+
+@rule(
+    "REP151",
+    "result",
+    Severity.ERROR,
+    "recorded latency matches the schedule makespan",
+)
+def _latency_matches(rule_obj, result, options):
+    makespan = result.schedule.makespan
+    if not math.isclose(
+        result.latency_ns, makespan, rel_tol=1e-9, abs_tol=1e-6
+    ):
+        yield rule_obj.violation(
+            f"latency_ns is {result.latency_ns} but the schedule makespan "
+            f"is {makespan}",
+        )
+
+
+@rule("REP152", "result", Severity.ERROR, "qubit mappings injective and in range")
+def _mappings_sound(rule_obj, result, options):
+    for label, mapping in (
+        ("initial_mapping", result.initial_mapping),
+        ("final_mapping", result.final_mapping),
+    ):
+        if not mapping:
+            continue
+        for logical, physical in mapping.items():
+            if logical < 0 or logical >= result.logical_qubits:
+                yield rule_obj.violation(
+                    f"{label} maps logical qubit {logical}, outside the "
+                    f"{result.logical_qubits}-qubit program",
+                    location=label,
+                )
+            if physical < 0 or physical >= result.physical_qubits:
+                yield rule_obj.violation(
+                    f"{label} sends logical {logical} to physical "
+                    f"{physical}, outside the {result.physical_qubits}-qubit "
+                    f"device",
+                    location=label,
+                )
+        if len(set(mapping.values())) != len(mapping):
+            yield rule_obj.violation(
+                f"{label} sends two logical qubits to the same physical "
+                f"qubit: {mapping}",
+                location=label,
+            )
+
+
+@rule("REP153", "result", Severity.ERROR, "device at least as wide as the program")
+def _device_fits(rule_obj, result, options):
+    if result.physical_qubits < result.logical_qubits:
+        yield rule_obj.violation(
+            f"{result.logical_qubits} logical qubits cannot fit the "
+            f"{result.physical_qubits}-qubit device",
+        )
+    if result.schedule.num_qubits != result.physical_qubits:
+        yield rule_obj.violation(
+            f"schedule register is {result.schedule.num_qubits} qubits "
+            f"but the device has {result.physical_qubits}",
+        )

@@ -1,0 +1,101 @@
+"""Routing legality rules (REP12x).
+
+The ``"routing"`` kind runs over a *sequence of physical nodes* with
+``options["topology"]`` giving the
+:class:`~repro.device.topology.Topology` the nodes were routed for.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Severity, rule
+
+
+def _support(node) -> tuple[int, ...]:
+    return tuple(sorted(set(node.qubits)))
+
+
+def _connected(qubits: tuple[int, ...], topology) -> bool:
+    """True when the qubits induce a connected subgraph of the topology."""
+    if len(qubits) <= 1:
+        return True
+    members = set(qubits)
+    frontier = [qubits[0]]
+    reached = {qubits[0]}
+    while frontier:
+        current = frontier.pop()
+        for neighbor in topology.neighbors(current):
+            if neighbor in members and neighbor not in reached:
+                reached.add(neighbor)
+                frontier.append(neighbor)
+    return reached == members
+
+
+@rule(
+    "REP120",
+    "note",
+    Severity.INFO,
+    "routing legality unchecked (target device unknown)",
+)
+def _routing_unchecked(rule_obj, subject, options):
+    # Meta-rule: never runs through run_rules (kind "note"); the result
+    # analyzer fires it manually when an artifact names no resolvable
+    # device, so the report records that REP12x coverage is missing.
+    return ()
+
+
+@rule(
+    "REP121",
+    "routing",
+    Severity.ERROR,
+    "multi-qubit operations sit on coupled edges",
+)
+def _ops_on_edges(rule_obj, subject, options):
+    topology = options["topology"]
+    for position, node in enumerate(subject):
+        support = _support(node)
+        if len(support) < 2 or getattr(node, "name", "") == "SWAP":
+            continue
+        if any(q < 0 or q >= topology.num_qubits for q in support):
+            continue  # REP123's finding
+        if len(support) == 2:
+            if not topology.are_adjacent(*support):
+                yield rule_obj.violation(
+                    f"{node!r} acts on qubits {support}, which are not "
+                    f"coupled in {topology!r}",
+                    location=f"node {position}",
+                )
+        elif not _connected(support, topology):
+            yield rule_obj.violation(
+                f"{node!r} spans qubits {support}, which are not a "
+                f"connected region of {topology!r}",
+                location=f"node {position}",
+            )
+
+
+@rule("REP122", "routing", Severity.ERROR, "SWAPs respect the topology")
+def _swaps_on_edges(rule_obj, subject, options):
+    topology = options["topology"]
+    for position, node in enumerate(subject):
+        if getattr(node, "name", "") != "SWAP":
+            continue
+        support = _support(node)
+        if any(q < 0 or q >= topology.num_qubits for q in support):
+            continue  # REP123's finding
+        if len(support) == 2 and not topology.are_adjacent(*support):
+            yield rule_obj.violation(
+                f"routing inserted {node!r} on uncoupled qubits {support}",
+                location=f"node {position}",
+            )
+
+
+@rule("REP123", "routing", Severity.ERROR, "qubits within the device")
+def _qubits_on_device(rule_obj, subject, options):
+    topology = options["topology"]
+    for position, node in enumerate(subject):
+        for q in _support(node):
+            if q < 0 or q >= topology.num_qubits:
+                yield rule_obj.violation(
+                    f"{node!r} names physical qubit {q}, but the device "
+                    f"has {topology.num_qubits}",
+                    location=f"node {position}",
+                )

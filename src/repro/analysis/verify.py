@@ -1,0 +1,194 @@
+"""Entry-point analyzers: run the rule packs over concrete artifacts.
+
+Each ``analyze_*`` function adapts one artifact kind to the rule
+registry and returns an :class:`~repro.analysis.core.AnalysisReport`.
+Composite artifacts (compilation results, live contexts) fold several
+packs into one report.  Nothing here compiles, prices or optimizes —
+analysis is read-only and GRAPE-free.
+"""
+
+from __future__ import annotations
+
+import repro.analysis.packs  # noqa: F401  (registers all rules)
+from repro.analysis.core import AnalysisReport, Severity, rule_by_id, run_rules
+from repro.analysis.packs.transition import snapshot_context
+
+
+def analyze_circuit(circuit) -> AnalysisReport:
+    """Lint a :class:`~repro.circuit.circuit.Circuit` (well-formedness)."""
+    return run_rules(
+        "circuit",
+        list(circuit.gates),
+        f"circuit {circuit.name!r}",
+        {"num_qubits": circuit.num_qubits},
+    )
+
+
+def analyze_nodes(nodes, num_qubits: int, label: str = "nodes") -> AnalysisReport:
+    """Lint a bare node list (gates or blocks) against a register width."""
+    return run_rules("circuit", list(nodes), label, {"num_qubits": num_qubits})
+
+
+def analyze_dag(dag, label: str = "dag") -> AnalysisReport:
+    """Check a gate-dependence graph's structural invariants."""
+    return run_rules("dag", dag, label)
+
+
+def analyze_routing(nodes, topology, label: str = "routing") -> AnalysisReport:
+    """Check routed physical nodes against a coupling graph."""
+    return run_rules("routing", list(nodes), label, {"topology": topology})
+
+
+def analyze_aggregation(
+    nodes, width_limit: int | None = None, label: str = "aggregation"
+) -> AnalysisReport:
+    """Check aggregated instructions (width, diagonality claims)."""
+    return run_rules(
+        "aggregation", list(nodes), label, {"width_limit": width_limit}
+    )
+
+
+def analyze_schedule(
+    schedule, *, dag=None, label: str = "schedule"
+) -> AnalysisReport:
+    """Check a schedule's timing invariants.
+
+    ``dag`` supplies dependence structure for REP142; without it only
+    the single-artifact rules (overlap, ids, times, ranges) run.
+    """
+    return run_rules("schedule", schedule, label, {"dag": dag})
+
+
+def analyze_result(
+    result, *, device=None, width_limit: int | None = None
+) -> AnalysisReport:
+    """Lint a full :class:`~repro.compiler.result.CompilationResult`.
+
+    Composes the result, schedule, circuit and aggregation packs over
+    the embedded artifacts.  Routing legality runs when a device is
+    known — pass one explicitly, or let the analyzer resolve the
+    recorded ``device_name`` against the preset registry; otherwise the
+    report carries an INFO note (REP120) that REP12x coverage is
+    missing.  ``width_limit`` enables the aggregation width rule (the
+    limit is not recorded in the artifact, so there is no safe default).
+    """
+    label = f"result {result.circuit_name!r} [{result.strategy_key}]"
+    report = run_rules("result", result, label)
+    report.extend(
+        analyze_schedule(result.schedule, label=f"{label} schedule")
+    )
+    nodes = [operation.node for operation in result.schedule]
+    report.extend(
+        analyze_nodes(
+            nodes, result.schedule.num_qubits, label=f"{label} nodes"
+        )
+    )
+    report.extend(
+        analyze_aggregation(
+            nodes, width_limit=width_limit, label=f"{label} blocks"
+        )
+    )
+
+    topology = None
+    if device is not None:
+        topology = device.topology
+    elif result.device_name is not None:
+        from repro.device.presets import device_by_key
+        from repro.errors import ConfigError
+
+        try:
+            topology = device_by_key(result.device_name).topology
+        except ConfigError:
+            topology = None
+    if topology is not None:
+        report.extend(
+            analyze_routing(nodes, topology, label=f"{label} routing")
+        )
+    else:
+        note = rule_by_id("REP120")
+        report.violations.append(
+            note.violation(
+                f"no resolvable device for "
+                f"{result.device_name!r}: REP12x routing rules skipped",
+                severity=Severity.INFO,
+            )
+        )
+        report.checked_rules = (*report.checked_rules, "REP120")
+    return report
+
+
+def analyze_context(
+    context, *, snapshot_before=None, pass_name: str | None = None
+) -> AnalysisReport:
+    """Check every invariant a live compilation context can support.
+
+    Used by the ``verify_ir`` debug mode after each pass: runs the
+    artifact packs over whatever IR exists so far, plus the transition
+    rules when a pre-pass ``snapshot_before`` is given (gate-preserving
+    passes only — see :mod:`repro.analysis.packs.transition`).
+    """
+    where = f" after {pass_name}" if pass_name else ""
+    label = f"context {context.circuit.name!r}{where}"
+    report = AnalysisReport(subject=label)
+
+    if context.physical_dag is not None:
+        dag = context.physical_dag
+        report.extend(analyze_dag(dag, label=f"{label} physical dag"))
+        nodes = dag.nodes
+        width = dag.num_qubits
+        domain = "physical"
+    elif context.physical_nodes is not None:
+        nodes = context.physical_nodes
+        width = (
+            context.topology.num_qubits
+            if context.topology is not None
+            else context.circuit.num_qubits
+        )
+        domain = "physical"
+    elif context.nodes is not None:
+        nodes = context.nodes
+        width = context.circuit.num_qubits
+        domain = "logical"
+    else:
+        nodes = None
+        width = context.circuit.num_qubits
+        domain = "logical"
+
+    if nodes is not None:
+        report.extend(analyze_nodes(nodes, width, label=f"{label} nodes"))
+        report.extend(
+            analyze_aggregation(
+                nodes,
+                width_limit=context.width_limit,
+                label=f"{label} blocks",
+            )
+        )
+        if domain == "physical" and context.topology is not None:
+            report.extend(
+                analyze_routing(
+                    nodes, context.topology, label=f"{label} routing"
+                )
+            )
+    if context.logical_dag is not None:
+        report.extend(
+            analyze_dag(context.logical_dag, label=f"{label} logical dag")
+        )
+    if context.schedule is not None:
+        report.extend(
+            analyze_schedule(
+                context.schedule,
+                dag=context.physical_dag,
+                label=f"{label} schedule",
+            )
+        )
+    if snapshot_before is not None:
+        after = snapshot_context(context)
+        report.extend(
+            run_rules(
+                "transition",
+                (snapshot_before, after),
+                f"{label} transition",
+                {"checker": context.checker, "pass_name": pass_name or "pass"},
+            )
+        )
+    return report

@@ -211,6 +211,11 @@ class BatchCompiler:
             payload and return serialized results plus a cache delta,
             so the pure-Python pipeline runs GIL-free in parallel; see
             the module docstring for the trade-offs.
+        verify_ir: Debug mode — every job compiles with between-pass IR
+            verification (:mod:`repro.analysis`), raising
+            :class:`~repro.errors.IRVerificationError` on the first pass
+            that breaks an invariant.  Travels to process workers as part
+            of the engine configuration payload.
     """
 
     def __init__(
@@ -225,6 +230,7 @@ class BatchCompiler:
         seed: int = 20190413,
         pass_callbacks: Sequence[PassCallback] = (),
         executor: str = "thread",
+        verify_ir: bool = False,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be at least 1")
@@ -249,6 +255,7 @@ class BatchCompiler:
         self.seed = seed
         self.pass_callbacks = list(pass_callbacks)
         self.executor = executor
+        self.verify_ir = bool(verify_ir)
 
     @classmethod
     def from_ocu(
@@ -412,6 +419,7 @@ class BatchCompiler:
             topology=job.topology,
             width_limit=job.width_limit,
             callbacks=self.pass_callbacks,
+            verify_ir=self.verify_ir,
         )
 
     def _run_job(
@@ -473,6 +481,7 @@ class BatchCompiler:
             "grape_qubit_limit": self.grape_qubit_limit,
             "grape_dt": self.grape_dt,
             "seed": self.seed,
+            "verify_ir": self.verify_ir,
         }
 
     def _job_payload(self, job: BatchJob) -> dict:
@@ -638,6 +647,8 @@ def _compile_job_payload(config: dict, job_payload: dict) -> tuple:
         grape_qubit_limit=config["grape_qubit_limit"],
         grape_dt=config["grape_dt"],
         seed=config["seed"],
+        # .get(): payloads written by older parents predate the flag.
+        verify_ir=config.get("verify_ir", False),
     )
     job = BatchJob(
         circuit=circuit_from_dict(job_payload["circuit"]),

@@ -117,6 +117,10 @@ class CompilationContext:
         default_factory=dict
     )
     """Per-pass structured metrics, keyed by pass name."""
+    current_pass_index: int | None = None
+    """Pipeline position of the pass currently running (set by the
+    :class:`~repro.compiler.manager.PassManager`), so ordering errors
+    can cite where in the pipeline they happened."""
 
     @classmethod
     def create(
@@ -228,10 +232,21 @@ class CompilationContext:
         """
         value = getattr(self, attribute)
         if value is None:
+            # The producer hint comes from the same requires/produces
+            # contract metadata the static analyzer checks, so runtime
+            # and registration-time diagnostics never disagree.
+            from repro.analysis.contracts import missing_field_hint
+
+            position = (
+                f" at pipeline position {self.current_pass_index}"
+                if self.current_pass_index is not None
+                else ""
+            )
             raise PassOrderingError(
-                f"{needed_by} needs context.{attribute}, which no earlier "
-                f"pass produced ({hint}); circuit {self.circuit.name!r}, "
-                f"strategy {self.strategy_key!r}"
+                f"{needed_by}{position} requires context.{attribute}, "
+                f"which no earlier pass produced "
+                f"({missing_field_hint(attribute)}; {hint}); circuit "
+                f"{self.circuit.name!r}, strategy {self.strategy_key!r}"
             )
         return value
 

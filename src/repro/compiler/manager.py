@@ -34,15 +34,22 @@ class PassManager:
         passes: Initial pipeline (any iterable of :class:`Pass`).
         callbacks: Hooks invoked after every successful pass with
             ``(pass_, context, elapsed_seconds)``.
+        verify_ir: Debug mode — snapshot and check IR invariants around
+            every pass (:mod:`repro.analysis`), raising
+            :class:`~repro.errors.IRVerificationError` naming the first
+            pass that broke one.  Costs extra analysis time per pass;
+            off by default.
     """
 
     def __init__(
         self,
         passes: Iterable[Pass] = (),
         callbacks: Sequence[PassCallback] = (),
+        verify_ir: bool = False,
     ) -> None:
         self.passes: list[Pass] = []
         self._callbacks: list[PassCallback] = list(callbacks)
+        self.verify_ir = bool(verify_ir)
         for pass_ in passes:
             self.append(pass_)
 
@@ -74,7 +81,17 @@ class PassManager:
 
     def run(self, context: CompilationContext) -> CompilationContext:
         """Execute every pass in order; returns the same context."""
+        verifier = None
+        if self.verify_ir:
+            # Imported on use: the analysis package pulls in every rule
+            # pack, which the common (non-debug) path never needs.
+            from repro.analysis.verifier import PipelineVerifier
+
+            verifier = PipelineVerifier()
         for index, pass_ in enumerate(self.passes):
+            context.current_pass_index = index
+            if verifier is not None:
+                verifier.before_pass(pass_, index, context)
             started = time.perf_counter()
             try:
                 pass_.run(context)
@@ -128,4 +145,9 @@ class PassManager:
                         circuit_name=context.circuit.name,
                         strategy_key=context.strategy_key,
                     ) from error
+            if verifier is not None:
+                # After the callbacks: the next pass sees the context
+                # exactly as verified, even if a callback mutated it.
+                verifier.after_pass(pass_, index, context)
+        context.current_pass_index = None
         return context

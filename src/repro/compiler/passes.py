@@ -50,9 +50,23 @@ class Pass(abc.ABC):
         stage: ``CompilationResult.stage_seconds`` key this pass's
             wall-clock accrues to, or None to record only under the pass
             name in ``pass_seconds``.
+        requires: Context fields this pass reads; an earlier pass (or
+            context creation) must have produced them.  The static
+            contract analyzer (:mod:`repro.analysis.contracts`) checks
+            this at strategy-registration time, and runtime
+            ``context.require`` errors cite the same metadata.
+        produces: Context fields this pass fills in for later passes.
+        preserves_gates: Declares that the pass rewrites *structure*
+            only — it may reorder or regroup the underlying gate
+            objects but never create, drop or alter them.  The
+            ``verify_ir`` transition rules (REP133/REP134) only run
+            across passes that declare this.
     """
 
     stage: str | None = None
+    requires: tuple[str, ...] = ()
+    produces: tuple[str, ...] = ()
+    preserves_gates: bool = False
 
     @property
     def name(self) -> str:
@@ -71,6 +85,7 @@ class LowerPass(Pass):
     """Decompose every gate to the standard logical set."""
 
     stage = "lowering"
+    produces = ("nodes", "lowered_gate_count")
 
     def run(self, context: CompilationContext) -> None:
         lowered = lower_to_standard_set(context.circuit.gates)
@@ -83,6 +98,9 @@ class DetectDiagonalsPass(Pass):
     """Contract runs of gates forming diagonal 2-qubit blocks."""
 
     stage = "detection"
+    requires = ("nodes",)
+    produces = ("nodes",)
+    preserves_gates = True
 
     def run(self, context: CompilationContext) -> None:
         nodes = context.require("nodes", self.name, "run LowerPass first")
@@ -100,6 +118,9 @@ class LogicalSchedulePass(Pass):
     """Order the logical nodes: CLS reordering or stable program order."""
 
     stage = "logical_scheduling"
+    requires = ("nodes",)
+    produces = ("nodes", "logical_dag")
+    preserves_gates = True
 
     def __init__(self, use_cls: bool = True) -> None:
         self.use_cls = use_cls
@@ -127,6 +148,8 @@ class PlaceAndRoutePass(Pass):
     """
 
     stage = "mapping"
+    requires = ("nodes",)
+    produces = ("device", "topology", "routing", "physical_nodes")
 
     def run(self, context: CompilationContext) -> None:
         nodes = context.require("nodes", self.name, "run LowerPass first")
@@ -148,6 +171,8 @@ class HandOptimizePass(Pass):
     """Rewrite routed nodes with the documented iSWAP pulse identities."""
 
     stage = "backend"
+    requires = ("physical_nodes",)
+    produces = ("physical_nodes",)
 
     def run(self, context: CompilationContext) -> None:
         nodes = context.require(
@@ -172,6 +197,8 @@ class AggregatePass(Pass):
     """
 
     stage = "backend"
+    requires = ("physical_nodes", "topology")
+    preserves_gates = True
 
     def __init__(
         self,
@@ -238,6 +265,9 @@ class FinalSchedulePass(Pass):
     """Produce the final physical schedule (CLS or list scheduling)."""
 
     stage = "final_scheduling"
+    requires = ("physical_nodes", "topology")
+    produces = ("schedule",)
+    preserves_gates = True
 
     def __init__(self, use_cls: bool = True) -> None:
         self.use_cls = use_cls

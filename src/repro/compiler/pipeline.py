@@ -62,6 +62,7 @@ def compile_circuit(
     topology: Topology | None = None,
     width_limit: int | None = None,
     callbacks: Sequence[PassCallback] = (),
+    verify_ir: bool = False,
 ) -> CompilationResult:
     """Compile a circuit under one strategy and report its pulse latency.
 
@@ -84,6 +85,9 @@ def compile_circuit(
             must be at least 1 (a limit of 1 disables merging entirely).
         callbacks: Per-pass hooks, invoked after each pass with
             ``(pass_, context, elapsed_seconds)``.
+        verify_ir: Debug mode — check IR invariants after every pass
+            and raise :class:`~repro.errors.IRVerificationError` naming
+            the first pass that broke one (see :mod:`repro.analysis`).
 
     Returns:
         A :class:`CompilationResult`.
@@ -102,6 +106,7 @@ def compile_circuit(
         topology=topology,
         width_limit=width_limit,
         callbacks=callbacks,
+        verify_ir=verify_ir,
     )
 
 
@@ -117,6 +122,7 @@ def compile_with_pipeline(
     topology: Topology | None = None,
     width_limit: int | None = None,
     callbacks: Sequence[PassCallback] = (),
+    verify_ir: bool = False,
 ) -> CompilationResult:
     """Compile through an explicit pass list (no strategy registration).
 
@@ -144,5 +150,5 @@ def compile_with_pipeline(
         topology=topology,
         width_limit=width_limit,
     )
-    PassManager(passes, callbacks=callbacks).run(context)
+    PassManager(passes, callbacks=callbacks, verify_ir=verify_ir).run(context)
     return context.result()

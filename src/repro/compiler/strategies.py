@@ -172,6 +172,14 @@ def register_strategy(
 
     Returns:
         The registered strategy (so registration can be an assignment).
+
+    Raises:
+        PassOrderingError: When the strategy's resolved pipeline fails
+            static contract analysis (a pass requires a context field no
+            earlier pass produces, or the pipeline cannot produce a
+            complete result).  Checked here — before anything compiles —
+            so a misordered custom pipeline is rejected at registration,
+            not at the first compile.
     """
     if not isinstance(strategy, Strategy):
         raise ConfigError(
@@ -186,11 +194,22 @@ def register_strategy(
             f"strategy {strategy.key!r} is already registered; "
             f"pass overwrite=True to replace it"
         )
+    factory = pipeline_factory or default_pipeline
+    _check_contracts(strategy, factory)
     _REGISTRY[strategy.key] = _RegistryEntry(
         strategy=strategy,
-        pipeline_factory=pipeline_factory or default_pipeline,
+        pipeline_factory=factory,
     )
     return strategy
+
+
+def _check_contracts(strategy: Strategy, factory: PipelineFactory) -> None:
+    """Statically analyze the strategy's resolved pipeline (no compile)."""
+    # Imported on use: repro.analysis pulls in the rule packs, and this
+    # module is on the hot import path of the whole compiler package.
+    from repro.analysis.contracts import check_pipeline
+
+    check_pipeline(list(factory(strategy)), strategy_key=strategy.key)
 
 
 def unregister_strategy(key: str) -> None:
@@ -225,6 +244,10 @@ def strategy_by_key(key: str) -> Strategy:
 
 
 for _builtin in _BUILTINS:
+    # Built-ins pass the same static contract analysis user strategies
+    # do — at import time, so a contract regression in the default
+    # pipelines can never ship silently.
+    _check_contracts(_builtin, default_pipeline)
     _REGISTRY[_builtin.key] = _RegistryEntry(
         strategy=_builtin, pipeline_factory=default_pipeline
     )

@@ -103,5 +103,46 @@ class SerializationError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """Static analysis could not run over an artifact.
+
+    Raised by :mod:`repro.analysis` when an analyzer receives something
+    it cannot inspect (an unknown artifact kind, an unreadable file) —
+    *not* when an artifact merely violates a rule; violations are data
+    (:class:`~repro.analysis.Violation`), reported, never raised.
+    """
+
+
+class IRVerificationError(AnalysisError):
+    """The IR verifier found a broken invariant between compiler passes.
+
+    Raised in ``verify_ir`` debug mode
+    (:class:`~repro.compiler.manager.PassManager`) when the pass that
+    just ran left the evolving IR violating an ERROR-severity rule.  The
+    message names the offending pass, its pipeline position, and every
+    fired rule ID, so a wrong-output compilation is attributed to the
+    *first* pass that broke an invariant instead of to the final
+    equivalence check.
+
+    Attributes:
+        pass_name: Name of the pass after which the invariant broke.
+        pass_index: Position of that pass in its pipeline.
+        rule_ids: The fired rule IDs (e.g. ``("REP133",)``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pass_name: str | None = None,
+        pass_index: int | None = None,
+        rule_ids: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.pass_index = pass_index
+        self.rule_ids = tuple(rule_ids)
+
+
 class BenchmarkError(ReproError):
     """Invalid benchmark-generator parameters."""

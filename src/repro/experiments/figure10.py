@@ -51,7 +51,7 @@ class Figure10Series:
 
 def run_figure10(
     benchmarks: dict[str, str] | None = None,
-    widths: range = range(2, 11),
+    widths: range | None = None,
     scale: str = "paper",
     ocu: OptimalControlUnit | None = None,
     engine: BatchCompiler | None = None,
@@ -66,12 +66,14 @@ def run_figure10(
     Args:
         benchmarks: Map benchmark key -> "parallel"/"serial"; defaults to
             the paper's six applications.
-        widths: Width settings to sweep (paper: 2..10).
+        widths: Width settings to sweep; default the paper's 2..10.
         scale: Suite scale.
         ocu: Shared latency oracle (wrapped by the engine when given).
         engine: Batch engine (shared, possibly disk-persistent cache).
         max_workers: Worker threads when no engine is passed.
     """
+    if widths is None:
+        widths = range(2, 11)
     if benchmarks is None:
         benchmarks = {key: "parallel" for key in PARALLEL_BENCHMARKS}
         benchmarks.update({key: "serial" for key in SERIAL_BENCHMARKS})

@@ -287,6 +287,13 @@ def main(argv: list[str] | None = None) -> int:
         "processes (serialized jobs, GIL-free on multi-core machines)",
     )
     parser.add_argument(
+        "--verify-ir",
+        action="store_true",
+        help="verify compiler IR between passes on every compilation "
+        "(repro.analysis rule packs); an invariant break aborts with the "
+        "offending pass and rule IDs instead of a corrupt result",
+    )
+    parser.add_argument(
         "--save-artifacts",
         default=None,
         metavar="DIR",
@@ -342,7 +349,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     cache = DiskPulseCache(args.cache) if args.cache else None
     engine = BatchCompiler(
-        cache=cache, max_workers=args.workers, executor=args.executor
+        cache=cache,
+        max_workers=args.workers,
+        executor=args.executor,
+        verify_ir=args.verify_ir,
     )
     if cache is not None and cache.loaded_entries:
         print(f"[warm cache: {cache.loaded_entries} entries from {args.cache}]")

@@ -30,6 +30,7 @@ import ast
 import dataclasses
 import functools
 import json
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -49,6 +50,12 @@ from repro.device.topology import (
 from repro.errors import GateError, SerializationError
 from repro.gates.gate import Gate
 from repro.gates.library import gate_from_name
+
+if TYPE_CHECKING:
+    from repro.aggregation.instruction import AggregatedInstruction
+    from repro.compiler.result import CompilationResult
+    from repro.control.cache import CacheDelta
+    from repro.scheduling.schedule import Schedule
 
 IR_FORMAT = "repro-ir-v1"
 
@@ -104,7 +111,9 @@ def _matrix_from_wire(rows: list) -> np.ndarray:
 
 
 @functools.lru_cache(maxsize=4096)
-def _library_matrix(name: str, arity: int, params: tuple):
+def _library_matrix(
+    name: str, arity: int, params: tuple
+) -> np.ndarray | None:
     """The gate library's matrix for ``(name, params)``, or None.
 
     Library matrices do not depend on the concrete qubit labels (those
@@ -162,7 +171,7 @@ def instruction_to_dict(instruction) -> dict:
     return _envelope("instruction", payload)
 
 
-def instruction_from_dict(payload: dict):
+def instruction_from_dict(payload: dict) -> AggregatedInstruction:
     from repro.aggregation.instruction import AggregatedInstruction
     from repro.compiler.hand_opt import HandOptimizedInstruction
 
@@ -190,7 +199,7 @@ def node_to_dict(node) -> dict:
     )
 
 
-def node_from_dict(payload: dict):
+def node_from_dict(payload: dict) -> Gate | AggregatedInstruction:
     kind = payload.get("kind") if isinstance(payload, dict) else None
     if kind == "instruction":
         return instruction_from_dict(payload)
@@ -360,7 +369,7 @@ def schedule_to_dict(schedule) -> dict:
     )
 
 
-def schedule_from_dict(payload: dict):
+def schedule_from_dict(payload: dict) -> Schedule:
     from repro.scheduling.schedule import Schedule
 
     payload = _check(payload, "schedule")
@@ -471,7 +480,7 @@ def cache_delta_to_dict(delta) -> dict:
     )
 
 
-def cache_delta_from_dict(payload: dict):
+def cache_delta_from_dict(payload: dict) -> CacheDelta:
     from repro.control.cache import CacheDelta
 
     payload = _check(payload, "cache_delta")
@@ -524,7 +533,7 @@ def result_to_dict(result, include_source: bool = True) -> dict:
     return _envelope("result", payload)
 
 
-def result_from_dict(payload: dict):
+def result_from_dict(payload: dict) -> CompilationResult:
     from repro.compiler.result import CompilationResult
 
     payload = _check(payload, "result")
@@ -637,7 +646,7 @@ def _payload_of(artifact) -> dict:
     )
 
 
-def loads(text: str):
+def loads(text: str) -> object:
     """Rebuild any artifact from its JSON text (dispatch on ``kind``)."""
     try:
         payload = json.loads(text)

@@ -153,6 +153,7 @@ def differential_compile(
     cache: PulseCache | None = None,
     fail_fast: bool = False,
     executor: str = "serial",
+    verify_ir: bool = False,
 ) -> DifferentialReport:
     """Compile one circuit under every strategy x device and verify all.
 
@@ -167,6 +168,10 @@ def differential_compile(
         cache: Shared pulse cache; one is created (and shared across
             every cell of this sweep) when omitted.
         fail_fast: Stop at the first failing cell.
+        verify_ir: Compile every cell with between-pass IR verification
+            (:mod:`repro.analysis`): a failure then reads
+            ``IRVerificationError`` naming the pass and rule that broke,
+            instead of a bare end-of-pipeline mismatch.
         executor: ``"serial"`` compiles every cell in this process;
             ``"process"`` fans the cells across a
             ``BatchCompiler(executor="process")`` — each cell's job and
@@ -224,6 +229,7 @@ def differential_compile(
             seed=seed,
             cache=cache,
             fail_fast=fail_fast,
+            verify_ir=verify_ir,
         )
         if report is not None:
             return report
@@ -244,7 +250,8 @@ def differential_compile(
             )
             try:
                 result = compile_circuit(
-                    circuit, strategy, device=device, ocu=ocu
+                    circuit, strategy, device=device, ocu=ocu,
+                    verify_ir=verify_ir,
                 )
                 outcome.latency_ns = result.latency_ns
                 outcome.report = result.verify_equivalence(
@@ -274,6 +281,7 @@ def _differential_via_processes(
     seed: int,
     cache: PulseCache,
     fail_fast: bool,
+    verify_ir: bool = False,
 ) -> DifferentialReport | None:
     """One circuit's cells through the process-backed batch engine.
 
@@ -292,7 +300,7 @@ def _differential_via_processes(
         BatchJob(circuit=circuit, strategy=strategy, device=device)
         for strategy, _, device in cells
     ]
-    engine = BatchCompiler(cache=cache, executor="process")
+    engine = BatchCompiler(cache=cache, executor="process", verify_ir=verify_ir)
     try:
         report = engine.compile_batch(jobs)
     except ReproError:

@@ -122,6 +122,7 @@ def run_fuzz(
     fail_fast: bool = False,
     on_progress=None,
     executor: str = "serial",
+    verify_ir: bool = False,
 ) -> FuzzReport:
     """Differentially fuzz the compiler with seeded random circuits.
 
@@ -147,6 +148,11 @@ def run_fuzz(
             process-executor path, so each job and result crosses the
             process boundary as a :mod:`repro.ir` wire payload and the
             fuzz session also exercises serialization end to end.
+        verify_ir: Verify compiler IR between passes on every cell
+            (:mod:`repro.analysis`), turning the session into a
+            sanitizer run: an invariant break is attributed to the
+            first pass that introduced it (rule ID + pass name in the
+            failure detail) and then minimized like any other failure.
 
     Returns:
         A :class:`FuzzReport` (truthy iff no failures).
@@ -185,6 +191,7 @@ def run_fuzz(
             states=states,
             cache=cache,
             executor=executor,
+            verify_ir=verify_ir,
         )
         checked += 1
         compilations += len(report.outcomes)
@@ -201,6 +208,7 @@ def run_fuzz(
                     method=method,
                     states=states,
                     minimize=minimize,
+                    verify_ir=verify_ir,
                 )
             )
         if fail_fast and failures:
@@ -245,6 +253,7 @@ def _build_failure(
     method: str,
     states: int,
     minimize: bool,
+    verify_ir: bool = False,
 ) -> FuzzFailure:
     minimized = circuit
     if minimize:
@@ -255,6 +264,7 @@ def _build_failure(
                 devices=[outcome.device_key],
                 method=method,
                 states=states,
+                verify_ir=verify_ir,
             )
             return not retry.ok
 
@@ -341,6 +351,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--artifact", default=None, metavar="PATH",
         help="write minimized reproducers to this JSON file on failure",
     )
+    parser.add_argument(
+        "--verify-ir", action="store_true",
+        help="verify compiler IR between passes on every compilation, "
+        "attributing any invariant break to the pass that introduced it",
+    )
     parser.add_argument("--no-minimize", action="store_true")
     parser.add_argument("--fail-fast", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -367,6 +382,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         fail_fast=args.fail_fast,
         on_progress=on_progress,
         executor=args.executor,
+        verify_ir=args.verify_ir,
     )
     print(report.summary())
     for failure in report.failures:

@@ -268,6 +268,8 @@ class VerifyEquivalencePass(Pass):
     """
 
     stage = "verification"
+    requires = ("schedule", "routing", "topology")
+    preserves_gates = True
 
     def __init__(
         self,

@@ -1,0 +1,184 @@
+"""Pipeline contract analysis: static rejection, registration, runtime."""
+
+import pytest
+
+from repro.analysis import analyze_pipeline, check_pipeline, producers_of
+from repro.analysis.contracts import INITIAL_FIELDS, missing_field_hint
+from repro.circuit.circuit import Circuit
+from repro.compiler.manager import PassManager
+from repro.compiler.passes import (
+    AggregatePass,
+    DetectDiagonalsPass,
+    FinalSchedulePass,
+    LogicalSchedulePass,
+    LowerPass,
+    Pass,
+    PlaceAndRoutePass,
+)
+from repro.compiler.pipeline import compile_with_pipeline
+from repro.compiler.strategies import (
+    Strategy,
+    all_strategies,
+    register_strategy,
+    strategy_by_key,
+    unregister_strategy,
+)
+from repro.errors import ConfigError, PassOrderingError
+
+
+def good_pipeline():
+    return [
+        LowerPass(),
+        LogicalSchedulePass(use_cls=False),
+        PlaceAndRoutePass(),
+        FinalSchedulePass(use_cls=False),
+    ]
+
+
+class TestStaticAnalysis:
+    def test_good_pipeline_accepted(self):
+        report = analyze_pipeline(good_pipeline())
+        assert report.ok and not report.violations
+
+    def test_every_builtin_strategy_pipeline_is_clean(self):
+        for strategy in all_strategies():
+            report = analyze_pipeline(
+                strategy.pipeline(), strategy_key=strategy.key
+            )
+            assert report.ok, report.summary()
+
+    def test_misordered_pipeline_rejected_without_compiling(self):
+        # The ISSUE's canonical example: aggregation before routing.
+        report = analyze_pipeline(
+            [
+                LowerPass(),
+                AggregatePass(),
+                PlaceAndRoutePass(),
+                FinalSchedulePass(),
+            ]
+        )
+        assert not report.ok
+        assert "REP201" in report.fired_rule_ids()
+        [first, *_] = report.by_rule("REP201")
+        assert "AggregatePass" in first.message
+        assert "physical_nodes" in first.message
+        # The message teaches the fix: it names a producing pass.
+        assert "PlaceAndRoutePass" in first.message
+        assert "position 1" in first.location
+
+    def test_missing_lowering_rejected(self):
+        report = analyze_pipeline([DetectDiagonalsPass()], require_result=False)
+        assert "REP201" in report.fired_rule_ids()
+
+    def test_incomplete_pipeline_fires_rep202(self):
+        report = analyze_pipeline([LowerPass(), PlaceAndRoutePass()])
+        assert "REP202" in report.fired_rule_ids()
+
+    def test_require_result_false_accepts_prefix(self):
+        report = analyze_pipeline(
+            [LowerPass(), PlaceAndRoutePass()], require_result=False
+        )
+        assert report.ok
+
+    def test_non_pass_entry_fires_rep203(self):
+        report = analyze_pipeline([LowerPass(), "not a pass"])
+        assert "REP203" in report.fired_rule_ids()
+
+    def test_check_pipeline_raises_pass_ordering_error(self):
+        with pytest.raises(PassOrderingError) as excinfo:
+            check_pipeline([FinalSchedulePass()])
+        assert "physical_nodes" in str(excinfo.value)
+
+    def test_producers_metadata(self):
+        assert "FinalSchedulePass" in producers_of("schedule")
+        assert producers_of("no_such_field") == ()
+        assert "nodes" not in INITIAL_FIELDS
+        assert "circuit" in INITIAL_FIELDS
+
+    def test_missing_field_hint_shapes(self):
+        assert "LowerPass" in missing_field_hint("nodes")
+        assert "initial context field" in missing_field_hint("circuit")
+        assert "no known pass" in missing_field_hint("nonexistent")
+
+
+class TestRegistrationTimeChecking:
+    def test_misordered_custom_strategy_rejected_loudly(self):
+        strategy = Strategy(
+            key="test-misordered",
+            description="aggregates before routing",
+            commutativity_detection=False,
+            cls_scheduling=False,
+            aggregation=True,
+            hand_optimization=False,
+        )
+
+        def backwards(strategy):
+            return [
+                LowerPass(),
+                AggregatePass(),
+                PlaceAndRoutePass(),
+                FinalSchedulePass(),
+            ]
+
+        with pytest.raises(PassOrderingError) as excinfo:
+            register_strategy(strategy, pipeline_factory=backwards)
+        assert "AggregatePass" in str(excinfo.value)
+        # The rejected strategy must not have been registered.
+        with pytest.raises(ConfigError):
+            strategy_by_key("test-misordered")
+
+    def test_well_ordered_custom_strategy_registers(self):
+        strategy = Strategy(
+            key="test-ordered",
+            description="plain custom flow",
+            commutativity_detection=False,
+            cls_scheduling=False,
+            aggregation=False,
+            hand_optimization=False,
+        )
+        try:
+            register_strategy(strategy)
+            assert strategy_by_key("test-ordered") is strategy
+        finally:
+            unregister_strategy("test-ordered")
+
+
+class TestRuntimeMessages:
+    def test_require_error_names_position_and_producers(self):
+        with pytest.raises(PassOrderingError) as excinfo:
+            compile_with_pipeline(
+                Circuit(2, name="probe").h(0).cnot(0, 1),
+                [FinalSchedulePass(use_cls=False)],
+            )
+        message = str(excinfo.value)
+        assert "FinalSchedulePass" in message
+        assert "pipeline position 0" in message
+        assert "physical_nodes" in message
+        # Shares the static analyzer's metadata: names a producer.
+        assert "PlaceAndRoutePass" in message
+        assert "probe" in message
+
+    def test_pass_index_cleared_after_run(self):
+        class Probe(Pass):
+            requires = ("nodes",)
+            produces = ()
+
+            def run(self, context):
+                assert context.current_pass_index == 1
+
+        circuit = Circuit(1).h(0)
+        manager = PassManager(
+            [
+                LowerPass(),
+                Probe(),
+                LogicalSchedulePass(use_cls=False),
+                PlaceAndRoutePass(),
+                FinalSchedulePass(use_cls=False),
+            ]
+        )
+        from repro.compiler.context import CompilationContext
+
+        context = CompilationContext.create(circuit, strategy_key="probe")
+        manager.run(context)
+        assert context.current_pass_index is None
+        assert context.schedule is not None

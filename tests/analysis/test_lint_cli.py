@@ -1,0 +1,93 @@
+"""The ``python -m repro.analysis`` CLI: artifacts, QASM, pipelines."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.lint import lint_path
+from repro.circuit.circuit import Circuit
+from repro.compiler.pipeline import compile_circuit
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def artifact(tmp_path):
+    circuit = Circuit(2, name="lint-probe").h(0).cnot(0, 1).rz(0.4, 1)
+    result = compile_circuit(circuit, "isa")
+    path = tmp_path / "result.json"
+    result.save(path)
+    return str(path)
+
+
+class TestLintPath:
+    def test_result_artifact_lints_clean(self, artifact):
+        report = lint_path(artifact)
+        assert report.ok
+        assert artifact in report.subject
+
+    def test_qasm_file_lints_clean(self, tmp_path):
+        path = tmp_path / "probe.qasm"
+        path.write_text("qubits 2\nh q0\ncnot q0, q1\n")
+        assert lint_path(str(path)).ok
+
+    def test_unknown_extension_raises(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("hello")
+        with pytest.raises(AnalysisError):
+            lint_path(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            lint_path(str(tmp_path / "absent.json"))
+
+    def test_garbage_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        with pytest.raises(AnalysisError):
+            lint_path(str(path))
+
+
+class TestCli:
+    def test_clean_artifact_exits_zero(self, artifact, capsys):
+        assert main([artifact]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupted_artifact_exits_one(self, artifact, capsys):
+        payload = json.loads(open(artifact).read())
+        payload["latency_ns"] = 1.0
+        with open(artifact, "w") as handle:
+            json.dump(payload, handle)
+        assert main([artifact]) == 1
+        assert "REP151" in capsys.readouterr().out
+
+    def test_unreadable_input_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        assert main([str(path)]) == 2
+        assert "analysis failed" in capsys.readouterr().err
+
+    def test_rules_table_lists_documented_ids(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP101", "REP121", "REP141", "REP201"):
+            assert rule_id in out
+
+    def test_pipelines_all_registered_strategies_clean(self, capsys):
+        assert main(["--pipelines"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_pipelines_single_strategy(self, capsys):
+        assert main(["--pipelines", "--strategy", "isa"]) == 0
+
+    def test_pipelines_unknown_strategy_exits_two(self, capsys):
+        assert main(["--pipelines", "--strategy", "no-such"]) == 2
+
+    def test_no_arguments_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_mixed_paths_and_pipelines(self, artifact):
+        assert main([artifact, "--pipelines"]) == 0

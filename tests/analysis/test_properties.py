@@ -1,0 +1,56 @@
+"""Property tests: clean compiles never trip the verifier or the rules.
+
+The mutation suite proves the rules *can* fire; these prove they don't
+fire spuriously — any seeded circuit, compiled by any strategy, yields
+zero violations under both the between-pass verifier and the
+post-hoc result analysis.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_circuit, analyze_pipeline, analyze_result
+from repro.circuit.circuit import Circuit
+from repro.compiler.pipeline import compile_circuit
+from repro.compiler.strategies import all_strategies
+from repro.testing.generators import CIRCUIT_FAMILIES, random_circuit
+
+STRATEGY_KEYS = [s.key for s in all_strategies()]
+
+circuits = st.builds(
+    random_circuit,
+    num_qubits=st.integers(min_value=2, max_value=4),
+    num_gates=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    family=st.sampled_from(CIRCUIT_FAMILIES),
+)
+
+
+@given(circuit=circuits)
+@settings(max_examples=20, deadline=None)
+def test_generated_circuits_lint_clean(circuit: Circuit):
+    report = analyze_circuit(circuit)
+    assert report.ok, report.summary()
+
+
+@given(circuit=circuits, key=st.sampled_from(STRATEGY_KEYS))
+@settings(max_examples=15, deadline=None)
+def test_clean_compiles_produce_zero_violations(circuit: Circuit, key: str):
+    # verify_ir=True checks every pass transition as it happens; the
+    # post-hoc analysis re-checks the final artifact independently.
+    result = compile_circuit(circuit, key, verify_ir=True)
+    report = analyze_result(result)
+    assert report.ok, report.summary()
+    assert not report.violations or all(
+        v.rule_id == "REP120" for v in report.violations
+    )
+
+
+@given(key=st.sampled_from(STRATEGY_KEYS))
+@settings(max_examples=len(STRATEGY_KEYS), deadline=None)
+def test_strategy_pipelines_always_analyze_clean(key: str):
+    from repro.compiler.strategies import strategy_by_key
+
+    strategy = strategy_by_key(key)
+    report = analyze_pipeline(strategy.pipeline(), strategy_key=key)
+    assert report.ok, report.summary()

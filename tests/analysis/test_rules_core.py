@@ -1,0 +1,94 @@
+"""Tests for the rule framework: registry, reports, severities."""
+
+import pytest
+
+import repro.analysis  # noqa: F401  (registers every rule pack)
+from repro.analysis.core import (
+    AnalysisReport,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    register_rule,
+    rule_by_id,
+    rules_for,
+    run_rules,
+)
+from repro.errors import AnalysisError
+
+
+class TestRegistry:
+    def test_rule_ids_unique_and_stable_format(self):
+        rules = all_rules()
+        ids = [r.rule_id for r in rules]
+        assert len(ids) == len(set(ids))
+        assert all(i.startswith("REP") and i[3:].isdigit() for i in ids)
+
+    def test_documented_rule_families_present(self):
+        ids = {r.rule_id for r in all_rules()}
+        # One representative per pack: circuit, dag, routing,
+        # aggregation, transition, schedule, result, pipeline.
+        for expected in (
+            "REP101", "REP111", "REP121", "REP131",
+            "REP133", "REP141", "REP151", "REP201",
+        ):
+            assert expected in ids
+
+    def test_duplicate_id_rejected(self):
+        existing = all_rules()[0]
+        clone = Rule(
+            rule_id=existing.rule_id,
+            kind="circuit",
+            severity=Severity.ERROR,
+            title="duplicate",
+            check=lambda subject, options: (),
+        )
+        with pytest.raises(AnalysisError):
+            register_rule(clone)
+
+    def test_rule_by_id_unknown(self):
+        with pytest.raises(AnalysisError):
+            rule_by_id("REP999")
+
+    def test_rules_for_kind_sorted(self):
+        circuit_rules = rules_for("circuit")
+        assert circuit_rules
+        assert all(r.kind == "circuit" for r in circuit_rules)
+        assert [r.rule_id for r in circuit_rules] == sorted(
+            r.rule_id for r in circuit_rules
+        )
+
+
+class TestReport:
+    def _violation(self, severity):
+        return Violation(
+            rule_id="REP101", severity=severity, message="m"
+        )
+
+    def test_truthiness_ignores_warnings(self):
+        report = AnalysisReport(subject="s")
+        assert report.ok and bool(report)
+        report.violations.append(self._violation(Severity.WARNING))
+        report.violations.append(self._violation(Severity.INFO))
+        assert report.ok
+        report.violations.append(self._violation(Severity.ERROR))
+        assert not report.ok and not bool(report)
+
+    def test_extend_merges_checked_rules(self):
+        first = AnalysisReport(subject="a", checked_rules=("REP101",))
+        second = AnalysisReport(subject="b", checked_rules=("REP102",))
+        second.violations.append(self._violation(Severity.ERROR))
+        first.extend(second)
+        assert first.checked_rules == ("REP101", "REP102")
+        assert len(first.violations) == 1
+
+    def test_summary_mentions_fired_rule(self):
+        report = AnalysisReport(subject="thing")
+        report.violations.append(self._violation(Severity.ERROR))
+        assert "REP101" in report.summary()
+        assert "thing" in report.summary()
+
+    def test_run_rules_records_coverage(self):
+        report = run_rules("circuit", [], "empty", {"num_qubits": 1})
+        assert report.ok
+        assert set(report.checked_rules) >= {"REP101", "REP102", "REP103"}

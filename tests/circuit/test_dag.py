@@ -5,7 +5,7 @@ import pytest
 from repro.circuit.circuit import Circuit
 from repro.circuit.commutation import CommutationChecker
 from repro.circuit.dag import GateDependenceGraph
-from repro.errors import SchedulingError
+from repro.errors import CircuitError, SchedulingError
 from repro.gates import library as lib
 
 
@@ -25,7 +25,7 @@ class TestConstruction:
         assert [g.name for g in dag.qubit_sequence(1)] == ["CNOT", "RZ"]
 
     def test_out_of_range_node_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(CircuitError):
             GateDependenceGraph(1, [lib.CNOT(0, 1)], lambda a, b: False)
 
     def test_len(self):

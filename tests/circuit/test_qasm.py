@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.qasm import circuit_to_qasm, parse_qasm
-from repro.errors import QasmError
+from repro.errors import CircuitError, QasmError
 
 
 class TestParse:
@@ -58,7 +58,7 @@ class TestParse:
             parse_qasm("qubits 1\nh qq\n")
 
     def test_out_of_range_qubit(self):
-        with pytest.raises(Exception):
+        with pytest.raises(CircuitError):
             parse_qasm("qubits 1\nh q5\n").unitary()
 
 

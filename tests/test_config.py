@@ -1,5 +1,6 @@
 """Tests for device and compiler configuration."""
 
+import dataclasses
 import math
 
 import pytest
@@ -28,7 +29,7 @@ class TestDeviceConfig:
         assert DEFAULT_DEVICE.drive_rate == pytest.approx(2 * math.pi * 0.1)
 
     def test_immutable(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             DEFAULT_DEVICE.coupling_limit_ghz = 1.0
 
     @pytest.mark.parametrize(
