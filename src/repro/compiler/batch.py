@@ -71,15 +71,24 @@ from repro.config import (
     DeviceConfig,
 )
 from repro.control.cache import CacheSession, DiskPulseCache, PulseCache
-from repro.control.unit import OptimalControlUnit
+from repro.control.unit import OptimalControlUnit, support_of
 from repro.device.device import Device
 from repro.device.presets import device_by_key
 from repro.device.topology import Topology
 from repro.errors import ConfigError
 
-_COUNTER_KEYS = ("cache_hits", "grape_calls", "grape_fallbacks", "model_evals")
+_COUNTER_KEYS = (
+    "cache_hits",
+    "grape_calls",
+    "grape_fallbacks",
+    "model_evals",
+    "grape_evals",
+    "grape_wall_seconds",
+)
 
 _EXECUTORS = ("thread", "process")
+
+_PREWARM_MODES = (True, False, "auto")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -154,6 +163,14 @@ class BatchReport:
     """OCU counters summed across all jobs, plus final store entry counts."""
     executor: str = "thread"
     """Which worker pool ran the batch (``"thread"`` or ``"process"``)."""
+    prewarm: dict | None = None
+    """Pre-warm planner statistics when the planner ran, else None:
+    ``signatures`` (distinct GRAPE-eligible control problems across the
+    batch), ``demand`` (the same problems counted once per job that
+    needs them), ``dedup_ratio`` (``demand / signatures`` — how much
+    duplicate optimal-control work the planner eliminated),
+    ``synthesized`` (problems actually solved; the rest were already
+    cached), ``plan_seconds`` and ``synthesis_seconds``."""
 
     def __len__(self) -> int:
         return len(self.results)
@@ -231,12 +248,20 @@ class BatchCompiler:
         pass_callbacks: Sequence[PassCallback] = (),
         executor: str = "thread",
         verify_ir: bool = False,
+        prewarm: bool | str = "auto",
+        grape_kernel: str = "vectorized",
+        grape_warm_start: bool = True,
+        grape_plateau_iterations: int | None = 60,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be at least 1")
         if executor not in _EXECUTORS:
             raise ConfigError(
                 f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        if prewarm not in _PREWARM_MODES:
+            raise ConfigError(
+                f"prewarm must be one of {_PREWARM_MODES}, got {prewarm!r}"
             )
         if executor == "process" and pass_callbacks:
             raise ConfigError(
@@ -256,6 +281,18 @@ class BatchCompiler:
         self.pass_callbacks = list(pass_callbacks)
         self.executor = executor
         self.verify_ir = bool(verify_ir)
+        self.prewarm = prewarm
+        self.grape_kernel = grape_kernel
+        self.grape_warm_start = grape_warm_start
+        self.grape_plateau_iterations = grape_plateau_iterations
+        #: Counters summed over every batch this engine has compiled
+        #: (the per-batch view is ``BatchReport.cache_info``), plus the
+        #: planner's total ``prewarm_synthesized``.  Drivers running
+        #: several sweeps over one engine read their optimal-control
+        #: bill here.
+        self.lifetime_info: dict[str, float] = dict.fromkeys(
+            _COUNTER_KEYS + ("prewarm_synthesized",), 0
+        )
 
     @classmethod
     def from_ocu(
@@ -276,6 +313,9 @@ class BatchCompiler:
             grape_qubit_limit=ocu.grape_qubit_limit,
             grape_dt=ocu.grape_dt,
             seed=ocu.seed,
+            grape_kernel=ocu.grape_kernel,
+            grape_warm_start=ocu.grape_warm_start,
+            grape_plateau_iterations=ocu.grape_plateau_iterations,
         )
 
     @classmethod
@@ -291,21 +331,27 @@ class BatchCompiler:
         self,
         cache: PulseCache | CacheSession | None = None,
         device: Device | DeviceConfig | None = None,
+        backend: str | None = None,
     ) -> OptimalControlUnit:
         """A fresh OCU bound to the shared store (or a session view).
 
         ``device`` overrides the engine's default target — the batch
         loop builds each job's OCU against the job's own device so
         per-edge limits and cache fingerprints match that machine.
+        ``backend`` overrides the engine's pulse backend (the pre-warm
+        planner dry-runs jobs against the analytic model).
         """
         return OptimalControlUnit(
             device=device if device is not None else self.device,
             compiler=self.compiler_config,
-            backend=self.backend,
+            backend=backend if backend is not None else self.backend,
             grape_qubit_limit=self.grape_qubit_limit,
             grape_dt=self.grape_dt,
             seed=self.seed,
             cache=cache if cache is not None else self.cache,
+            grape_kernel=self.grape_kernel,
+            grape_warm_start=self.grape_warm_start,
+            grape_plateau_iterations=self.grape_plateau_iterations,
         )
 
     def compile(
@@ -353,6 +399,9 @@ class BatchCompiler:
         counters = {key: 0 for key in _COUNTER_KEYS}
         results: list[CompilationResult | None] = [None] * len(jobs)
         seconds = [0.0] * len(jobs)
+        prewarm_stats = None
+        if self.prewarm_active():
+            prewarm_stats = self._prewarm_batch(jobs, workers, counters)
         if self.executor == "process":
             # Even a single worker goes through the pool: the point of
             # the mode is the serialized-job path, and silently running
@@ -367,6 +416,12 @@ class BatchCompiler:
                     counters[key] += used[key]
         else:
             self._run_parallel(jobs, workers, counters, results, seconds)
+        for key in _COUNTER_KEYS:
+            self.lifetime_info[key] += counters[key]
+        if prewarm_stats is not None:
+            self.lifetime_info["prewarm_synthesized"] += prewarm_stats[
+                "synthesized"
+            ]
         return BatchReport(
             results=results,
             seconds=seconds,
@@ -374,6 +429,7 @@ class BatchCompiler:
             workers=workers,
             cache_info=self._store_info(counters),
             executor=self.executor,
+            prewarm=prewarm_stats,
         )
 
     # ------------------------------------------------------------------
@@ -393,7 +449,10 @@ class BatchCompiler:
         return self.device
 
     def _compile_job(
-        self, job: BatchJob, ocu: OptimalControlUnit
+        self,
+        job: BatchJob,
+        ocu: OptimalControlUnit,
+        verify_ir: bool | None = None,
     ) -> CompilationResult:
         """Run one job's pipeline through the pass-manager core."""
         pipeline = job.pipeline()
@@ -419,7 +478,7 @@ class BatchCompiler:
             topology=job.topology,
             width_limit=job.width_limit,
             callbacks=self.pass_callbacks,
-            verify_ir=self.verify_ir,
+            verify_ir=self.verify_ir if verify_ir is None else verify_ir,
         )
 
     def _run_job(
@@ -460,6 +519,193 @@ class BatchCompiler:
                     if len(active) >= workers:
                         break
 
+    # -- pre-warm planner ----------------------------------------------
+
+    def prewarm_active(self) -> bool:
+        """Whether :meth:`compile_batch` will run the pre-warm planner.
+
+        ``prewarm="auto"`` (the default) enables it exactly when the
+        engine prices through GRAPE — the planner's dry-run phase is
+        pure overhead when the analytic model answers every query.
+        """
+        if self.prewarm == "auto":
+            return self.backend == "grape"
+        return bool(self.prewarm)
+
+    def plan_prewarm(self, jobs: Sequence[BatchJob]) -> tuple[dict, int]:
+        """Extract the batch's distinct GRAPE worklist without GRAPE.
+
+        Every job is dry-run against the analytic model through a
+        :class:`_PlanningUnit` that records each GRAPE-eligible latency
+        query under the unit's cache-signature convention
+        (:meth:`~repro.control.unit.OptimalControlUnit.node_signature`).
+        The dry-runs also warm every ``"model"``-keyed latency entry in
+        the shared store, so the real jobs' aggregation searches answer
+        their candidate probes from cache.
+
+        Returns:
+            ``(worklist, demand)`` — ``worklist`` maps
+            ``(fingerprint, signature)`` to ``(node, positional,
+            job_index)`` for every distinct control problem in the
+            batch; ``demand`` counts the same problems once per job
+            that needs them, so ``demand / len(worklist)`` is the
+            batch's dedup ratio.
+        """
+        worklist: dict[tuple, tuple] = {}
+        demand = 0
+
+        def dry_run(indexed) -> dict:
+            index, job = indexed
+            recorded: dict[tuple, tuple] = {}
+            session = CacheSession(self.cache)
+            unit = _PlanningUnit(
+                recorded,
+                device=self._job_target(job),
+                compiler=self.compiler_config,
+                grape_qubit_limit=self.grape_qubit_limit,
+                grape_dt=self.grape_dt,
+                seed=self.seed,
+                cache=session,
+                grape_kernel=self.grape_kernel,
+                grape_warm_start=self.grape_warm_start,
+                grape_plateau_iterations=self.grape_plateau_iterations,
+            )
+            # Result discarded: only the recorded worklist and the
+            # model-latency cache entries matter.  IR verification (if
+            # configured) runs on the real compilation, not twice.
+            self._compile_job(job, unit, verify_ir=False)
+            self.cache.merge_delta(session.delta)
+            return {
+                key: (node, positional, index)
+                for key, (node, positional) in recorded.items()
+            }
+
+        indexed_jobs = list(enumerate(jobs))
+        pool_size = min(len(indexed_jobs), self._worker_count(len(indexed_jobs)))
+        if pool_size <= 1:
+            per_job = [dry_run(item) for item in indexed_jobs]
+        else:
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                per_job = list(pool.map(dry_run, indexed_jobs))
+        for recorded in per_job:
+            demand += len(recorded)
+            for key, value in recorded.items():
+                worklist.setdefault(key, value)
+        return worklist, demand
+
+    def _worker_count(self, jobs: int) -> int:
+        workers = self.max_workers
+        if workers is None:
+            workers = min(jobs, os.cpu_count() or 1)
+        return max(1, min(workers, jobs))
+
+    def _prewarm_batch(self, jobs, workers, counters) -> dict:
+        """Run the planner, then solve each distinct problem exactly once.
+
+        The synthesis stage fans the worklist across workers (threads,
+        or a dedicated process pool in process mode) and merges every
+        delta into the shared store *before* any job is dispatched, so
+        no two workers — and in process mode, no two worker-resident
+        caches — ever solve the same control problem.
+        """
+        plan_started = time.perf_counter()
+        worklist, demand = self.plan_prewarm(jobs)
+        plan_seconds = time.perf_counter() - plan_started
+        synthesis_started = time.perf_counter()
+        if self.executor == "process":
+            synthesized = self._prewarm_synthesize_processes(
+                jobs, worklist, workers, counters
+            )
+        else:
+            synthesized = self._prewarm_synthesize_threads(
+                jobs, worklist, workers, counters
+            )
+        return {
+            "signatures": len(worklist),
+            "demand": demand,
+            "dedup_ratio": demand / len(worklist) if worklist else 1.0,
+            "synthesized": synthesized,
+            "plan_seconds": plan_seconds,
+            "synthesis_seconds": time.perf_counter() - synthesis_started,
+        }
+
+    def _prewarm_synthesize_threads(self, jobs, worklist, workers, counters):
+        def synthesize(entry) -> dict:
+            node, positional, job_index = entry
+            session = CacheSession(self.cache)
+            unit = self.make_ocu(
+                cache=session, device=self._job_target(jobs[job_index])
+            )
+            unit.latency(node, positional)
+            self.cache.merge_delta(session.delta)
+            return {key: getattr(unit, key) for key in _COUNTER_KEYS}
+
+        entries = list(worklist.values())
+        if not entries:
+            return 0
+        pool_size = min(workers, len(entries))
+        if pool_size <= 1:
+            infos = [synthesize(entry) for entry in entries]
+        else:
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                infos = list(pool.map(synthesize, entries))
+        synthesized = 0
+        for used in infos:
+            synthesized += self._synthesized_of(used)
+            for key in _COUNTER_KEYS:
+                counters[key] += used[key]
+        return synthesized
+
+    def _synthesized_of(self, used: dict) -> int:
+        """How many problems one synthesis call actually solved (0 when
+        the entry was already cached).  Grape-backed syntheses also burn
+        one model eval for the search estimate, so count by backend."""
+        if self.backend == "grape":
+            return used["grape_calls"]
+        return used["model_evals"]
+
+    def _prewarm_synthesize_processes(self, jobs, worklist, workers, counters):
+        from repro.ir.serialize import (
+            cache_delta_from_dict,
+            cache_delta_to_dict,
+            device_config_to_dict,
+            device_to_dict,
+            node_to_dict,
+        )
+
+        entries = []
+        for node, positional, job_index in worklist.values():
+            payload = {"node": node_to_dict(node), "positional": positional}
+            target = self._job_target(jobs[job_index])
+            if target is not self.device:
+                payload["device"] = (
+                    device_to_dict(target)
+                    if isinstance(target, Device)
+                    else device_config_to_dict(target)
+                )
+            entries.append(payload)
+        if not entries:
+            return 0
+        config = self._config_payload()
+        snapshot = cache_delta_to_dict(self.cache.snapshot_delta())
+        synthesized = 0
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(entries)),
+            initializer=_seed_worker_store,
+            initargs=(snapshot,),
+        ) as pool:
+            futures = [
+                pool.submit(_prewarm_item_payload, config, entry)
+                for entry in entries
+            ]
+            for future in futures:
+                delta_payload, used = future.result()
+                self.cache.merge_delta(cache_delta_from_dict(delta_payload))
+                synthesized += self._synthesized_of(used)
+                for key in _COUNTER_KEYS:
+                    counters[key] += used[key]
+        return synthesized
+
     # -- process executor ----------------------------------------------
 
     def _config_payload(self) -> dict:
@@ -482,6 +728,9 @@ class BatchCompiler:
             "grape_dt": self.grape_dt,
             "seed": self.seed,
             "verify_ir": self.verify_ir,
+            "grape_kernel": self.grape_kernel,
+            "grape_warm_start": self.grape_warm_start,
+            "grape_plateau_iterations": self.grape_plateau_iterations,
         }
 
     def _job_payload(self, job: BatchJob) -> dict:
@@ -647,8 +896,14 @@ def _compile_job_payload(config: dict, job_payload: dict) -> tuple:
         grape_qubit_limit=config["grape_qubit_limit"],
         grape_dt=config["grape_dt"],
         seed=config["seed"],
-        # .get(): payloads written by older parents predate the flag.
+        # .get(): payloads written by older parents predate these flags.
         verify_ir=config.get("verify_ir", False),
+        grape_kernel=config.get("grape_kernel", "vectorized"),
+        grape_warm_start=config.get("grape_warm_start", True),
+        grape_plateau_iterations=config.get("grape_plateau_iterations", 60),
+        # Pre-warming happened (if at all) in the parent before this
+        # worker's seed snapshot was taken; never re-plan per job.
+        prewarm=False,
     )
     job = BatchJob(
         circuit=circuit_from_dict(job_payload["circuit"]),
@@ -678,6 +933,73 @@ def _compile_job_payload(config: dict, job_payload: dict) -> tuple:
         time.perf_counter() - started,
         used,
     )
+
+
+class _PlanningUnit(OptimalControlUnit):
+    """Dry-run OCU the pre-warm planner compiles jobs through.
+
+    Prices every query with the analytic model (cheap, deterministic)
+    while recording each query a ``backend="grape"`` engine would answer
+    with optimal control, keyed by the unit's cache-signature convention
+    (:meth:`OptimalControlUnit.node_signature`).  The planner unions
+    these records across jobs into the batch's distinct worklist.  The
+    configuration fingerprint deliberately excludes the backend, so the
+    recorded keys are exactly the pulse-cache keys the real jobs probe.
+    """
+
+    def __init__(self, recorded: dict, **kwargs) -> None:
+        kwargs["backend"] = "model"
+        super().__init__(**kwargs)
+        self._recorded = recorded
+
+    def latency(self, node, positional: bool = True) -> float:
+        if len(support_of(node)) <= self.grape_qubit_limit:
+            key = (self.fingerprint, self._node_signature(node, positional))
+            self._recorded.setdefault(key, (node, positional))
+        return super().latency(node, positional)
+
+
+def _prewarm_item_payload(config: dict, entry: dict) -> tuple:
+    """Worker-process entry: solve one serialized control problem.
+
+    The pre-warm analogue of :func:`_compile_job_payload`: rebuilds the
+    node and target from wire payloads, prices it through the engine's
+    real backend against a session over the worker-local store, and
+    returns ``(delta_payload, counters)`` so the parent can merge the
+    synthesized pulse/latency entries into the shared store *before*
+    the job pool (whose seed snapshot must include them) starts.
+    """
+    from repro.ir.serialize import (
+        cache_delta_to_dict,
+        compiler_config_from_dict,
+        device_config_from_dict,
+        device_from_dict,
+        node_from_dict,
+    )
+
+    device_payload = entry.get("device", config["device"])
+    if device_payload.get("kind") == "device":
+        device = device_from_dict(device_payload)
+    else:
+        device = device_config_from_dict(device_payload)
+    store = _worker_store()
+    session = CacheSession(store)
+    unit = OptimalControlUnit(
+        device=device,
+        compiler=compiler_config_from_dict(config["compiler"]),
+        backend=config["backend"],
+        grape_qubit_limit=config["grape_qubit_limit"],
+        grape_dt=config["grape_dt"],
+        seed=config["seed"],
+        cache=session,
+        grape_kernel=config.get("grape_kernel", "vectorized"),
+        grape_warm_start=config.get("grape_warm_start", True),
+        grape_plateau_iterations=config.get("grape_plateau_iterations", 60),
+    )
+    unit.latency(node_from_dict(entry["node"]), entry["positional"])
+    store.merge_delta(session.delta)
+    used = {key: getattr(unit, key) for key in _COUNTER_KEYS}
+    return cache_delta_to_dict(session.delta), used
 
 
 def _as_job(job) -> BatchJob:

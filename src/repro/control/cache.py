@@ -76,6 +76,9 @@ def config_fingerprint(
     grape_dt: float,
     seed: int,
     target=None,
+    grape_kernel: str = "vectorized",
+    grape_warm_start: bool = True,
+    grape_plateau_iterations: int | None = 60,
 ) -> str:
     """Digest of everything that changes cached latencies or pulses.
 
@@ -111,6 +114,16 @@ def config_fingerprint(
     }
     if target is not None and target.has_heterogeneous_couplings:
         payload["target"] = repr(target.coupling_signature())
+    # Algorithm variants fold in only when they differ from the default
+    # fast path: the default fingerprint is stable across releases, while
+    # pulses from the legacy kernel / cold-restart search (whose Adam
+    # trajectories differ) can never collide with fast-path entries.
+    if grape_kernel != "vectorized":
+        payload["grape_kernel"] = grape_kernel
+    if not grape_warm_start:
+        payload["grape_warm_start"] = False
+    if grape_plateau_iterations != 60:
+        payload["grape_plateau_iterations"] = grape_plateau_iterations
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 

@@ -4,6 +4,20 @@ Starting from an analytic estimate, the search grows the duration
 geometrically until GRAPE converges, then bisects between the last
 failure and the first success.  The returned duration is the shortest
 pulse found that meets the fidelity threshold.
+
+Two optimizations keep the search cheap (the cold-batch hot path
+``benchmarks/bench_batch.py`` measures):
+
+* **Warm starts** — each duration attempt after the first seeds GRAPE
+  with the previous attempt's best amplitudes, resampled onto the new
+  step grid (through ``GrapeOptimizer.optimize(initial_amplitudes=)``),
+  instead of a fresh random pulse.  A near-miss at one duration is an
+  excellent initial guess at the next, so warm attempts converge in a
+  fraction of the iterations.
+* **Plateau termination** — attempts run with a plateau budget, so a
+  duration below the quantum speed limit (whose loss stalls above the
+  threshold) fails after ``plateau_iterations`` stagnant iterations
+  instead of burning the full ``max_iterations`` budget.
 """
 
 from __future__ import annotations
@@ -24,6 +38,33 @@ class TimeSearchResult:
     duration: float
     grape: GrapeResult
     attempts: int
+    evaluations: int = 0
+    """Total GRAPE model (loss + gradient) evaluations across every
+    attempt of the search — the cost metric ``BENCH_batch.json`` and the
+    OCU's ``grape_evals`` counter track."""
+
+
+def _resample_amplitudes(
+    amplitudes: np.ndarray, steps: int, limits: np.ndarray
+) -> np.ndarray:
+    """Stretch/compress a pulse onto a new step grid.
+
+    Each control column is linearly interpolated at the new step
+    centers over normalized time, so the pulse's *shape* carries over
+    while its duration changes; values are re-clipped to the hardware
+    limits (interpolation stays within them, but be explicit).
+    """
+    old_steps = amplitudes.shape[0]
+    if old_steps == steps:
+        return np.clip(amplitudes, -limits, limits)
+    old_centers = (np.arange(old_steps) + 0.5) / old_steps
+    new_centers = (np.arange(steps) + 0.5) / steps
+    resampled = np.empty((steps, amplitudes.shape[1]))
+    for control in range(amplitudes.shape[1]):
+        resampled[:, control] = np.interp(
+            new_centers, old_centers, amplitudes[:, control]
+        )
+    return np.clip(resampled, -limits, limits)
 
 
 def minimal_pulse_time(
@@ -37,6 +78,10 @@ def minimal_pulse_time(
     max_attempts: int = 12,
     bisection_rounds: int = 3,
     seed: int = 20190413,
+    warm_start: bool = True,
+    plateau_iterations: int | None = 60,
+    plateau_tolerance: float = 1e-6,
+    kernel: str = "vectorized",
 ) -> TimeSearchResult:
     """Find (approximately) the shortest pulse realizing ``target``.
 
@@ -47,6 +92,14 @@ def minimal_pulse_time(
             model); the search explores down to ~60% of it and upward.
         fidelity_threshold: Success criterion for a duration.
         growth: Geometric growth factor while searching upward.
+        warm_start: Seed each attempt after the first with the previous
+            attempt's best amplitudes resampled onto the new step grid
+            (False restores the legacy cold-restart behavior).
+        plateau_iterations: Per-attempt plateau budget — an attempt
+            stops after this many iterations without the loss improving
+            by ``plateau_tolerance`` (None restores the legacy
+            full-budget behavior).
+        kernel: Gradient kernel forwarded to :class:`GrapeOptimizer`.
 
     Returns:
         A :class:`TimeSearchResult`; raises ControlError if no duration
@@ -55,17 +108,44 @@ def minimal_pulse_time(
     if estimate <= 0:
         raise ControlError("estimate must be positive")
     optimizer = GrapeOptimizer(
-        hamiltonian, dt=dt, max_iterations=max_iterations, seed=seed
+        hamiltonian,
+        dt=dt,
+        max_iterations=max_iterations,
+        seed=seed,
+        kernel=kernel,
     )
+    limits = hamiltonian.limits()
+
+    def steps_for(duration: float) -> int:
+        return max(2, int(round(duration / dt)))
+
+    previous: GrapeResult | None = None
+
+    def attempt(duration: float) -> GrapeResult:
+        initial = None
+        if warm_start and previous is not None:
+            initial = _resample_amplitudes(
+                previous.pulse.amplitudes, steps_for(duration), limits
+            )
+        return optimizer.optimize(
+            target,
+            duration,
+            fidelity_threshold=fidelity_threshold,
+            initial_amplitudes=initial,
+            plateau_iterations=plateau_iterations,
+            plateau_tolerance=plateau_tolerance,
+        )
+
     attempts = 0
+    evaluations = 0
     duration = max(2 * dt, 0.6 * estimate)
     last_failure = 0.0
     success: tuple[float, GrapeResult] | None = None
     while attempts < max_attempts:
         attempts += 1
-        result = optimizer.optimize(
-            target, duration, fidelity_threshold=fidelity_threshold
-        )
+        result = attempt(duration)
+        evaluations += result.evaluations
+        previous = result
         if result.converged:
             success = (duration, result)
             break
@@ -77,19 +157,28 @@ def minimal_pulse_time(
             f"(last duration {last_failure:.1f} ns)"
         )
     best_duration, best_result = success
-    low, high = last_failure, best_duration
+    # The bisection window is floored at 2*dt: when the very first
+    # attempt converges, last_failure is still 0.0, and bisecting
+    # against zero probes durations far below any physical pulse (the
+    # optimizer would clamp them to two steps of shrunken dt anyway) —
+    # each a guaranteed failure that used to burn a full GRAPE budget.
+    low, high = max(last_failure, 2 * dt), best_duration
+    previous = best_result
     for _ in range(bisection_rounds):
         if high - low <= 2 * dt:
             break
         middle = (low + high) / 2.0
         attempts += 1
-        result = optimizer.optimize(
-            target, middle, fidelity_threshold=fidelity_threshold
-        )
+        result = attempt(middle)
+        evaluations += result.evaluations
+        previous = result
         if result.converged:
             high, best_duration, best_result = middle, middle, result
         else:
             low = middle
     return TimeSearchResult(
-        duration=best_duration, grape=best_result, attempts=attempts
+        duration=best_duration,
+        grape=best_result,
+        attempts=attempts,
+        evaluations=evaluations,
     )

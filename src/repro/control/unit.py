@@ -20,6 +20,8 @@ units with different physics.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.config import (
@@ -64,7 +66,18 @@ class OptimalControlUnit:
         grape_dt: float | None = None,
         seed: int = 20190413,
         cache: PulseCache | CacheSession | None = None,
+        grape_kernel: str = "vectorized",
+        grape_warm_start: bool = True,
+        grape_plateau_iterations: int | None = 60,
     ) -> None:
+        """``grape_kernel`` / ``grape_warm_start`` /
+        ``grape_plateau_iterations`` select the optimal-control fast
+        path (the defaults) or the legacy behavior (``"reference"`` /
+        ``False`` / ``None``) — ``benchmarks/bench_batch.py`` measures
+        the two against each other.  Non-default values are folded into
+        the cache fingerprint: the kernels' gradients agree to ~1e-12
+        but their Adam trajectories (and therefore pulses) diverge, so
+        entries from different algorithm variants must never mix."""
         if backend not in _BACKENDS:
             raise ControlError(f"unknown backend {backend!r}; use {_BACKENDS}")
         if isinstance(device, Device):
@@ -78,6 +91,9 @@ class OptimalControlUnit:
         self.grape_qubit_limit = int(grape_qubit_limit)
         self.grape_dt = grape_dt if grape_dt is not None else compiler.grape_dt_ns
         self.seed = seed
+        self.grape_kernel = grape_kernel
+        self.grape_warm_start = bool(grape_warm_start)
+        self.grape_plateau_iterations = grape_plateau_iterations
         self.model = AnalyticLatencyModel(self.device, target=self.target)
         self.cache = cache if cache is not None else PulseCache()
         self._position_dependent = (
@@ -97,11 +113,16 @@ class OptimalControlUnit:
             grape_dt=self.grape_dt,
             seed=self.seed,
             target=self.target,
+            grape_kernel=grape_kernel,
+            grape_warm_start=self.grape_warm_start,
+            grape_plateau_iterations=grape_plateau_iterations,
         )
         self.cache_hits = 0
         self.grape_calls = 0
         self.grape_fallbacks = 0
         self.model_evals = 0
+        self.grape_evals = 0
+        self.grape_wall_seconds = 0.0
 
     def _node_signature(self, node, positional: bool = True) -> tuple:
         """Cache signature: structural, plus absolute support when the
@@ -115,6 +136,23 @@ class OptimalControlUnit:
         if self._position_dependent and positional:
             return signature + (("support",) + support_of(node),)
         return signature
+
+    def node_signature(self, node, positional: bool = True) -> tuple:
+        """Public form of the cache-signature convention.
+
+        The batch engine's pre-warm planner dedups GRAPE work across a
+        whole batch by this signature: two nodes mapping to the same
+        tuple (under the same unit configuration) are the same control
+        problem and share one cache entry.
+        """
+        return self._node_signature(node, positional)
+
+    def grape_eligible(self, node) -> bool:
+        """Whether this unit would answer ``latency(node)`` with GRAPE."""
+        return (
+            self.backend == "grape"
+            and len(support_of(node)) <= self.grape_qubit_limit
+        )
 
     # ------------------------------------------------------------------
     # Latency
@@ -214,6 +252,7 @@ class OptimalControlUnit:
             4 * self.grape_dt,
         )
         self.grape_calls += 1
+        started = time.perf_counter()
         search = minimal_pulse_time(
             target,
             hamiltonian,
@@ -221,7 +260,12 @@ class OptimalControlUnit:
             fidelity_threshold=self.compiler.fidelity_threshold,
             dt=self.grape_dt,
             seed=self.seed,
+            warm_start=self.grape_warm_start,
+            plateau_iterations=self.grape_plateau_iterations,
+            kernel=self.grape_kernel,
         )
+        self.grape_wall_seconds += time.perf_counter() - started
+        self.grape_evals += search.evaluations
         self.cache.put_pulse(key, search.grape)
         return search.grape
 
@@ -256,12 +300,15 @@ class OptimalControlUnit:
     # ------------------------------------------------------------------
     # Statistics
 
-    def cache_info(self) -> dict[str, int]:
+    def cache_info(self) -> dict[str, float]:
         """Cache and backend usage counters (partial-compilation stats).
 
         ``latency_entries``/``pulse_entries`` count the backing store
         (which other units may share); the remaining counters are local
-        to this unit.
+        to this unit.  ``grape_evals`` counts GRAPE loss+gradient
+        evaluations and ``grape_wall_seconds`` the wall-clock spent
+        inside the minimal-time search — the two numbers that show
+        where a cold batch's time goes (``BENCH_batch.json``).
         """
         return {
             "latency_entries": self.cache.latency_count,
@@ -270,6 +317,8 @@ class OptimalControlUnit:
             "grape_calls": self.grape_calls,
             "grape_fallbacks": self.grape_fallbacks,
             "model_evals": self.model_evals,
+            "grape_evals": self.grape_evals,
+            "grape_wall_seconds": self.grape_wall_seconds,
         }
 
 

@@ -287,6 +287,22 @@ def main(argv: list[str] | None = None) -> int:
         "processes (serialized jobs, GIL-free on multi-core machines)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("model", "grape"),
+        default="model",
+        help="optimal-control backend: the analytic latency model "
+        "(fast) or GRAPE pulse synthesis (the paper's full pipeline)",
+    )
+    parser.add_argument(
+        "--prewarm",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="batch pre-warm planner: dry-run each sweep against the "
+        "analytic model, synthesize every distinct control problem "
+        "exactly once across workers, then compile warm (auto: only "
+        "with --backend grape, where synthesis dominates)",
+    )
+    parser.add_argument(
         "--verify-ir",
         action="store_true",
         help="verify compiler IR between passes on every compilation "
@@ -350,9 +366,11 @@ def main(argv: list[str] | None = None) -> int:
     cache = DiskPulseCache(args.cache) if args.cache else None
     engine = BatchCompiler(
         cache=cache,
+        backend=args.backend,
         max_workers=args.workers,
         executor=args.executor,
         verify_ir=args.verify_ir,
+        prewarm={"auto": "auto", "on": True, "off": False}[args.prewarm],
     )
     if cache is not None and cache.loaded_entries:
         print(f"[warm cache: {cache.loaded_entries} entries from {args.cache}]")
@@ -373,6 +391,19 @@ def main(argv: list[str] | None = None) -> int:
             print(report)
             print(f"[{name} finished in {elapsed:.1f}s]\n")
     finally:
+        info = engine.lifetime_info
+        if info["grape_calls"] or info["grape_wall_seconds"]:
+            print(
+                f"[grape: {info['grape_calls']:.0f} syntheses, "
+                f"{info['grape_evals']:.0f} model evaluations, "
+                f"{info['grape_wall_seconds']:.1f}s wall"
+                + (
+                    f"; prewarm solved {info['prewarm_synthesized']:.0f}"
+                    if info["prewarm_synthesized"]
+                    else ""
+                )
+                + "]"
+            )
         # Persist even when a sweep dies halfway: hours of paper-scale
         # optimal-control work must survive for the next warm run.
         if cache is not None:

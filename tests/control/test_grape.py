@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.control.grape import GrapeOptimizer, _loss_and_gradient, _propagate
+from repro.control.grape import (
+    GRAPE_KERNELS,
+    GrapeOptimizer,
+    _loss_and_gradient,
+    _propagate,
+    _reduce_product,
+    _step_propagators,
+)
 from repro.control.hamiltonian import xy_hamiltonian
 from repro.errors import ControlError
 from repro.linalg.fidelity import unitary_trace_fidelity
@@ -54,6 +61,160 @@ class TestGradient:
         amplitudes = 0.1 * rng.standard_normal((6, two_qubit_ham.num_controls))
         loss, _ = _loss_and_gradient(amplitudes, operators, CNOT, 0.5)
         assert 0.0 <= loss <= 1.0
+
+
+def _random_unitary(dim: int, rng) -> np.ndarray:
+    """Haar-ish random unitary via QR of a complex Gaussian matrix."""
+    matrix = rng.standard_normal((dim, dim)) + 1j * rng.standard_normal(
+        (dim, dim)
+    )
+    q, r = np.linalg.qr(matrix)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+class TestKernelParity:
+    """The vectorized kernel must reproduce the reference loop exactly
+    (same contractions, different association order: ~1e-12 agreement)."""
+
+    @pytest.mark.parametrize(
+        "num_qubits,steps", [(1, 5), (2, 17), (2, 64), (3, 31)]
+    )
+    def test_matches_reference_on_xy_model(self, num_qubits, steps):
+        ham = xy_hamiltonian(num_qubits)
+        operators = np.stack([t.operator for t in ham.terms])
+        rng = np.random.default_rng(steps)
+        amplitudes = 0.2 * rng.standard_normal((steps, ham.num_controls))
+        target = _random_unitary(ham.dim, rng)
+        loss_v, grad_v = _loss_and_gradient(
+            amplitudes, operators, target, 0.5, kernel="vectorized"
+        )
+        loss_r, grad_r = _loss_and_gradient(
+            amplitudes, operators, target, 0.5, kernel="reference"
+        )
+        assert loss_v == pytest.approx(loss_r, abs=1e-12)
+        assert np.allclose(grad_v, grad_r, atol=1e-12)
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_matches_reference_on_random_hermitians(self, trial):
+        # Unstructured control operators: nothing about the XY model's
+        # sparsity can be load-bearing for parity.
+        rng = np.random.default_rng(100 + trial)
+        dim = int(rng.integers(2, 9))
+        num_controls = int(rng.integers(1, 5))
+        steps = int(rng.integers(2, 40))
+        raw = rng.standard_normal(
+            (num_controls, dim, dim)
+        ) + 1j * rng.standard_normal((num_controls, dim, dim))
+        operators = (raw + raw.conj().transpose(0, 2, 1)) / 2.0
+        amplitudes = 0.3 * rng.standard_normal((steps, num_controls))
+        target = _random_unitary(dim, rng)
+        loss_v, grad_v = _loss_and_gradient(
+            amplitudes, operators, target, 0.4, kernel="vectorized"
+        )
+        loss_r, grad_r = _loss_and_gradient(
+            amplitudes, operators, target, 0.4, kernel="reference"
+        )
+        assert loss_v == pytest.approx(loss_r, abs=1e-12)
+        assert np.allclose(grad_v, grad_r, atol=1e-12)
+
+    def test_degenerate_eigenvalues(self, two_qubit_ham):
+        # A zero pulse makes every step Hamiltonian identically zero —
+        # all eigenvalues coincide, exercising the divided-difference
+        # diagonal branch in both kernels.
+        operators = np.stack([t.operator for t in two_qubit_ham.terms])
+        amplitudes = np.zeros((6, two_qubit_ham.num_controls))
+        loss_v, grad_v = _loss_and_gradient(
+            amplitudes, operators, CNOT, 0.5, kernel="vectorized"
+        )
+        loss_r, grad_r = _loss_and_gradient(
+            amplitudes, operators, CNOT, 0.5, kernel="reference"
+        )
+        assert loss_v == pytest.approx(loss_r, abs=1e-12)
+        assert np.allclose(grad_v, grad_r, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", GRAPE_KERNELS)
+    def test_finite_differences(self, kernel, two_qubit_ham):
+        operators = np.stack([t.operator for t in two_qubit_ham.terms])
+        rng = np.random.default_rng(7)
+        amplitudes = 0.1 * rng.standard_normal((5, two_qubit_ham.num_controls))
+        _, gradient = _loss_and_gradient(
+            amplitudes, operators, CNOT, 0.5, kernel=kernel
+        )
+        eps = 1e-6
+        for j, k in [(0, 0), (2, 3), (4, 1)]:
+            plus = amplitudes.copy()
+            plus[j, k] += eps
+            minus = amplitudes.copy()
+            minus[j, k] -= eps
+            loss_plus, _ = _loss_and_gradient(
+                plus, operators, CNOT, 0.5, kernel=kernel
+            )
+            loss_minus, _ = _loss_and_gradient(
+                minus, operators, CNOT, 0.5, kernel=kernel
+            )
+            finite = (loss_plus - loss_minus) / (2 * eps)
+            assert gradient[j, k] == pytest.approx(finite, abs=1e-7)
+
+    @pytest.mark.parametrize("steps", [1, 2, 3, 5, 8, 13])
+    def test_reduce_product_matches_sequential(self, steps, two_qubit_ham):
+        operators = np.stack([t.operator for t in two_qubit_ham.terms])
+        rng = np.random.default_rng(steps)
+        amplitudes = 0.3 * rng.standard_normal(
+            (steps, two_qubit_ham.num_controls)
+        )
+        propagators, *_ = _step_propagators(amplitudes, operators, 0.5)
+        sequential = np.eye(two_qubit_ham.dim, dtype=complex)
+        for propagator in propagators:
+            sequential = propagator @ sequential
+        assert np.allclose(_reduce_product(propagators), sequential, atol=1e-13)
+
+    def test_unknown_kernel_rejected(self, two_qubit_ham):
+        with pytest.raises(ControlError, match="kernel"):
+            GrapeOptimizer(two_qubit_ham, kernel="looped")
+        operators = np.stack([t.operator for t in two_qubit_ham.terms])
+        with pytest.raises(ControlError, match="kernel"):
+            _loss_and_gradient(
+                np.zeros((2, len(operators))), operators, CNOT, 0.5, kernel="gpu"
+            )
+
+    def test_reference_kernel_optimizes_identically_short_runs(
+        self, one_qubit_ham
+    ):
+        # Short trajectories (before 1e-12 kernel noise can amplify):
+        # both kernels walk the same path.
+        fast = GrapeOptimizer(
+            one_qubit_ham, max_iterations=40, kernel="vectorized"
+        ).optimize(X, 8.0)
+        loop = GrapeOptimizer(
+            one_qubit_ham, max_iterations=40, kernel="reference"
+        ).optimize(X, 8.0)
+        assert np.allclose(
+            fast.pulse.amplitudes, loop.pulse.amplitudes, atol=1e-8
+        )
+        assert fast.fidelity == pytest.approx(loop.fidelity, abs=1e-8)
+
+
+class TestPlateau:
+    def test_infeasible_duration_stops_early(self, two_qubit_ham):
+        # 9 ns is below the iSWAP speed limit: the loss plateaus above
+        # the threshold, and the plateau budget cuts the attempt short.
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=250)
+        result = optimizer.optimize(ISWAP, 9.0, plateau_iterations=25)
+        assert not result.converged
+        assert result.evaluations < 250
+
+    def test_feasible_target_still_converges(self, two_qubit_ham):
+        optimizer = GrapeOptimizer(two_qubit_ham, max_iterations=400)
+        result = optimizer.optimize(CNOT, 20.0, plateau_iterations=40)
+        assert result.converged
+        assert result.fidelity >= 0.999
+
+    def test_evaluations_counts_iterations(self, one_qubit_ham):
+        result = GrapeOptimizer(one_qubit_ham, max_iterations=30).optimize(
+            X, 8.0
+        )
+        assert result.evaluations == len(result.loss_history)
+        assert result.evaluations == result.iterations
 
 
 class TestOptimization:

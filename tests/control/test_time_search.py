@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.control import time_search
+from repro.control.grape import GrapeResult
 from repro.control.hamiltonian import xy_hamiltonian
-from repro.control.time_search import minimal_pulse_time
+from repro.control.pulse import Pulse
+from repro.control.time_search import _resample_amplitudes, minimal_pulse_time
 from repro.errors import ControlError
 
 X = np.array([[0, 1], [1, 0]], dtype=complex)
@@ -48,3 +51,130 @@ class TestMinimalPulseTime:
                 max_attempts=2,
                 max_iterations=30,
             )
+
+    def test_accumulates_evaluations(self):
+        ham = xy_hamiltonian(1)
+        result = minimal_pulse_time(X, ham, estimate=6.0, max_iterations=250)
+        assert result.evaluations > 0
+        assert result.evaluations >= result.grape.evaluations
+
+
+class TestWarmStart:
+    def test_warm_start_cheaper_than_legacy_cold_restarts(self):
+        # The legacy search (cold random restarts, full iteration budget
+        # per attempt) and the warm-started plateau search must agree on
+        # the physics — both converge above threshold, near the same
+        # duration — while the warm path spends far fewer evaluations.
+        ham = xy_hamiltonian(2)
+        legacy = minimal_pulse_time(
+            ISWAP,
+            ham,
+            estimate=13.0,
+            max_iterations=300,
+            warm_start=False,
+            plateau_iterations=None,
+        )
+        warm = minimal_pulse_time(
+            ISWAP, ham, estimate=13.0, max_iterations=300
+        )
+        assert legacy.grape.converged and warm.grape.converged
+        assert warm.grape.fidelity >= 0.999
+        assert warm.duration >= 11.5  # still respects the speed limit
+        assert warm.evaluations < legacy.evaluations
+
+
+class _StubOptimizer:
+    """Records every duration the search probes; converges at a set
+    threshold.  Lets bisection behavior be pinned without running GRAPE."""
+
+    threshold = 1.2
+    probed: list[float] = []
+
+    def __init__(self, hamiltonian, dt=0.5, **kwargs) -> None:
+        self.hamiltonian = hamiltonian
+        self.dt = dt
+
+    def optimize(self, target, duration, **kwargs):
+        type(self).probed.append(duration)
+        converged = duration >= self.threshold
+        steps = max(2, int(round(duration / self.dt)))
+        return GrapeResult(
+            fidelity=0.9999 if converged else 0.5,
+            converged=converged,
+            iterations=3,
+            pulse=Pulse(
+                control_names=tuple(self.hamiltonian.control_names()),
+                amplitudes=np.zeros((steps, self.hamiltonian.num_controls)),
+                dt=duration / steps,
+            ),
+            final_unitary=np.eye(self.hamiltonian.dim, dtype=complex),
+            loss_history=[0.5, 0.3, 0.1],
+        )
+
+
+class TestBisectionFloor:
+    """When the *first* attempt converges, ``last_failure`` is still 0.0;
+    the bisection window must be floored at ``2*dt`` instead of probing
+    sub-physical durations against zero."""
+
+    @pytest.fixture
+    def stub(self, monkeypatch):
+        _StubOptimizer.probed = []
+        monkeypatch.setattr(time_search, "GrapeOptimizer", _StubOptimizer)
+        return _StubOptimizer
+
+    def test_first_attempt_success_skips_degenerate_bisection(self, stub):
+        # First probe: max(2*dt, 0.6*2.4) = 1.44 >= 1.2 -> converges.
+        # Floored window [1.0, 1.44] is already narrower than 2*dt, so
+        # the search stops instead of bisecting toward zero.
+        result = minimal_pulse_time(X, xy_hamiltonian(1), estimate=2.4)
+        assert result.attempts == 1
+        assert stub.probed == [pytest.approx(1.44)]
+        assert result.duration == pytest.approx(1.44)
+        assert result.evaluations == 3
+
+    def test_no_probe_below_two_steps(self, stub):
+        # Even with a wide-open window, every bisection probe stays at
+        # or above the two-step physical floor.
+        stub.threshold = 6.0
+        try:
+            result = minimal_pulse_time(
+                X, xy_hamiltonian(1), estimate=20.0, bisection_rounds=6
+            )
+        finally:
+            stub.threshold = 1.2
+        assert result.grape.converged
+        assert min(stub.probed) >= 2 * 0.5
+        assert result.evaluations == 3 * result.attempts
+
+
+class TestResampling:
+    def test_identity_when_steps_match(self):
+        limits = np.array([1.0, 2.0])
+        amplitudes = np.array([[0.5, -1.5], [-0.25, 0.75]])
+        out = _resample_amplitudes(amplitudes, 2, limits)
+        assert np.allclose(out, amplitudes)
+
+    def test_constant_pulse_stays_constant(self):
+        limits = np.array([1.0])
+        amplitudes = np.full((5, 1), 0.7)
+        out = _resample_amplitudes(amplitudes, 11, limits)
+        assert out.shape == (11, 1)
+        assert np.allclose(out, 0.7)
+
+    def test_resampled_respects_limits(self):
+        limits = np.array([0.3, 0.3])
+        rng = np.random.default_rng(5)
+        amplitudes = np.clip(rng.standard_normal((7, 2)), -0.3, 0.3)
+        out = _resample_amplitudes(amplitudes, 19, limits)
+        assert np.all(np.abs(out) <= limits + 1e-12)
+
+    def test_linear_ramp_preserved(self):
+        # A linear ramp resamples onto a denser grid as the same ramp.
+        limits = np.array([10.0])
+        ramp = np.linspace(-1.0, 1.0, 6)[:, None]
+        out = _resample_amplitudes(ramp, 12, limits)
+        inner = out[1:-1, 0]  # edges clamp to the old end centers
+        assert np.all(np.diff(inner) > 0)
+        assert out[0, 0] == pytest.approx(-1.0)
+        assert out[-1, 0] == pytest.approx(1.0)
