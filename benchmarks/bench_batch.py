@@ -22,6 +22,14 @@ machine-readable ``BENCH_batch.json`` (path overridable via the
   executors, and solution quality is recorded as total schedule
   latency on both sides.
 
+* **Shared-cache fleet** — two independent client processes compiling
+  the GRAPE sweep against one shared pulse store, in both sharing modes
+  (sharded cache directory; cache server over TCP).  Asserts the
+  fleet-wide exactly-once synthesis contract, >= 95% warm hit rate,
+  >= 3x warm speedup over the cold no-sharing baseline, and canonical
+  result parity, and records the full hit/miss/eviction/latency stats
+  of every client under the ``shared_cache`` section.
+
 Threads serialize the pure-Python pipeline on the GIL; the process
 executor's speedup therefore scales with physical cores and is expected
 to be >= 1.5x on multi-core CI runners (and necessarily ~1x or below on
@@ -31,9 +39,11 @@ a single-core machine, where only serialization overhead remains).
 import json
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.circuit.circuit import Circuit
 from repro.compiler.batch import BatchCompiler, BatchJob
+from repro.control.cache import CacheServer, PulseCache, hit_rate, resolve_cache
 from repro.ir import canonical_result_dict
 
 _JSON_PATH = os.environ.get("BENCH_BATCH_JSON", "BENCH_batch.json")
@@ -291,3 +301,158 @@ def test_grape_legacy_vs_optimized_sweep(capsys):
     assert (
         optimized.total_latency_ns() <= 1.05 * legacy.total_latency_ns()
     )
+
+
+def _fleet_client(args) -> dict:
+    """One fleet member: a full GRAPE sweep in its own process.
+
+    ``mode`` selects the store the client compiles against — its own
+    in-memory cache (``isolated``, the no-sharing baseline), a sharded
+    cache directory, or a cache server URL.  Runs at module level so the
+    process pool can pickle it.
+    """
+    mode, target = args
+    if mode == "isolated":
+        cache = None
+    elif mode == "sharded":
+        cache = resolve_cache(path=target, shards=4)
+    else:
+        cache = resolve_cache(url=target)
+    engine = BatchCompiler(backend="grape", cache=cache)
+    started = time.perf_counter()
+    report = engine.compile_batch(build_grape_sweep_jobs())
+    wall = time.perf_counter() - started
+    engine.save_cache()
+    stats = engine.cache_stats()
+    close = getattr(engine.cache, "close", None)
+    if close is not None:
+        close()
+    return {
+        "wall_seconds": wall,
+        "grape_calls": report.cache_info["grape_calls"],
+        "model_evals": report.cache_info["model_evals"],
+        "stats": stats,
+        "canonical": [canonical_result_dict(result) for result in report],
+    }
+
+
+def _run_client(mode: str, target) -> dict:
+    """Run one client in a fresh subprocess (fresh pool = fresh process)."""
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(_fleet_client, (mode, target)).result()
+
+
+def _fleet_section(cold: dict, warm: dict, isolated_wall: float) -> dict:
+    """Bench rows for one sharing mode, sans the per-mode hit-rate key."""
+    speedup = isolated_wall / max(warm["wall_seconds"], 1e-9)
+    return {
+        "cold": {k: cold[k] for k in ("wall_seconds", "grape_calls", "model_evals")},
+        "warm": {k: warm[k] for k in ("wall_seconds", "grape_calls", "model_evals")},
+        "cold_stats": cold["stats"],
+        "warm_stats": warm["stats"],
+        "warm_speedup_over_cold_isolated": speedup,
+    }
+
+
+def test_shared_cache_fleet(tmp_path, capsys):
+    """Two client processes, one shared store — both sharing modes.
+
+    The shared-cache contract, measured end to end: a cold client pays
+    for every synthesis exactly once *fleet-wide* (the warm client that
+    follows does zero optimal-control work in either mode), the warm
+    client's hit rate is >= 95%, its wall clock beats the no-sharing
+    cold baseline by >= 3x, and every client — isolated, sharded, or
+    server-backed — produces the identical canonical wire form.
+    """
+    isolated = _run_client("isolated", None)
+    signatures = isolated["grape_calls"]
+    assert signatures > 0, "baseline sweep did no synthesis; bench is vacuous"
+
+    directory = os.path.join(tmp_path, "fleet-cache")
+    sharded_cold = _run_client("sharded", directory)
+    sharded_warm = _run_client("sharded", directory)
+
+    server = CacheServer(PulseCache())
+    with server:
+        remote_cold = _run_client("remote", server.url)
+        remote_warm = _run_client("remote", server.url)
+        server_stats = server.stats()
+
+    # Exactly-once synthesis fleet-wide: the cold shared client does the
+    # same work as the isolated baseline, and the warm client does none.
+    for cold, warm, mode in (
+        (sharded_cold, sharded_warm, "sharded"),
+        (remote_cold, remote_warm, "server"),
+    ):
+        assert cold["grape_calls"] == signatures, (
+            f"{mode}: cold client synthesized {cold['grape_calls']} "
+            f"signatures, isolated baseline {signatures}"
+        )
+        assert warm["grape_calls"] == 0, (
+            f"{mode}: warm client re-synthesized "
+            f"{warm['grape_calls']} pulses the fleet already paid for"
+        )
+        assert warm["model_evals"] == 0, (
+            f"{mode}: warm client re-ran {warm['model_evals']} model evals"
+        )
+
+    # Canonical-result parity: sharing the store changes the bill, never
+    # the compiled output.
+    for client in (sharded_cold, sharded_warm, remote_cold, remote_warm):
+        assert client["canonical"] == isolated["canonical"]
+
+    # Warm hit rates: the sharded client autoloads its shards (memory
+    # hits); the remote client misses its empty L1 and hits the server.
+    sharded_rate = hit_rate(
+        sharded_warm["stats"]["store_hits"],
+        sharded_warm["stats"]["store_misses"],
+    )
+    remote_rate = hit_rate(
+        remote_warm["stats"]["remote_hits"],
+        remote_warm["stats"]["remote_misses"],
+    )
+    assert sharded_rate is not None and sharded_rate >= 0.95, (
+        f"sharded warm hit rate {sharded_rate} < 0.95"
+    )
+    assert remote_rate is not None and remote_rate >= 0.95, (
+        f"server warm hit rate {remote_rate} < 0.95"
+    )
+
+    isolated_wall = isolated["wall_seconds"]
+    sharded_section = _fleet_section(sharded_cold, sharded_warm, isolated_wall)
+    sharded_section["warm_hit_rate"] = sharded_rate
+    server_section = _fleet_section(remote_cold, remote_warm, isolated_wall)
+    server_section["warm_hit_rate"] = remote_rate
+    server_section["server_stats"] = server_stats
+    _PAYLOAD["shared_cache"] = {
+        "jobs": len(build_grape_sweep_jobs()),
+        "signatures_synthesized": signatures,
+        "cold_isolated": {
+            k: isolated[k]
+            for k in ("wall_seconds", "grape_calls", "model_evals")
+        },
+        "sharded": sharded_section,
+        "server": server_section,
+        "exactly_once_fleet_wide": True,
+        "canonical_parity": True,
+    }
+    _write_payload()
+    with capsys.disabled():
+        print()
+        print(
+            f"shared cache ({signatures} signatures): isolated cold "
+            f"{isolated_wall:.2f}s | sharded warm "
+            f"{sharded_warm['wall_seconds']:.2f}s "
+            f"({sharded_section['warm_speedup_over_cold_isolated']:.1f}x, "
+            f"hits {sharded_rate:.0%}) | server warm "
+            f"{remote_warm['wall_seconds']:.2f}s "
+            f"({server_section['warm_speedup_over_cold_isolated']:.1f}x, "
+            f"hits {remote_rate:.0%}) -> {_JSON_PATH}"
+        )
+
+    for mode, section in (("sharded", sharded_section), ("server", server_section)):
+        assert section["warm_speedup_over_cold_isolated"] >= 3.0, (
+            f"{mode}: warm client only "
+            f"{section['warm_speedup_over_cold_isolated']:.2f}x faster than "
+            f"the cold no-sharing baseline (< 3x)"
+        )

@@ -70,7 +70,12 @@ from repro.config import (
     DEFAULT_DEVICE,
     DeviceConfig,
 )
-from repro.control.cache import CacheSession, DiskPulseCache, PulseCache
+from repro.control.cache import (
+    CacheSession,
+    DiskPulseCache,
+    PulseCache,
+    resolve_cache,
+)
 from repro.control.unit import OptimalControlUnit, support_of
 from repro.device.device import Device
 from repro.device.presets import device_by_key
@@ -211,7 +216,12 @@ class BatchCompiler:
         compiler_config: Width limits, detection depth, etc.
         cache: Shared store; a fresh in-memory one when omitted.  Pass a
             :class:`~repro.control.cache.DiskPulseCache` (or use
-            :meth:`with_disk_cache`) for persistence across processes.
+            :meth:`with_disk_cache`) for persistence across processes,
+            any other :class:`~repro.control.cache.PulseCache` backend
+            (sharded directory, remote client), or a string spec —
+            ``"tcp://host:port"`` mounts a cache server, any other
+            string is a disk path (a directory mounts the sharded
+            store, a file stem the single-pair cache).
         backend: OCU backend, ``"model"`` or ``"grape"``.
         max_workers: Worker-thread count; ``None`` picks
             ``min(cpu_count, job count)``.
@@ -272,6 +282,15 @@ class BatchCompiler:
             device = device_by_key(device)
         self.device = device
         self.compiler_config = compiler_config
+        if isinstance(cache, str):
+            # A string selects a shared backend: "tcp://host:port" mounts
+            # the cache server, anything else is a disk path (a directory
+            # or sharded layout mounts the sharded store, a stem the
+            # single-pair cache).
+            if cache.startswith("tcp://"):
+                cache = resolve_cache(url=cache)
+            else:
+                cache = resolve_cache(path=cache)
         self.cache = cache if cache is not None else PulseCache()
         self.backend = backend
         self.max_workers = max_workers
@@ -824,17 +843,31 @@ class BatchCompiler:
                     for key in _COUNTER_KEYS:
                         counters[key] += used[key]
 
-    def _store_info(self, counters) -> dict[str, int]:
+    def _store_info(self, counters) -> dict:
         info = dict(counters)
         info["latency_entries"] = self.cache.latency_count
         info["pulse_entries"] = self.cache.pulse_count
+        # The store's own counters (hits/misses/evictions, plus backend
+        # extras like shard flushes or remote round trips) ride along so
+        # BatchReport.cache_info is the one-stop cache bill; the OCU
+        # counter sums above win on collision.
+        for key, value in self.cache.stats().items():
+            info.setdefault(key, value)
         return info
 
+    def cache_stats(self) -> dict:
+        """The shared store's backend-level counters (see ``stats()``)."""
+        return self.cache.stats()
+
     def save_cache(self) -> int:
-        """Persist the store when it is disk-backed; returns entries written."""
-        if isinstance(self.cache, DiskPulseCache):
-            return self.cache.save()
-        return 0
+        """Persist/flush the store; returns entries written upstream.
+
+        Every backend implements ``save()`` (a no-op returning 0 for the
+        plain in-memory store), so drivers call this unconditionally:
+        disk caches write their pair, sharded caches flush dirty shards
+        under their locks, remote caches upload the pending delta.
+        """
+        return self.cache.save()
 
 
 #: Process-local cache each worker accumulates across its job stream.

@@ -1,0 +1,244 @@
+"""The shared cache server: one warm pulse store for a whole fleet.
+
+A stdlib ``socketserver.ThreadingTCPServer`` speaking the
+length-prefixed JSON protocol of :mod:`repro.control.cache.protocol`.
+The server owns one :class:`~repro.control.cache.store.PulseCache`
+(optionally disk-backed, optionally byte-budgeted — eviction then
+happens server-side, fleet-wide) and answers point lookups, batched
+delta uploads, statistics queries, and the per-signature lease that
+gives remote clients fleet-wide single-flight synthesis.
+
+Run it standalone with ``python -m repro.control.cache_server`` or embed
+it (tests, examples)::
+
+    server = CacheServer(store=DiskPulseCache("fleet_cache"))
+    server.start()                      # background thread
+    ... clients connect to server.url ...
+    server.stop()                       # drains, saves a disk store
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+
+from repro.control.cache.protocol import (
+    PROTOCOL_FORMAT,
+    decode_latency_key,
+    decode_pulse_key,
+    recv_message,
+    send_message,
+)
+from repro.control.cache.store import PulseCache
+
+#: A crashed client's lease must not wedge its signature forever; after
+#: this many seconds an unreleased lease is grantable again.  Far above
+#: any real synthesis time at the paper's instruction widths.
+DEFAULT_LOCK_TTL_SECONDS = 300.0
+
+_OPS = (
+    "ping",
+    "get_latency",
+    "get_pulse",
+    "push_delta",
+    "stats",
+    "lock",
+    "unlock",
+)
+
+
+class _LeaseTable:
+    """Per-signature leases with a crash-recovery TTL."""
+
+    def __init__(self, ttl: float) -> None:
+        self.ttl = ttl
+        self._leases: dict[tuple, tuple[str, float]] = {}
+        self._lock = threading.Lock()
+        self.expired = 0
+
+    def acquire(self, key: tuple, owner: str) -> bool:
+        now = time.monotonic()
+        with self._lock:
+            held = self._leases.get(key)
+            if held is not None:
+                holder, deadline = held
+                if holder != owner and now < deadline:
+                    return False
+                if holder != owner:
+                    self.expired += 1
+            self._leases[key] = (owner, now + self.ttl)
+            return True
+
+    def release(self, key: tuple, owner: str) -> bool:
+        with self._lock:
+            held = self._leases.get(key)
+            if held is None or held[0] != owner:
+                return False
+            del self._leases[key]
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: a stream of request frames until EOF."""
+
+    def handle(self) -> None:
+        server: _TCPServer = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                request = recv_message(self.request)
+            except Exception:
+                return  # torn frame / reset: drop the connection
+            if request is None:
+                return
+            try:
+                response = server.cache_server.dispatch(request)
+            except Exception as error:  # never kill the server thread
+                response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            try:
+                send_message(self.request, response)
+            except OSError:
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    cache_server: CacheServer
+
+
+class CacheServer:
+    """The fleet cache: store + lease table + request dispatch.
+
+    Args:
+        store: The backing :class:`PulseCache` (any backend; pass a
+            :class:`~repro.control.cache.disk.DiskPulseCache` for
+            persistence or set its ``max_bytes`` for server-side
+            eviction).  A fresh in-memory store when omitted.
+        host / port: Bind address; port 0 picks a free port (read it
+            back from :attr:`url` after construction).
+        lock_ttl: Seconds before an unreleased synthesis lease expires.
+    """
+
+    def __init__(
+        self,
+        store: PulseCache | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lock_ttl: float = DEFAULT_LOCK_TTL_SECONDS,
+    ) -> None:
+        self.store = store if store is not None else PulseCache()
+        self.leases = _LeaseTable(lock_ttl)
+        self.started_at = time.time()
+        self.op_counts: dict[str, int] = dict.fromkeys(_OPS, 0)
+        self.errors = 0
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.cache_server = self
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._tcp.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> CacheServer:
+        """Serve from a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="cache-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._tcp.serve_forever()
+
+    def stop(self) -> int:
+        """Shut down and persist the store; returns entries saved."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        return self.store.save()
+
+    def __enter__(self) -> CacheServer:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request dispatch ------------------------------------------------
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op not in _OPS:
+            self.errors += 1
+            return {"ok": False, "error": f"unknown op {op!r}; known: {_OPS}"}
+        self.op_counts[op] += 1
+        return getattr(self, f"_op_{op}")(request)
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "format": PROTOCOL_FORMAT}
+
+    def _op_get_latency(self, request: dict) -> dict:
+        key = decode_latency_key(request["key"])
+        value = self.store.get_latency(key)
+        if value is None:
+            return {"ok": True, "found": False}
+        return {"ok": True, "found": True, "value": value}
+
+    def _op_get_pulse(self, request: dict) -> dict:
+        from repro.ir.serialize import grape_result_to_dict
+
+        key = decode_pulse_key(request["key"])
+        result = self.store.get_pulse(key)
+        if result is None:
+            return {"ok": True, "found": False}
+        return {"ok": True, "found": True, "result": grape_result_to_dict(result)}
+
+    def _op_push_delta(self, request: dict) -> dict:
+        from repro.ir.serialize import cache_delta_from_dict
+
+        delta = cache_delta_from_dict(request["delta"])
+        added = self.store.merge_delta(delta)
+        return {"ok": True, "added": added, "received": len(delta)}
+
+    def _op_stats(self, request: dict) -> dict:
+        from repro.ir.serialize import cache_stats_to_dict
+
+        return {"ok": True, "stats": cache_stats_to_dict(self.stats())}
+
+    def _op_lock(self, request: dict) -> dict:
+        key = decode_pulse_key(request["key"])
+        granted = self.leases.acquire(key, str(request["owner"]))
+        return {"ok": True, "granted": granted}
+
+    def _op_unlock(self, request: dict) -> dict:
+        key = decode_pulse_key(request["key"])
+        released = self.leases.release(key, str(request["owner"]))
+        return {"ok": True, "released": released}
+
+    # -- metrics ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Store stats plus server-side request/lease counters."""
+        info = self.store.stats()
+        info.update(
+            server_uptime_seconds=time.time() - self.started_at,
+            server_requests={k: v for k, v in self.op_counts.items() if v},
+            server_errors=self.errors,
+            server_active_leases=len(self.leases),
+            server_expired_leases=self.leases.expired,
+        )
+        return info

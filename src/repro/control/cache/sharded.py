@@ -1,0 +1,373 @@
+"""Sharded on-disk pulse store: many processes, one box, no server.
+
+A directory of ``shard-NNN.json``/``.npz`` pairs (the same pair format
+as :class:`~repro.control.cache.disk.DiskPulseCache`, one pair per
+shard) plus a ``locks/`` directory of advisory lock files.  Keys hash
+into shards by their structural signature, so the latency and pulse
+entries of one control problem co-locate and concurrent writers rarely
+touch the same pair.
+
+Safety model:
+
+* **Readers never lock.**  Shard files are only ever replaced
+  atomically, so a reader sees either the old complete pair or the new
+  complete pair, and the ``save_id`` check pairs manifests with arrays.
+* **Writers merge under the shard lock.**  :meth:`save` re-reads each
+  dirty shard from disk, overlays this process's entries, and writes the
+  union — two processes flushing interleaved entries cannot lose each
+  other's writes.  Last-write-wins on shared keys is safe because keys
+  are content-addressed.
+* **Synthesis is single-flighted.**  :meth:`exclusive` takes a per-key
+  lock file; the winner synthesizes, flushes, and releases, and the
+  losers' re-check then reads the published entry from the refreshed
+  shard — each distinct signature is synthesized once per *fleet*, not
+  once per process.
+
+Misses consult the disk: a lookup that misses in memory stats the key's
+shard file and reloads it when another process has replaced it since the
+last load (one ``stat`` per cold miss, no reload when nothing changed).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import time
+
+from repro.control.cache.disk import encode_pair, read_pair, write_pair
+from repro.control.cache.locking import FileLock
+from repro.control.cache.store import (
+    CacheDelta,
+    LatencyKey,
+    PulseCache,
+    PulseKey,
+    latency_entry_bytes,
+    pulse_entry_bytes,
+)
+from repro.errors import ControlError
+
+SHARDED_FORMAT = "repro-pulse-cache-sharded-v1"
+DEFAULT_SHARDS = 8
+
+
+class ShardedDiskPulseCache(PulseCache):
+    """A pulse store sharded across per-signature files in one directory.
+
+    Args:
+        path: Cache directory (created on demand).  Holds one
+            ``shard-NNN.json``/``.npz`` pair per shard, a ``locks/``
+            subdirectory, and a ``sharding.json`` manifest pinning the
+            shard count.
+        shards: Shard count for a *new* directory; ``None`` adopts an
+            existing directory's count (default ``8`` when creating).
+            Opening an existing directory with a conflicting explicit
+            count raises — processes disagreeing on the hash ring would
+            silently miss each other's entries.
+        max_bytes: In-memory LRU budget (see :class:`PulseCache`).
+            Entries evicted from memory may still live in their shard
+            file and come back on a later miss via the disk read-through.
+        max_shard_bytes: On-disk budget *per shard file*.  When a flush
+            would write a larger shard, entries are trimmed — disk-only
+            entries (least recently seen by anyone here) first, then this
+            process's LRU — and counted as ``disk_evictions``.
+        autoload: Load every existing shard immediately (default).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        shards: int | None = None,
+        max_bytes: int | None = None,
+        max_shard_bytes: int | None = None,
+        autoload: bool = True,
+    ) -> None:
+        super().__init__(max_bytes=max_bytes)
+        self.directory = os.fspath(path)
+        self.max_shard_bytes = max_shard_bytes
+        self.shards = self._resolve_shard_count(shards)
+        self._dirty: set[int] = set()
+        #: (st_mtime_ns, st_size) of each shard manifest at last load;
+        #: None = known absent.  Missing key = never looked.
+        self._shard_states: dict[int, tuple | None] = {}
+        self.loaded_entries = 0
+        self.pulse_entries_skipped = 0
+        self.shard_loads = 0
+        self.shard_flushes = 0
+        self.disk_evictions = 0
+        self.lock_wait_seconds = 0.0
+        if autoload:
+            self.load()
+
+    # -- layout ----------------------------------------------------------
+
+    def shard_stem(self, index: int) -> str:
+        return os.path.join(self.directory, f"shard-{index:03d}")
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, "sharding.json")
+
+    def _lock_path(self, name: str) -> str:
+        return os.path.join(self.directory, "locks", name)
+
+    def _resolve_shard_count(self, requested: int | None) -> int:
+        """Pin the shard count in ``sharding.json`` (first writer wins)."""
+        manifest = self._manifest_path()
+        existing = None
+        try:
+            with open(manifest, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("format") != SHARDED_FORMAT:
+                raise ControlError(
+                    f"{manifest}: unknown sharded-cache format "
+                    f"{payload.get('format')!r} (expected {SHARDED_FORMAT!r})"
+                )
+            existing = int(payload["shards"])
+        except FileNotFoundError:
+            pass
+        if existing is not None:
+            if requested is not None and requested != existing:
+                raise ControlError(
+                    f"{self.directory} is sharded {existing} ways but "
+                    f"shards={requested} was requested; processes must "
+                    f"agree on the hash ring"
+                )
+            return existing
+        count = DEFAULT_SHARDS if requested is None else int(requested)
+        if count < 1:
+            raise ControlError(f"shards must be >= 1, got {count}")
+        os.makedirs(self.directory, exist_ok=True)
+        with FileLock(self._lock_path("sharding.lock")):
+            # Re-check under the lock: another process may have won.
+            try:
+                with open(manifest, encoding="utf-8") as handle:
+                    winner = int(json.load(handle)["shards"])
+                if requested is not None and winner != requested:
+                    raise ControlError(
+                        f"{self.directory} was concurrently sharded "
+                        f"{winner} ways (requested {requested})"
+                    )
+                return winner
+            except FileNotFoundError:
+                pass
+            tmp = manifest + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"format": SHARDED_FORMAT, "shards": count}, handle)
+            os.replace(tmp, manifest)
+        return count
+
+    def shard_of(self, key: tuple) -> int:
+        """Which shard a key lives in.
+
+        Hashes the (fingerprint, signature) pair — the first and last
+        elements of both key shapes — so a control problem's latency and
+        pulse entries land in the same shard.
+        """
+        token = repr((key[0], key[-1])).encode()
+        return int.from_bytes(
+            hashlib.sha256(token).digest()[:8], "big"
+        ) % self.shards
+
+    # -- lookups with disk read-through ----------------------------------
+
+    def get_latency(self, key: LatencyKey) -> float | None:
+        value = super().get_latency(key)
+        if value is None and self._refresh_shard(self.shard_of(key)):
+            value = super().get_latency(key)
+        return value
+
+    def get_pulse(self, key: PulseKey):
+        result = super().get_pulse(key)
+        if result is None and self._refresh_shard(self.shard_of(key)):
+            result = super().get_pulse(key)
+        return result
+
+    def put_latency(self, key: LatencyKey, value: float) -> None:
+        super().put_latency(key, value)
+        with self._lock:
+            self._dirty.add(self.shard_of(key))
+
+    def put_pulse(self, key: PulseKey, result) -> None:
+        super().put_pulse(key, result)
+        with self._lock:
+            self._dirty.add(self.shard_of(key))
+
+    def merge_delta(self, delta: CacheDelta) -> int:
+        added = super().merge_delta(delta)
+        shards = {self.shard_of(key) for key in delta.latencies}
+        shards.update(self.shard_of(key) for key in delta.pulses)
+        with self._lock:
+            self._dirty.update(shards)
+        return added
+
+    # -- disk traffic ----------------------------------------------------
+
+    def _stat_shard(self, index: int) -> tuple | None:
+        try:
+            info = os.stat(self.shard_stem(index) + ".json")
+        except FileNotFoundError:
+            return None
+        return (info.st_mtime_ns, info.st_size)
+
+    def _refresh_shard(self, index: int) -> bool:
+        """Reload one shard if its file changed since we last read it.
+
+        Returns True when a reload happened (the caller's miss is worth
+        retrying).  The stat is taken *before* the read, so a replace
+        racing the read at worst causes one redundant reload later.
+
+        A reader racing a writer's two atomic replaces can catch the
+        *old* manifest with the *new* arrays (or vice versa); the
+        ``save_id`` check then reports the pulses as skipped.  That
+        window is transient — the writer finishes both replaces in
+        milliseconds — so a skipped read is retried briefly before the
+        skip is accepted; without the retry, a peer blocked on the
+        single-flight lock could miss the just-published pulse and
+        re-synthesize it, breaking the exactly-once-per-fleet guarantee
+        (the multiprocess stress test catches exactly this).
+        """
+        state = self._stat_shard(index)
+        if state == self._shard_states.get(index, ()):  # () = never looked
+            return False
+        if state is None:
+            self._shard_states[index] = None
+            return False
+        for attempt in range(5):
+            latencies, pulses, skipped = read_pair(self.shard_stem(index))
+            if not skipped:
+                break
+            time.sleep(0.002 * (attempt + 1))
+            state = self._stat_shard(index) or state
+        self.pulse_entries_skipped += skipped
+        with self._lock:
+            for key, value in latencies.items():
+                if key not in self._latencies:
+                    self._set_latency(key, value)
+            for key, result in pulses.items():
+                if key not in self._pulses:
+                    self._set_pulse(key, result)
+            self._evict_over_budget()
+            self._shard_states[index] = state
+        self.shard_loads += 1
+        return True
+
+    def load(self) -> int:
+        """Read every shard into memory; returns entries loaded."""
+        before = self.latency_count + self.pulse_count
+        for index in range(self.shards):
+            self._shard_states.pop(index, None)
+            self._refresh_shard(index)
+        self.loaded_entries = self.latency_count + self.pulse_count - before
+        return self.loaded_entries
+
+    def save(self) -> int:
+        """Flush every dirty shard: lock, merge with disk, atomic replace.
+
+        Returns the total entry count of the shards written (union of
+        disk and memory, post-trim).  Concurrent flushers of one shard
+        serialize on its lock and each write the union, so no entry is
+        ever lost to an interleaved flush.
+        """
+        with self._lock:
+            dirty = sorted(self._dirty)
+            self._dirty.clear()
+        written = 0
+        for index in dirty:
+            written += self._flush_shard(index)
+        return written
+
+    def _flush_shard(self, index: int) -> int:
+        lock = FileLock(self._lock_path(f"shard-{index:03d}.lock"))
+        with lock:
+            disk_lat, disk_pul, _ = read_pair(self.shard_stem(index))
+            with self._lock:
+                ours_lat = {
+                    key: value
+                    for key, value in self._latencies.items()
+                    if self.shard_of(key) == index
+                }
+                ours_pul = {
+                    key: result
+                    for key, result in self._pulses.items()
+                    if self.shard_of(key) == index
+                }
+            merged_lat = {**disk_lat, **ours_lat}
+            merged_pul = {**disk_pul, **ours_pul}
+            self._trim_shard(merged_lat, merged_pul, ours_lat, ours_pul)
+            payload, arrays = encode_pair(merged_lat, merged_pul)
+            write_pair(self.shard_stem(index), payload, arrays)
+            # Invalidate (never update) the freshness marker: the file we
+            # just wrote contains disk entries merged through from *other*
+            # processes that were never loaded into memory.  Marking it
+            # "seen" would make those entries permanently invisible to the
+            # read-through (a miss would compare stats, conclude nothing
+            # changed, and skip the reload) — the next miss must re-read.
+            self._shard_states.pop(index, None)
+        self.lock_wait_seconds += lock.waited_seconds
+        self.shard_flushes += 1
+        return len(merged_lat) + len(merged_pul)
+
+    def _trim_shard(self, latencies, pulses, ours_lat, ours_pul) -> None:
+        """Enforce ``max_shard_bytes`` on the about-to-be-written union.
+
+        Disk-only entries go first (no one here has used them since the
+        last load), then this process's LRU order; the trim mutates the
+        merged maps in place and counts ``disk_evictions``.  Correct for
+        the same reason memory eviction is: content-addressed entries
+        are recomputed on miss, never answered wrong.
+        """
+        if self.max_shard_bytes is None:
+            return
+        sized = []  # (priority, size, kind, key) — evict low priority first
+        for key, value in latencies.items():
+            size = latency_entry_bytes(key)
+            stamp = self._stamps.get(("latency", key), -1)
+            sized.append(((key in ours_lat, stamp), size, "latency", key))
+        for key, result in pulses.items():
+            size = pulse_entry_bytes(key, result)
+            stamp = self._stamps.get(("pulse", key), -1)
+            sized.append(((key in ours_pul, stamp), size, "pulse", key))
+        total = sum(size for _, size, _, _ in sized)
+        for priority, size, kind, key in sorted(sized, key=lambda x: x[0]):
+            if total <= self.max_shard_bytes or len(sized) == 1:
+                break
+            del (latencies if kind == "latency" else pulses)[key]
+            total -= size
+            self.disk_evictions += 1
+
+    # -- single-flight ---------------------------------------------------
+
+    @contextlib.contextmanager
+    def exclusive(self, key: PulseKey):
+        """Fleet-wide single-flight on one signature via a key lock file.
+
+        While we blocked on the lock, the previous holder synthesized
+        and flushed; the caller's re-check then misses in memory and
+        read-throughs to the refreshed shard.  On release, everything
+        this process has buffered is flushed so *our* synthesis is
+        visible before any blocked peer re-checks.
+        """
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+        lock = FileLock(self._lock_path(f"key-{digest}.lock"))
+        with lock:
+            try:
+                yield
+            finally:
+                self.save()
+        self.lock_wait_seconds += lock.waited_seconds
+
+    # -- metrics ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        info = super().stats()
+        info.update(
+            backend="sharded-disk",
+            shards=self.shards,
+            shard_loads=self.shard_loads,
+            shard_flushes=self.shard_flushes,
+            disk_evictions=self.disk_evictions,
+            lock_wait_seconds=self.lock_wait_seconds,
+            max_shard_bytes=self.max_shard_bytes,
+        )
+        return info

@@ -1,0 +1,466 @@
+"""In-memory pulse/latency store: fingerprints, deltas, LRU eviction.
+
+The base layer of the shared-cache stack (see the package docstring).
+:class:`PulseCache` is the thread-safe store every other backend builds
+on; :class:`CacheSession` is the worker-local buffered view the batch
+engine compiles through; :class:`CacheDelta` is the unit of merge both
+use.  Everything cross-process — disk pairs, shards, the socket server —
+lives in sibling modules and subclasses :class:`PulseCache`.
+
+Eviction
+--------
+Pass ``max_bytes`` to bound the store.  Entries (latencies *and* pulses,
+one recency order across both) are tracked with an approximate byte size
+(:func:`latency_entry_bytes` / :func:`pulse_entry_bytes`) and the least
+recently used entries are dropped whenever the total exceeds the budget.
+Keys are content-addressed — a structural signature plus a configuration
+fingerprint fully determines the value — so eviction is always *correct*:
+a dropped entry is recomputed on the next miss, never answered wrong.
+The entry being written is never the eviction victim, so ``put`` followed
+by ``get`` always hits even when one entry exceeds the whole budget.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.config import CompilerConfig, DeviceConfig
+from repro.control.grape import GrapeResult
+
+CACHE_FORMAT = "repro-pulse-cache-v1"
+
+#: A latency entry key: (fingerprint, backend tag, structural signature).
+LatencyKey = tuple
+#: A pulse entry key: (fingerprint, structural signature).
+PulseKey = tuple
+
+#: Flat bookkeeping charge per entry (key objects, dict slots, stamps).
+_ENTRY_OVERHEAD_BYTES = 64
+
+
+def config_fingerprint(
+    device: DeviceConfig,
+    compiler: CompilerConfig,
+    grape_qubit_limit: int,
+    grape_dt: float,
+    seed: int,
+    target=None,
+    grape_kernel: str = "vectorized",
+    grape_warm_start: bool = True,
+    grape_plateau_iterations: int | None = 60,
+) -> str:
+    """Digest of everything that changes cached latencies or pulses.
+
+    Two units agree on every cache entry iff their fingerprints match, so
+    entries from incompatible configurations can coexist in one store
+    without ever being confused.
+
+    Args:
+        device: Homogeneous baseline physics.
+        target: Optional full :class:`~repro.device.device.Device`.  Its
+            :meth:`~repro.device.device.Device.coupling_signature` —
+            topology wiring plus the per-edge coupling overrides — is
+            folded in whenever the device carries such overrides, so entries
+            computed for heterogeneously-priced devices can never
+            collide with another device's.  Any other target hashes
+            identically to a bare ``DeviceConfig``: latencies and pulses
+            then depend only on instruction structure and the baseline
+            physics (t1/t2 overrides feed the decoherence model, never
+            the cache), so sharing entries across topologies is free
+            warm-cache coverage, not a collision.
+    """
+    compiler_payload = dataclasses.asdict(compiler)
+    # The aggregation-loop round cap shapes which merges execute, never
+    # the latency or pulse of a given instruction — hashing it would
+    # cold-start the cache on every ablation of the cap.
+    compiler_payload.pop("max_aggregation_rounds", None)
+    payload = {
+        "device": dataclasses.asdict(device),
+        "compiler": compiler_payload,
+        "grape_qubit_limit": int(grape_qubit_limit),
+        "grape_dt": float(grape_dt),
+        "seed": int(seed),
+    }
+    if target is not None and target.has_heterogeneous_couplings:
+        payload["target"] = repr(target.coupling_signature())
+    # Algorithm variants fold in only when they differ from the default
+    # fast path: the default fingerprint is stable across releases, while
+    # pulses from the legacy kernel / cold-restart search (whose Adam
+    # trajectories differ) can never collide with fast-path entries.
+    if grape_kernel != "vectorized":
+        payload["grape_kernel"] = grape_kernel
+    if not grape_warm_start:
+        payload["grape_warm_start"] = False
+    if grape_plateau_iterations != 60:
+        payload["grape_plateau_iterations"] = grape_plateau_iterations
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def latency_entry_bytes(key: LatencyKey) -> int:
+    """Approximate resident size of one latency entry."""
+    return _ENTRY_OVERHEAD_BYTES + len(repr(key)) + 8
+
+
+def pulse_entry_bytes(key: PulseKey, result: GrapeResult) -> int:
+    """Approximate resident size of one pulse entry (array-dominated)."""
+    arrays = (
+        np.asarray(result.pulse.amplitudes).nbytes
+        + np.asarray(result.final_unitary).nbytes
+        + 8 * len(result.loss_history)
+    )
+    return _ENTRY_OVERHEAD_BYTES + len(repr(key)) + arrays
+
+
+@dataclasses.dataclass
+class CacheDelta:
+    """Entries a worker added on top of a shared store."""
+
+    latencies: dict[LatencyKey, float] = dataclasses.field(default_factory=dict)
+    pulses: dict[PulseKey, GrapeResult] = dataclasses.field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.latencies) + len(self.pulses)
+
+    def extend(self, other: CacheDelta) -> None:
+        """Fold another delta's entries into this one (last write wins)."""
+        self.latencies.update(other.latencies)
+        self.pulses.update(other.pulses)
+
+
+class PulseCache:
+    """Thread-safe in-memory latency/pulse store.
+
+    The same store may back many optimal-control units at once (the batch
+    engine's workers); all mutation happens under one lock.
+
+    Args:
+        max_bytes: Optional LRU eviction budget (see the module
+            docstring).  ``None`` (default) means unbounded.
+    """
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        self._latencies: OrderedDict[LatencyKey, float] = OrderedDict()
+        self._pulses: OrderedDict[PulseKey, GrapeResult] = OrderedDict()
+        self._lock = threading.Lock()
+        #: Global recency stamp per ("latency"|"pulse", key); the fronts
+        #: of the two OrderedDicts are each map's LRU entry, and the
+        #: stamp orders those two fronts against each other.
+        self._stamps: dict[tuple, int] = {}
+        self._sizes: dict[tuple, int] = {}
+        self._tick = 0
+        self.max_bytes = max_bytes
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.lookup_seconds = 0.0
+
+    # -- pickling: locks cannot cross process boundaries -----------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- lookups ---------------------------------------------------------
+
+    def get_latency(self, key: LatencyKey) -> float | None:
+        started = time.perf_counter()
+        with self._lock:
+            value = self._latencies.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._touch("latency", key)
+            self.lookup_seconds += time.perf_counter() - started
+            return value
+
+    def put_latency(self, key: LatencyKey, value: float) -> None:
+        with self._lock:
+            self._set_latency(key, float(value))
+            self.stores += 1
+            self._evict_over_budget(protect=("latency", key))
+
+    def get_pulse(self, key: PulseKey) -> GrapeResult | None:
+        started = time.perf_counter()
+        with self._lock:
+            result = self._pulses.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._touch("pulse", key)
+            self.lookup_seconds += time.perf_counter() - started
+            return result
+
+    def put_pulse(self, key: PulseKey, result: GrapeResult) -> None:
+        with self._lock:
+            self._set_pulse(key, result)
+            self.stores += 1
+            self._evict_over_budget(protect=("pulse", key))
+
+    # -- single-flight ----------------------------------------------------
+
+    @contextlib.contextmanager
+    def exclusive(self, key: PulseKey):
+        """Single-flight guard around one expensive synthesis.
+
+        The optimal-control unit wraps GRAPE synthesis in
+        ``with cache.exclusive(key): re-check; synthesize; put`` so that
+        backends with cross-process peers (the sharded directory store,
+        the remote client) can serialize fleet-wide synthesis of one
+        signature and publish the result before releasing.  The in-memory
+        base store has no peers, so this is a no-op — in-process thread
+        dedup is the pre-warm planner's job, and keeping the historical
+        behavior bit-identical keeps the PR 7 parity suites meaningful.
+        """
+        yield
+
+    # -- bulk operations -------------------------------------------------
+
+    def merge_delta(self, delta: CacheDelta) -> int:
+        """Fold a worker's delta in; returns how many entries were *new*.
+
+        Last write wins on keys both sides hold — safe because keys are
+        content-addressed, so both sides hold the same value (modulo
+        recomputation of bit-identical results).  The count covers keys
+        the store had never seen: merging the same delta twice reports
+        the second merge as 0, and interleaved merges from two sessions
+        commute (``tests/control/test_cache.py`` pins both properties).
+        """
+        added = 0
+        with self._lock:
+            for key, value in delta.latencies.items():
+                if self._set_latency(key, float(value)):
+                    added += 1
+                self.stores += 1
+            for key, result in delta.pulses.items():
+                if self._set_pulse(key, result):
+                    added += 1
+                self.stores += 1
+            self._evict_over_budget()
+        return added
+
+    def snapshot_delta(self) -> CacheDelta:
+        """The whole store as one :class:`CacheDelta` (copied under lock).
+
+        This is how a warm store travels: serialize the snapshot
+        (:func:`repro.ir.serialize.cache_delta_to_dict`), ship it across
+        the process boundary, and ``merge_delta`` it into the far store —
+        the batch engine seeds each worker process this way so warm
+        caches skip optimal-control work in process mode too.
+        """
+        with self._lock:
+            return CacheDelta(
+                latencies=dict(self._latencies), pulses=dict(self._pulses)
+            )
+
+    def save(self) -> int:
+        """Persist the store where the backend supports it.
+
+        The in-memory base has nothing to persist; disk-backed, sharded
+        and remote subclasses override.  Always safe to call — drivers
+        can ``engine.save_cache()`` without caring which backend is
+        mounted.
+        """
+        return 0
+
+    @property
+    def latency_count(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def pulse_count(self) -> int:
+        return len(self._pulses)
+
+    def stats(self) -> dict:
+        """Store-level counters (per-unit counters live on the OCU).
+
+        Every backend reports at least these fields; subclasses add
+        their own (shard loads, remote round trips, ...) on top.
+        ``lookup_seconds`` is the cumulative wall-clock spent answering
+        ``get_*`` calls — microseconds here, but the same field measures
+        real network round trips on the remote backend.
+        """
+        return {
+            "backend": "memory",
+            "latency_entries": self.latency_count,
+            "pulse_entries": self.pulse_count,
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_writes": self.stores,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "total_bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "lookup_seconds": self.lookup_seconds,
+        }
+
+    # -- internals (call with the lock held) ------------------------------
+
+    def _touch(self, kind: str, key: tuple) -> None:
+        mapping = self._latencies if kind == "latency" else self._pulses
+        mapping.move_to_end(key)
+        self._tick += 1
+        self._stamps[(kind, key)] = self._tick
+
+    def _set_latency(self, key: LatencyKey, value: float) -> bool:
+        """Insert/overwrite one latency entry; True when the key is new."""
+        fresh = key not in self._latencies
+        if not fresh:
+            self.total_bytes -= self._sizes[("latency", key)]
+        self._latencies[key] = value
+        size = latency_entry_bytes(key)
+        self._sizes[("latency", key)] = size
+        self.total_bytes += size
+        self._touch("latency", key)
+        return fresh
+
+    def _set_pulse(self, key: PulseKey, result: GrapeResult) -> bool:
+        fresh = key not in self._pulses
+        if not fresh:
+            self.total_bytes -= self._sizes[("pulse", key)]
+        self._pulses[key] = result
+        size = pulse_entry_bytes(key, result)
+        self._sizes[("pulse", key)] = size
+        self.total_bytes += size
+        self._touch("pulse", key)
+        return fresh
+
+    def _lru_of(self, mapping, kind: str, protect):
+        for key in mapping:
+            if protect == (kind, key):
+                continue
+            return (self._stamps[(kind, key)], kind, key)
+        return None
+
+    def _evict_over_budget(self, protect: tuple | None = None) -> None:
+        """Drop globally-LRU entries until the byte budget is met.
+
+        ``protect`` names the entry being written right now: it is never
+        the victim, so a single oversized entry still round-trips.
+        """
+        if self.max_bytes is None:
+            return
+        while self.total_bytes > self.max_bytes:
+            candidates = [
+                entry
+                for entry in (
+                    self._lru_of(self._latencies, "latency", protect),
+                    self._lru_of(self._pulses, "pulse", protect),
+                )
+                if entry is not None
+            ]
+            if not candidates:
+                return
+            _, kind, key = min(candidates)
+            self._evict_entry(kind, key)
+
+    def _evict_entry(self, kind: str, key: tuple) -> None:
+        mapping = self._latencies if kind == "latency" else self._pulses
+        del mapping[key]
+        self._stamps.pop((kind, key), None)
+        size = self._sizes.pop((kind, key))
+        self.total_bytes -= size
+        self.evictions += 1
+        self.evicted_bytes += size
+
+
+class CacheSession:
+    """Worker-local cache view: read-through, buffered writes.
+
+    Exposes the same interface as :class:`PulseCache`, so an
+    :class:`~repro.control.unit.OptimalControlUnit` can be constructed
+    directly on top of it.  All writes land in :attr:`delta`; the batch
+    engine merges the delta into the shared store when the job finishes,
+    which keeps workers from contending on the store's lock for every
+    query while still letting later jobs reuse earlier jobs' work.
+
+    The session keeps its own :attr:`hits`/:attr:`misses` counters — a
+    hit is answered by either layer (the buffered delta or the shared
+    store), a miss by neither — so per-worker hit rates stay observable
+    even when many sessions share one store.
+    """
+
+    def __init__(self, store: PulseCache) -> None:
+        self.store = store
+        self.delta = CacheDelta()
+        self.hits = 0
+        self.misses = 0
+
+    def get_latency(self, key: LatencyKey) -> float | None:
+        value = self.delta.latencies.get(key)
+        if value is None:
+            value = self.store.get_latency(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put_latency(self, key: LatencyKey, value: float) -> None:
+        self.delta.latencies[key] = float(value)
+
+    def get_pulse(self, key: PulseKey) -> GrapeResult | None:
+        result = self.delta.pulses.get(key)
+        if result is None:
+            result = self.store.get_pulse(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put_pulse(self, key: PulseKey, result: GrapeResult) -> None:
+        self.delta.pulses[key] = result
+
+    @contextlib.contextmanager
+    def exclusive(self, key: PulseKey):
+        """Delegate single-flight to the store, publishing through it.
+
+        A pulse synthesized inside the guard is buffered in the session
+        delta as usual, but is *also* written through to the store before
+        the store's guard releases — cross-process backends flush to
+        their shared medium on release, so a peer that was blocked on
+        the same signature finds the finished pulse instead of
+        re-synthesizing it.  (The later ``merge_delta`` of the full
+        session delta then reports it as not-new, which is exactly the
+        idempotence ``merge_delta`` guarantees.)
+        """
+        with self.store.exclusive(key):
+            yield
+            result = self.delta.pulses.get(key)
+            if result is not None:
+                self.store.put_pulse(key, result)
+
+    @property
+    def latency_count(self) -> int:
+        return self.store.latency_count + len(self.delta.latencies)
+
+    @property
+    def pulse_count(self) -> int:
+        return self.store.pulse_count + len(self.delta.pulses)
+
+    def stats(self) -> dict:
+        """Session hit/miss counters over the backing store's stats."""
+        info = self.store.stats()
+        info["session_hits"] = self.hits
+        info["session_misses"] = self.misses
+        info["session_buffered"] = len(self.delta)
+        return info

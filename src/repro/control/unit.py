@@ -240,6 +240,26 @@ class OptimalControlUnit:
                 f"instruction width {len(support)} exceeds the GRAPE limit "
                 f"{self.grape_qubit_limit}"
             )
+        with self.cache.exclusive(key):
+            return self._synthesize_locked(key, node, support, positional)
+
+    def _synthesize_locked(self, key, node, support, positional) -> GrapeResult:
+        """The expensive half of :meth:`synthesize_pulse`, run under the
+        cache's single-flight guard.
+
+        The re-check is the point of the guard: while we blocked on it, a
+        peer (thread, process, or another machine, depending on the cache
+        backend) may have synthesized this exact signature and published
+        it — content-addressed keys make its result interchangeable with
+        ours, so adopting it keeps each signature synthesized once per
+        fleet.  For the in-memory base cache the guard is a no-op and the
+        re-check hits only on the buffered entry it just missed, i.e.
+        never — behavior is bit-identical to the unguarded path.
+        """
+        cached = self.cache.get_pulse(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
         gates = gates_of(node)
         target, hamiltonian = self._local_problem(support, gates, positional)
         self.model_evals += 1
@@ -300,7 +320,7 @@ class OptimalControlUnit:
     # ------------------------------------------------------------------
     # Statistics
 
-    def cache_info(self) -> dict[str, float]:
+    def cache_info(self) -> dict:
         """Cache and backend usage counters (partial-compilation stats).
 
         ``latency_entries``/``pulse_entries`` count the backing store
@@ -308,9 +328,13 @@ class OptimalControlUnit:
         to this unit.  ``grape_evals`` counts GRAPE loss+gradient
         evaluations and ``grape_wall_seconds`` the wall-clock spent
         inside the minimal-time search — the two numbers that show
-        where a cold batch's time goes (``BENCH_batch.json``).
+        where a cold batch's time goes (``BENCH_batch.json``).  The
+        backing store's own :meth:`~...PulseCache.stats` fields (backend
+        tag, store hit/miss/eviction counters, and any backend-specific
+        extras such as shard flushes or remote round trips) are folded in
+        underneath — unit-local keys win on collision.
         """
-        return {
+        info = {
             "latency_entries": self.cache.latency_count,
             "pulse_entries": self.cache.pulse_count,
             "cache_hits": self.cache_hits,
@@ -320,6 +344,9 @@ class OptimalControlUnit:
             "grape_evals": self.grape_evals,
             "grape_wall_seconds": self.grape_wall_seconds,
         }
+        for key, value in self.cache.stats().items():
+            info.setdefault(key, value)
+        return info
 
 
 def gates_of(node) -> list[Gate]:

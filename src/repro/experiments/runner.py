@@ -4,7 +4,13 @@ All compilations go through the batch engine, which fans independent
 (circuit, strategy) jobs across worker threads and shares one pulse/latency
 cache.  Pass ``--cache PATH`` to persist that cache on disk: the first run
 pays for every optimal-control query, subsequent runs answer them from the
-cache and the whole sweep completes dramatically faster.
+cache and the whole sweep completes dramatically faster.  The cache can
+also be *shared across processes and machines*: ``--cache DIR
+--cache-shards N`` mounts a lock-protected sharded directory store many
+concurrent runners warm together, and ``--cache-url HOST:PORT`` connects
+to a ``python -m repro.control.cache_server`` fleet cache; either way
+every distinct pulse is synthesized once fleet-wide and the exit bill
+prints a one-line cache summary.
 
 The Figure 9 sweep also regenerates on any registered device: pass
 ``--device`` (repeatable) with a preset key — ``paper-grid-NxM``,
@@ -44,7 +50,7 @@ from collections import defaultdict
 
 from repro.compiler.batch import BatchCompiler, resolve_engine
 from repro.compiler.result import CompilationResult
-from repro.control.cache import DiskPulseCache
+from repro.control.cache import cache_summary, resolve_cache
 from repro.control.unit import OptimalControlUnit
 from repro.experiments.figure4 import format_figure4, run_figure4
 from repro.experiments.figure9 import Figure9Row, format_figure9, run_figure9
@@ -269,8 +275,33 @@ def main(argv: list[str] | None = None) -> int:
         "--cache",
         default=None,
         metavar="PATH",
-        help="persistent pulse-cache stem (writes PATH.json / PATH.npz); "
-        "warm runs skip recomputing cached latencies and pulses",
+        help="persistent pulse cache: a stem (writes PATH.json / PATH.npz) "
+        "or, with --cache-shards or an existing sharded layout, a "
+        "directory many processes can share; warm runs skip recomputing "
+        "cached latencies and pulses",
+    )
+    parser.add_argument(
+        "--cache-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard --cache PATH into N lock-protected shard files so "
+        "concurrent runner processes share one warm store (default when "
+        "PATH is already a sharded directory: its pinned count)",
+    )
+    parser.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="HOST:PORT",
+        help="share the pulse cache fleet-wide through a cache server "
+        "(python -m repro.control.cache_server); overrides --cache",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU eviction budget for the local cache store, in bytes",
     )
     parser.add_argument(
         "--workers",
@@ -363,7 +394,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.benchmarks
         else None
     )
-    cache = DiskPulseCache(args.cache) if args.cache else None
+    cache = resolve_cache(
+        path=args.cache,
+        url=args.cache_url,
+        shards=args.cache_shards,
+        max_bytes=args.cache_max_bytes,
+    )
     engine = BatchCompiler(
         cache=cache,
         backend=args.backend,
@@ -372,7 +408,7 @@ def main(argv: list[str] | None = None) -> int:
         verify_ir=args.verify_ir,
         prewarm={"auto": "auto", "on": True, "off": False}[args.prewarm],
     )
-    if cache is not None and cache.loaded_entries:
+    if cache is not None and getattr(cache, "loaded_entries", 0):
         print(f"[warm cache: {cache.loaded_entries} entries from {args.cache}]")
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     try:
@@ -408,9 +444,9 @@ def main(argv: list[str] | None = None) -> int:
         # optimal-control work must survive for the next warm run.
         if cache is not None:
             written = engine.save_cache()
-            print(
-                f"[cache saved: {written} entries -> {args.cache}.json/.npz]"
-            )
+            destination = args.cache_url or args.cache
+            print(f"[cache saved: {written} entries -> {destination}]")
+            print(f"[{cache_summary(engine.cache_stats())}]")
     return 0
 
 

@@ -496,6 +496,22 @@ def cache_delta_from_dict(payload: dict) -> CacheDelta:
     return delta
 
 
+def cache_stats_to_dict(stats: dict) -> dict:
+    """Wire form of a cache backend's ``stats()`` dict.
+
+    The payload is already flat JSON-safe scalars (plus one nested
+    request-count map on the server side); the envelope only adds the
+    format/kind header so stats can travel the same channels as every
+    other artifact (the cache server's ``stats`` op, bench reports).
+    """
+    return _envelope("cache_stats", {"stats": dict(stats)})
+
+
+def cache_stats_from_dict(payload: dict) -> dict:
+    payload = _check(payload, "cache_stats")
+    return dict(payload["stats"])
+
+
 # ----------------------------------------------------------------------
 # Compilation results
 
@@ -601,6 +617,7 @@ _LOADERS = {
     "pulse": pulse_from_dict,
     "grape_result": grape_result_from_dict,
     "cache_delta": cache_delta_from_dict,
+    "cache_stats": cache_stats_from_dict,
     "result": result_from_dict,
 }
 

@@ -1,5 +1,6 @@
 """Tests for the shared pulse/latency cache backends."""
 
+import os
 import pickle
 
 import numpy as np
@@ -124,6 +125,170 @@ class TestPulseCache:
         clone.put_latency(("k2",), 4.5)  # lock was reconstructed
 
 
+class TestEviction:
+    """LRU byte-budget eviction (shared by every cache backend)."""
+
+    def _latency_budget(self, *keys):
+        from repro.control.cache.store import latency_entry_bytes
+
+        return sum(latency_entry_bytes(key) for key in keys)
+
+    def test_unbounded_by_default(self):
+        cache = PulseCache()
+        for i in range(100):
+            cache.put_latency((f"k{i}",), float(i))
+        assert cache.latency_count == 100
+        assert cache.stats()["evictions"] == 0
+
+    def test_budget_evicts_least_recently_used(self):
+        keys = [("a",), ("b",), ("c",)]
+        cache = PulseCache(max_bytes=self._latency_budget(*keys[:2]))
+        cache.put_latency(keys[0], 1.0)
+        cache.put_latency(keys[1], 2.0)
+        cache.put_latency(keys[2], 3.0)  # evicts ("a",), the LRU
+        assert cache.get_latency(keys[0]) is None
+        assert cache.get_latency(keys[1]) == 2.0
+        assert cache.get_latency(keys[2]) == 3.0
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["total_bytes"] <= stats["max_bytes"]
+
+    def test_get_refreshes_recency(self):
+        keys = [("a",), ("b",), ("c",)]
+        cache = PulseCache(max_bytes=self._latency_budget(*keys[:2]))
+        cache.put_latency(keys[0], 1.0)
+        cache.put_latency(keys[1], 2.0)
+        cache.get_latency(keys[0])  # ("a",) is now the most recent
+        cache.put_latency(keys[2], 3.0)  # so ("b",) is the victim
+        assert cache.get_latency(keys[0]) == 1.0
+        assert cache.get_latency(keys[1]) is None
+
+    def test_entry_being_written_is_never_the_victim(self):
+        # One pulse entry dwarfs the whole budget; it must still
+        # round-trip (put-then-get hits) and evict everything *else*.
+        cache = PulseCache(max_bytes=16)
+        cache.put_latency(("small",), 1.0)
+        result = _grape_result()
+        cache.put_pulse(("fp", (1, ())), result)
+        assert cache.get_pulse(("fp", (1, ()))) is result
+        assert cache.get_latency(("small",)) is None
+
+    def test_recency_is_global_across_latencies_and_pulses(self):
+        result = _grape_result()
+        from repro.control.cache.store import pulse_entry_bytes
+
+        budget = pulse_entry_bytes(("fp", (1, ())), result) + self._latency_budget(
+            ("b",)
+        )
+        cache = PulseCache(max_bytes=budget)
+        cache.put_pulse(("fp", (1, ())), result)
+        cache.put_latency(("b",), 2.0)
+        cache.get_pulse(("fp", (1, ())))  # pulse most recent
+        cache.put_latency(("c",), 3.0)  # latency ("b",) is the global LRU
+        assert cache.get_latency(("b",)) is None
+        assert cache.get_pulse(("fp", (1, ()))) is result
+
+    def test_merge_delta_respects_budget(self):
+        keys = [(f"k{i}",) for i in range(6)]
+        cache = PulseCache(max_bytes=self._latency_budget(*keys[:3]))
+        cache.merge_delta(
+            CacheDelta(latencies={key: float(i) for i, key in enumerate(keys)})
+        )
+        assert cache.latency_count == 3
+        assert cache.stats()["evictions"] == 3
+
+    def test_disk_cache_budget_applies_on_load(self, tmp_path):
+        stem = tmp_path / "cache"
+        big = DiskPulseCache(stem)
+        keys = [("fp", "model", (i, ())) for i in range(4)]
+        for i, key in enumerate(keys):
+            big.put_latency(key, float(i))
+        big.save()
+        bounded = DiskPulseCache(stem, max_bytes=self._latency_budget(*keys[:2]))
+        assert bounded.latency_count == 2
+        # What survives is what the next save writes: the budget governs
+        # the persisted pair too.
+        bounded.save()
+        assert DiskPulseCache(stem).loaded_entries == 2
+
+
+class TestMergeDeltaProperties:
+    """The algebra the fleet-wide delta sync relies on."""
+
+    def _snapshot(self, cache):
+        return (dict(cache._latencies), dict(cache._pulses))
+
+    def test_merging_same_delta_twice_changes_nothing(self):
+        cache = PulseCache()
+        delta = CacheDelta(
+            latencies={("a",): 1.0, ("b",): 2.0},
+            pulses={("fp", (1, ())): _grape_result()},
+        )
+        assert cache.merge_delta(delta) == 3
+        before = self._snapshot(cache)
+        assert cache.merge_delta(delta) == 0  # idempotent: nothing new
+        assert self._snapshot(cache) == before
+
+    def test_interleaved_merges_commute(self):
+        delta_a = CacheDelta(
+            latencies={("a",): 1.0, ("shared",): 5.0},
+            pulses={("fp", (1, ())): _grape_result(seed=1)},
+        )
+        delta_b = CacheDelta(
+            latencies={("b",): 2.0, ("shared",): 5.0},
+            pulses={("fp", (2, ())): _grape_result(seed=2)},
+        )
+        forward, backward = PulseCache(), PulseCache()
+        forward.merge_delta(delta_a)
+        forward.merge_delta(delta_b)
+        backward.merge_delta(delta_b)
+        backward.merge_delta(delta_a)
+        assert dict(forward._latencies) == dict(backward._latencies)
+        assert set(forward._pulses) == set(backward._pulses)
+        assert forward.latency_count == 3
+
+    def test_new_entry_counts_sum_to_distinct_keys(self):
+        # However merges interleave, the per-merge "new" counts total
+        # the number of distinct keys — the invariant the exactly-once
+        # accounting in the benchmarks is built on.
+        delta_a = CacheDelta(latencies={("a",): 1.0, ("shared",): 5.0})
+        delta_b = CacheDelta(latencies={("b",): 2.0, ("shared",): 5.0})
+        cache = PulseCache()
+        total = cache.merge_delta(delta_a) + cache.merge_delta(delta_b)
+        assert total == 3 == cache.latency_count
+
+    def test_extend_is_last_write_wins(self):
+        base = CacheDelta(latencies={("a",): 1.0})
+        base.extend(CacheDelta(latencies={("a",): 1.0, ("b",): 2.0}))
+        assert len(base) == 2
+
+
+class TestCrashSafety:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        cache = DiskPulseCache(tmp_path / "cache")
+        cache.put_latency(("fp", "model", (1, ())), 1.0)
+        cache.put_pulse(("fp", (1, ())), _grape_result())
+        cache.save()
+        cache.save()  # overwrite path too
+        leftovers = [name for name in os.listdir(tmp_path) if ".tmp" in name]
+        assert leftovers == []
+
+    def test_failed_write_preserves_old_file_and_cleans_temp(self, tmp_path):
+        from repro.control.cache.disk import _replace_into
+
+        final = tmp_path / "cache.json"
+        final.write_text("precious")
+
+        def exploding_writer(handle):
+            handle.write(b"partial")
+            raise OSError("disk full")
+
+        with pytest.raises(OSError):
+            _replace_into(exploding_writer, str(final), ".tmp.json")
+        assert final.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [final]
+
+
 class TestCacheSession:
     def test_reads_fall_through_to_store(self):
         store = PulseCache()
@@ -147,6 +312,40 @@ class TestCacheSession:
         session = CacheSession(store)
         session.put_latency(("b",), 2.0)
         assert session.latency_count == 2
+
+    def test_hit_miss_counters_cover_both_layers(self):
+        store = PulseCache()
+        store.put_latency(("stored",), 1.0)
+        session = CacheSession(store)
+        session.put_latency(("buffered",), 2.0)
+        session.get_latency(("stored",))  # store layer answers
+        session.get_latency(("buffered",))  # delta layer answers
+        session.get_latency(("absent",))  # neither does
+        session.get_pulse(("fp", (1, ())))  # pulse misses count too
+        assert session.hits == 2
+        assert session.misses == 2
+        stats = session.stats()
+        assert stats["session_hits"] == 2
+        assert stats["session_misses"] == 2
+        assert stats["session_buffered"] == 1
+
+    def test_exclusive_writes_synthesized_pulse_through_to_store(self):
+        store = PulseCache()
+        session = CacheSession(store)
+        key = ("fp", (1, ()))
+        with session.exclusive(key):
+            assert store.get_pulse(key) is None
+            session.put_pulse(key, _grape_result())
+        # Published before the guard released: peers blocked on the
+        # store's single-flight lock must find it on their re-check.
+        assert store.get_pulse(key) is not None
+
+    def test_exclusive_without_synthesis_writes_nothing(self):
+        store = PulseCache()
+        session = CacheSession(store)
+        with session.exclusive(("fp", (1, ()))):
+            pass  # re-check found it elsewhere; nothing synthesized
+        assert store.pulse_count == 0
 
 
 class TestDiskPulseCache:

@@ -1,0 +1,507 @@
+"""Tests for the fleet-shared cache: sharded store, wire protocol, server.
+
+The multiprocess stress classes are the PR's load-bearing guarantee:
+N worker processes hammering one shared store (sharded directory, then
+the socket server) with overlapping signatures must lose no writes,
+corrupt no shard files, and synthesize each distinct signature exactly
+once *fleet-wide*.  Synthesis is stubbed (a deterministic GrapeResult
+built from the key) so the stress stays in the tier-1 time budget —
+the real-GRAPE path is covered by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.control.cache import (
+    CacheDelta,
+    CacheServer,
+    DiskPulseCache,
+    ProtocolError,
+    PulseCache,
+    RemotePulseCache,
+    ShardedDiskPulseCache,
+    parse_cache_url,
+    resolve_cache,
+)
+from repro.control.cache.metrics import cache_summary, format_bytes, hit_rate
+from repro.control.cache.protocol import (
+    decode_latency_key,
+    decode_pulse_key,
+    encode_latency_key,
+    encode_pulse_key,
+    recv_message,
+    send_message,
+)
+from repro.control.cache.store import latency_entry_bytes
+from repro.control.grape import GrapeResult
+from repro.control.pulse import Pulse
+from repro.errors import ControlError
+
+
+def _result(seed: int = 7, steps: int = 4) -> GrapeResult:
+    rng = np.random.default_rng(seed)
+    return GrapeResult(
+        fidelity=0.999,
+        converged=True,
+        iterations=9,
+        pulse=Pulse(
+            control_names=["c0", "c1"],
+            amplitudes=rng.standard_normal((steps, 2)),
+            dt=0.5,
+        ),
+        final_unitary=np.eye(2, dtype=complex),
+        loss_history=[0.4, 0.01],
+    )
+
+
+def _pulse_key(index: int) -> tuple:
+    return ("fp", (1, ((f"G{index}", (), (0,)),)))
+
+
+def _latency_key(index: int) -> tuple:
+    return ("fp", "model", (1, ((f"G{index}", (), (0,)),)))
+
+
+# ----------------------------------------------------------------------
+# Sharded directory store
+
+
+class TestShardedStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = ShardedDiskPulseCache(tmp_path / "cache", shards=4)
+        first.put_latency(_latency_key(0), 12.5)
+        first.put_pulse(_pulse_key(0), _result())
+        first.save()
+
+        second = ShardedDiskPulseCache(tmp_path / "cache")
+        assert second.shards == 4  # adopted from sharding.json
+        assert second.get_latency(_latency_key(0)) == 12.5
+        restored = second.get_pulse(_pulse_key(0))
+        np.testing.assert_array_equal(
+            restored.pulse.amplitudes, _result().pulse.amplitudes
+        )
+
+    def test_conflicting_shard_count_rejected(self, tmp_path):
+        ShardedDiskPulseCache(tmp_path / "cache", shards=4)
+        with pytest.raises(ControlError, match="sharded 4 ways"):
+            ShardedDiskPulseCache(tmp_path / "cache", shards=8)
+
+    def test_entries_spread_across_shard_files(self, tmp_path):
+        cache = ShardedDiskPulseCache(tmp_path / "cache", shards=4)
+        for index in range(32):
+            cache.put_latency(_latency_key(index), float(index))
+        cache.save()
+        shard_files = [
+            name
+            for name in os.listdir(tmp_path / "cache")
+            if name.startswith("shard-") and name.endswith(".json")
+        ]
+        assert len(shard_files) > 1
+
+    def test_miss_read_through_sees_other_writers(self, tmp_path):
+        reader = ShardedDiskPulseCache(tmp_path / "cache", shards=2)
+        writer = ShardedDiskPulseCache(tmp_path / "cache")
+        assert reader.get_latency(_latency_key(1)) is None
+        writer.put_latency(_latency_key(1), 8.0)
+        writer.save()
+        # No restart, no explicit reload: the miss stats the shard file,
+        # notices the replace, and reloads it.
+        assert reader.get_latency(_latency_key(1)) == 8.0
+        assert reader.shard_loads >= 1
+
+    def test_unchanged_shard_not_reloaded(self, tmp_path):
+        reader = ShardedDiskPulseCache(tmp_path / "cache", shards=2)
+        reader.get_latency(_latency_key(1))
+        loads = reader.shard_loads
+        reader.get_latency(_latency_key(1))  # same miss, file unchanged
+        assert reader.shard_loads == loads
+
+    def test_concurrent_flushes_merge_not_clobber(self, tmp_path):
+        # Two instances write different keys (some sharing shards),
+        # both flush; the union must survive.
+        a = ShardedDiskPulseCache(tmp_path / "cache", shards=2)
+        b = ShardedDiskPulseCache(tmp_path / "cache")
+        for index in range(0, 10, 2):
+            a.put_latency(_latency_key(index), float(index))
+        for index in range(1, 10, 2):
+            b.put_latency(_latency_key(index), float(index))
+        a.save()
+        b.save()
+        merged = ShardedDiskPulseCache(tmp_path / "cache")
+        assert merged.loaded_entries == 10
+        for index in range(10):
+            assert merged.get_latency(_latency_key(index)) == float(index)
+
+    def test_exclusive_publishes_before_release(self, tmp_path):
+        writer = ShardedDiskPulseCache(tmp_path / "cache", shards=2)
+        peer = ShardedDiskPulseCache(tmp_path / "cache")
+        key = _pulse_key(3)
+        with writer.exclusive(key):
+            writer.put_pulse(key, _result())
+        # The guard flushed on release; a peer's re-check read-through
+        # finds the published pulse instead of re-synthesizing.
+        assert peer.get_pulse(key) is not None
+
+    def test_max_shard_bytes_trims_on_flush(self, tmp_path):
+        budget = sum(latency_entry_bytes(_latency_key(i)) for i in range(3))
+        cache = ShardedDiskPulseCache(
+            tmp_path / "cache", shards=1, max_shard_bytes=budget
+        )
+        for index in range(12):
+            cache.put_latency(_latency_key(index), float(index))
+        cache.save()
+        assert cache.disk_evictions > 0
+        reloaded = ShardedDiskPulseCache(tmp_path / "cache")
+        assert 0 < reloaded.loaded_entries <= 3
+
+    def test_stats_report_backend_fields(self, tmp_path):
+        cache = ShardedDiskPulseCache(tmp_path / "cache", shards=2)
+        cache.put_latency(_latency_key(0), 1.0)
+        cache.save()
+        stats = cache.stats()
+        assert stats["backend"] == "sharded-disk"
+        assert stats["shards"] == 2
+        assert stats["shard_flushes"] == 1
+        assert "lock_wait_seconds" in stats
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+
+
+class TestProtocol:
+    def test_framing_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            payload = {"op": "ping", "nested": {"a": [1, 2.5, "x"]}}
+            send_message(left, payload)
+            assert recv_message(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00\x01\x00partial")
+            left.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversized_announcement_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError, match="cap"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_object_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00\x00\x02[]")
+            with pytest.raises(ProtocolError, match="object"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_key_wire_forms_round_trip_exactly(self):
+        latency_key = ("fp", "grape", (2, (("CNOT", (0.5,), (0, 1)),)))
+        pulse_key = ("fp", (2, (("CNOT", (0.5,), (0, 1)),)))
+        assert decode_latency_key(encode_latency_key(latency_key)) == latency_key
+        assert decode_pulse_key(encode_pulse_key(pulse_key)) == pulse_key
+
+    def test_parse_cache_url(self):
+        assert parse_cache_url("127.0.0.1:7777") == ("127.0.0.1", 7777)
+        assert parse_cache_url("tcp://box:80") == ("box", 80)
+        with pytest.raises(ProtocolError):
+            parse_cache_url("no-port")
+        with pytest.raises(ProtocolError):
+            parse_cache_url("host:abc")
+
+
+# ----------------------------------------------------------------------
+# Cache server + remote client
+
+
+@pytest.fixture()
+def server():
+    with CacheServer() as running:
+        yield running
+
+
+class TestCacheServer:
+    def test_latency_round_trip_between_clients(self, server):
+        writer = RemotePulseCache(server.url, flush_threshold=0)
+        reader = RemotePulseCache(server.url)
+        writer.put_latency(_latency_key(0), 4.5)
+        assert reader.get_latency(_latency_key(0)) == 4.5
+        assert reader.remote_hits == 1
+
+    def test_pulse_round_trip_between_clients(self, server):
+        writer = RemotePulseCache(server.url, flush_threshold=0)
+        reader = RemotePulseCache(server.url)
+        original = _result(seed=3)
+        writer.put_pulse(_pulse_key(0), original)
+        restored = reader.get_pulse(_pulse_key(0))
+        np.testing.assert_array_equal(
+            restored.pulse.amplitudes, original.pulse.amplitudes
+        )
+        # Second read answers from the local L1, no extra round trip.
+        requests = reader.remote_requests
+        reader.get_pulse(_pulse_key(0))
+        assert reader.remote_requests == requests
+
+    def test_write_behind_batches_until_threshold(self, server):
+        client = RemotePulseCache(server.url, flush_threshold=4)
+        for index in range(4):
+            client.put_latency(_latency_key(index), float(index))
+        assert client.flushes == 0  # still buffered
+        assert server.store.latency_count == 0
+        client.put_latency(_latency_key(4), 4.0)  # crosses the threshold
+        assert client.flushes == 1
+        assert server.store.latency_count == 5
+
+    def test_save_flushes_pending(self, server):
+        client = RemotePulseCache(server.url)
+        client.put_latency(_latency_key(0), 1.0)
+        assert client.save() == 1
+        assert server.store.latency_count == 1
+
+    def test_merge_delta_forwards_upstream(self, server):
+        client = RemotePulseCache(server.url, flush_threshold=0)
+        client.merge_delta(
+            CacheDelta(latencies={_latency_key(i): float(i) for i in range(3)})
+        )
+        assert server.store.latency_count == 3
+
+    def test_exclusive_lease_excludes_other_owners(self, server):
+        key = _pulse_key(9)
+        holder = RemotePulseCache(server.url)
+        with holder.exclusive(key):
+            assert not server.leases.acquire(key, "someone-else")
+        assert server.leases.acquire(key, "someone-else")  # released
+
+    def test_expired_lease_is_grantable(self):
+        with CacheServer(lock_ttl=0.0) as fast:
+            key = _pulse_key(1)
+            assert fast.leases.acquire(key, "a")
+            assert fast.leases.acquire(key, "b")  # a's lease expired
+            assert fast.leases.expired == 1
+
+    def test_unknown_op_is_protocol_error(self, server):
+        client = RemotePulseCache(server.url)
+        with pytest.raises(ProtocolError, match="unknown op"):
+            client._request({"op": "bogus"})
+
+    def test_server_side_eviction_budget(self):
+        budget = sum(latency_entry_bytes(_latency_key(i)) for i in range(2))
+        with CacheServer(store=PulseCache(max_bytes=budget)) as bounded:
+            client = RemotePulseCache(bounded.url, flush_threshold=0)
+            for index in range(6):
+                client.put_latency(_latency_key(index), float(index))
+            assert bounded.store.latency_count == 2
+            assert bounded.store.stats()["evictions"] == 4
+
+    def test_server_stats_envelope(self, server):
+        client = RemotePulseCache(server.url, flush_threshold=0)
+        client.put_latency(_latency_key(0), 1.0)
+        client.get_latency(_latency_key(1))
+        stats = client.server_stats()
+        assert stats["backend"] == "memory"
+        assert stats["server_requests"]["push_delta"] == 1
+        assert stats["server_errors"] == 0
+
+    def test_disk_backed_server_persists_on_stop(self, tmp_path):
+        stem = tmp_path / "served"
+        server = CacheServer(store=DiskPulseCache(stem)).start()
+        client = RemotePulseCache(server.url, flush_threshold=0)
+        client.put_latency(_latency_key(0), 2.5)
+        assert server.stop() == 1
+        assert DiskPulseCache(stem).get_latency(_latency_key(0)) == 2.5
+
+    def test_client_pickles_without_socket(self, server):
+        import pickle
+
+        client = RemotePulseCache(server.url)
+        client.get_latency(_latency_key(0))  # open the connection
+        clone = pickle.loads(pickle.dumps(client))
+        assert clone.owner != client.owner
+        assert clone.get_latency(_latency_key(1)) is None  # reconnects
+
+
+# ----------------------------------------------------------------------
+# resolve_cache backend selection
+
+
+class TestResolveCache:
+    def test_none_when_nothing_requested(self):
+        assert resolve_cache() is None
+
+    def test_stem_mounts_single_pair_cache(self, tmp_path):
+        cache = resolve_cache(path=str(tmp_path / "cache"))
+        assert type(cache) is DiskPulseCache
+
+    def test_shards_mount_sharded_store(self, tmp_path):
+        cache = resolve_cache(path=str(tmp_path / "cache"), shards=4)
+        assert isinstance(cache, ShardedDiskPulseCache)
+        assert cache.shards == 4
+
+    def test_existing_sharded_dir_auto_detected(self, tmp_path):
+        ShardedDiskPulseCache(tmp_path / "cache", shards=2)
+        cache = resolve_cache(path=str(tmp_path / "cache"))
+        assert isinstance(cache, ShardedDiskPulseCache)
+        assert cache.shards == 2
+
+    def test_url_mounts_remote_client(self):
+        cache = resolve_cache(url="127.0.0.1:1", max_bytes=512)
+        assert isinstance(cache, RemotePulseCache)
+        assert cache.max_bytes == 512
+
+
+# ----------------------------------------------------------------------
+# Metrics helpers
+
+
+class TestMetrics:
+    def test_hit_rate(self):
+        assert hit_rate(3, 1) == 0.75
+        assert hit_rate(0, 0) is None
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1536) == "1.5 KiB"
+
+    def test_summary_mentions_backend_specifics(self, tmp_path):
+        sharded = ShardedDiskPulseCache(tmp_path / "cache", shards=2)
+        sharded.put_latency(_latency_key(0), 1.0)
+        sharded.get_latency(_latency_key(0))
+        line = cache_summary(sharded.stats())
+        assert "cache[sharded-disk]" in line
+        assert "2 shards" in line
+        remote_line = cache_summary(
+            {"backend": "remote", "url": "h:1", "latency_entries": 0,
+             "pulse_entries": 0, "remote_hits": 1, "remote_misses": 1,
+             "remote_requests": 2}
+        )
+        assert "remote h:1" in remote_line
+        assert "remote 1/2 (50%)" in remote_line
+
+
+# ----------------------------------------------------------------------
+# Multiprocess stress: N workers, one shared store, exactly-once synthesis
+
+
+STRESS_WORKERS = 4
+STRESS_SIGNATURES = 12
+
+
+def _stress_keys(worker: int) -> list[int]:
+    # Overlapping, worker-dependent orderings: every worker wants every
+    # signature, starting from a different offset so the workers collide.
+    return [
+        (worker * 3 + step) % STRESS_SIGNATURES
+        for step in range(STRESS_SIGNATURES)
+    ]
+
+
+def _stub_synthesize(cache, index: int) -> int:
+    """Cache-check / lock / re-check / synthesize, as the OCU does.
+
+    Returns 1 when this call actually synthesized (the stub GrapeResult
+    is deterministic per signature, mirroring real GRAPE determinism).
+    """
+    key = _pulse_key(index)
+    if cache.get_pulse(key) is not None:
+        return 0
+    with cache.exclusive(key):
+        if cache.get_pulse(key) is not None:
+            return 0
+        cache.put_pulse(key, _result(seed=index))
+        return 1
+
+
+def _sharded_stress_worker(args) -> int:
+    worker, directory = args
+    cache = ShardedDiskPulseCache(directory)
+    synthesized = 0
+    for index in _stress_keys(worker):
+        synthesized += _stub_synthesize(cache, index)
+        cache.put_latency(_latency_key(index), float(index))
+    cache.save()
+    return synthesized
+
+
+def _server_stress_worker(args) -> int:
+    worker, url = args
+    cache = RemotePulseCache(url, flush_threshold=2)
+    synthesized = 0
+    for index in _stress_keys(worker):
+        synthesized += _stub_synthesize(cache, index)
+        cache.put_latency(_latency_key(index), float(index))
+    cache.close()
+    return synthesized
+
+
+class TestMultiprocessStress:
+    def test_sharded_store_exactly_once_no_lost_writes(self, tmp_path):
+        directory = str(tmp_path / "fleet")
+        ShardedDiskPulseCache(directory, shards=4)  # pin the layout
+        with ProcessPoolExecutor(max_workers=STRESS_WORKERS) as pool:
+            synth_counts = list(
+                pool.map(
+                    _sharded_stress_worker,
+                    [(w, directory) for w in range(STRESS_WORKERS)],
+                )
+            )
+        # Exactly-once synthesis fleet-wide, not once per process.
+        assert sum(synth_counts) == STRESS_SIGNATURES
+        # No lost writes and no corrupt shards: a cold load parses every
+        # shard pair and finds every entry every worker wrote.
+        merged = ShardedDiskPulseCache(directory)
+        for index in range(STRESS_SIGNATURES):
+            assert merged.get_latency(_latency_key(index)) == float(index)
+            restored = merged.get_pulse(_pulse_key(index))
+            np.testing.assert_array_equal(
+                restored.pulse.amplitudes,
+                _result(seed=index).pulse.amplitudes,
+            )
+
+    def test_cache_server_exactly_once_no_lost_writes(self):
+        with CacheServer() as server:
+            with ProcessPoolExecutor(max_workers=STRESS_WORKERS) as pool:
+                synth_counts = list(
+                    pool.map(
+                        _server_stress_worker,
+                        [(w, server.url) for w in range(STRESS_WORKERS)],
+                    )
+                )
+            assert sum(synth_counts) == STRESS_SIGNATURES
+            assert server.store.latency_count == STRESS_SIGNATURES
+            assert server.store.pulse_count == STRESS_SIGNATURES
+            assert server.leases.expired == 0
+            for index in range(STRESS_SIGNATURES):
+                restored = server.store.get_pulse(_pulse_key(index))
+                np.testing.assert_array_equal(
+                    restored.pulse.amplitudes,
+                    _result(seed=index).pulse.amplitudes,
+                )
