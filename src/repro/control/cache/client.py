@@ -15,6 +15,7 @@ from __future__ import annotations
 import contextlib
 import os
 import socket
+import threading
 import time
 
 from repro.control.cache.protocol import (
@@ -61,6 +62,10 @@ class RemotePulseCache(PulseCache):
         flush_threshold: Buffered entries that trigger an upload; 0
             writes through on every put.
         timeout: Socket timeout per round trip, seconds.
+        lock_ttl: Optional lease length (seconds) requested with each
+            ``lock`` op; ``None`` accepts the server's default.  Raise
+            it for syntheses that may outlive the server-side default —
+            the server clamps the request to its own ceiling.
     """
 
     def __init__(
@@ -69,15 +74,24 @@ class RemotePulseCache(PulseCache):
         max_bytes: int | None = None,
         flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
         timeout: float = 30.0,
+        lock_ttl: float | None = None,
     ) -> None:
         super().__init__(max_bytes=max_bytes)
         self.url = url
         self.host, self.port = parse_cache_url(url)
         self.flush_threshold = max(0, int(flush_threshold))
         self.timeout = timeout
+        self.lock_ttl = lock_ttl
         self.owner = f"{socket.gethostname()}:{os.getpid()}:{id(self):x}"
         self._pending = CacheDelta()
         self._sock: socket.socket | None = None
+        #: Serializes the single socket *and* the pending delta across
+        #: the batch engine's thread-pool workers, which all read through
+        #: one shared client; interleaved frames would cross responses
+        #: between threads.  Reentrant because ``flush`` calls
+        #: ``_request`` while holding it.  (The inherited ``_lock``
+        #: covers only the in-memory L1.)
+        self._io_lock = threading.RLock()
         self.remote_hits = 0
         self.remote_misses = 0
         self.remote_requests = 0
@@ -92,10 +106,12 @@ class RemotePulseCache(PulseCache):
         self.flush()
         state = super().__getstate__()
         state["_sock"] = None
+        del state["_io_lock"]
         return state
 
     def __setstate__(self, state) -> None:
         super().__setstate__(state)
+        self._io_lock = threading.RLock()
         # A forked/unpickled copy is a distinct lease holder.
         self.owner = f"{socket.gethostname()}:{os.getpid()}:{id(self):x}"
 
@@ -109,22 +125,28 @@ class RemotePulseCache(PulseCache):
         return self._sock
 
     def _request(self, payload: dict) -> dict:
-        """One round trip; reconnects once on a dropped connection."""
-        started = time.perf_counter()
-        for attempt in (0, 1):
-            sock = self._connect()
-            try:
-                send_message(sock, payload)
-                response = recv_message(sock)
-                if response is None:
-                    raise ProtocolError("server closed the connection")
-                break
-            except (OSError, ProtocolError):
-                self._drop_connection()
-                if attempt:
-                    raise
-        self.remote_requests += 1
-        self.remote_seconds += time.perf_counter() - started
+        """One round trip; reconnects once on a dropped connection.
+
+        Holds ``_io_lock`` for the whole round trip so concurrent
+        threads cannot interleave frames or receive each other's
+        responses on the shared socket.
+        """
+        with self._io_lock:
+            started = time.perf_counter()
+            for attempt in (0, 1):
+                sock = self._connect()
+                try:
+                    send_message(sock, payload)
+                    response = recv_message(sock)
+                    if response is None:
+                        raise ProtocolError("server closed the connection")
+                    break
+                except (OSError, ProtocolError):
+                    self._drop_connection()
+                    if attempt:
+                        raise
+            self.remote_requests += 1
+            self.remote_seconds += time.perf_counter() - started
         if not response.get("ok"):
             raise ProtocolError(
                 f"cache server {self.url}: {response.get('error', 'unknown error')}"
@@ -177,13 +199,15 @@ class RemotePulseCache(PulseCache):
 
     def put_latency(self, key: tuple, value: float) -> None:
         super().put_latency(key, value)
-        self._pending.latencies[key] = float(value)
-        self._maybe_flush()
+        with self._io_lock:
+            self._pending.latencies[key] = float(value)
+            self._maybe_flush()
 
     def put_pulse(self, key: tuple, result: GrapeResult) -> None:
         super().put_pulse(key, result)
-        self._pending.pulses[key] = result
-        self._maybe_flush()
+        with self._io_lock:
+            self._pending.pulses[key] = result
+            self._maybe_flush()
 
     def merge_delta(self, delta: CacheDelta) -> int:
         """Merge locally and forward the whole delta upstream.
@@ -194,8 +218,9 @@ class RemotePulseCache(PulseCache):
         server warm even for entries this client learned remotely.
         """
         added = super().merge_delta(delta)
-        self._pending.extend(delta)
-        self._maybe_flush()
+        with self._io_lock:
+            self._pending.extend(delta)
+            self._maybe_flush()
         return added
 
     def _maybe_flush(self) -> None:
@@ -203,24 +228,37 @@ class RemotePulseCache(PulseCache):
             self.flush()
 
     def flush(self) -> int:
-        """Upload the pending delta now; returns entries uploaded."""
-        if not len(self._pending):
-            return 0
-        from repro.ir.serialize import cache_delta_to_dict
+        """Upload the pending delta now; returns entries uploaded.
 
-        delta, self._pending = self._pending, CacheDelta()
-        self._request({"op": "push_delta", "delta": cache_delta_to_dict(delta)})
-        self.flushes += 1
-        self.flushed_entries += len(delta)
-        return len(delta)
+        On upload failure the swapped-out delta is restored, so buffered
+        entries survive a dropped server and ride the next flush.
+        """
+        with self._io_lock:
+            if not len(self._pending):
+                return 0
+            from repro.ir.serialize import cache_delta_to_dict
+
+            delta, self._pending = self._pending, CacheDelta()
+            try:
+                self._request(
+                    {"op": "push_delta", "delta": cache_delta_to_dict(delta)}
+                )
+            except Exception:
+                delta.extend(self._pending)
+                self._pending = delta
+                raise
+            self.flushes += 1
+            self.flushed_entries += len(delta)
+            return len(delta)
 
     def save(self) -> int:
         """For the remote backend, persisting means flushing upstream."""
         return self.flush()
 
     def close(self) -> None:
-        self.flush()
-        self._drop_connection()
+        with self._io_lock:
+            self.flush()
+            self._drop_connection()
 
     def __enter__(self) -> RemotePulseCache:
         return self
@@ -240,13 +278,18 @@ class RemotePulseCache(PulseCache):
         pulse remotely).  The pending delta is flushed *before* the lease
         is released, so the publish-before-release contract holds across
         the network too.
+
+        When :attr:`lock_ttl` is set it rides the ``lock`` op, so long
+        syntheses can request a lease that outlives the server default
+        (re-sending ``lock`` as the holder would likewise renew it).
         """
         wire = encode_pulse_key(key)
+        acquire = {"op": "lock", "key": wire, "owner": self.owner}
+        if self.lock_ttl is not None:
+            acquire["ttl"] = float(self.lock_ttl)
         delay = _LEASE_POLL_SECONDS
         started = time.perf_counter()
-        while not self._request(
-            {"op": "lock", "key": wire, "owner": self.owner}
-        )["granted"]:
+        while not self._request(acquire)["granted"]:
             time.sleep(delay)
             delay = min(delay * 2, _LEASE_POLL_MAX_SECONDS)
         self.lease_wait_seconds += time.perf_counter() - started

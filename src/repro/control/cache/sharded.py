@@ -34,6 +34,7 @@ import contextlib
 import hashlib
 import json
 import os
+import threading
 import time
 
 from repro.control.cache.disk import encode_pair, read_pair, write_pair
@@ -89,8 +90,17 @@ class ShardedDiskPulseCache(PulseCache):
         self.shards = self._resolve_shard_count(shards)
         self._dirty: set[int] = set()
         #: (st_mtime_ns, st_size) of each shard manifest at last load;
-        #: None = known absent.  Missing key = never looked.
+        #: None = known absent.  Missing key = never looked.  Guarded by
+        #: the inherited ``_lock``.
         self._shard_states: dict[int, tuple | None] = {}
+        #: Serializes disk reloads so two threads missing on one shard
+        #: do one load, not two (held around disk I/O, so it is separate
+        #: from the short-critical-section ``_lock``).
+        self._refresh_lock = threading.Lock()
+        #: Pulse keys currently inside :meth:`exclusive`; ``_trim_shard``
+        #: never evicts them, so the publish-before-release contract
+        #: survives a tight ``max_shard_bytes``.  Guarded by ``_lock``.
+        self._exclusive_keys: set = set()
         self.loaded_entries = 0
         self.pulse_entries_skipped = 0
         self.shard_loads = 0
@@ -99,6 +109,17 @@ class ShardedDiskPulseCache(PulseCache):
         self.lock_wait_seconds = 0.0
         if autoload:
             self.load()
+
+    # -- pickling: locks cannot cross process boundaries -----------------
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        del state["_refresh_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        super().__setstate__(state)
+        self._refresh_lock = threading.Lock()
 
     # -- layout ----------------------------------------------------------
 
@@ -226,37 +247,49 @@ class ShardedDiskPulseCache(PulseCache):
         single-flight lock could miss the just-published pulse and
         re-synthesize it, breaking the exactly-once-per-fleet guarantee
         (the multiprocess stress test catches exactly this).
+
+        Reloads serialize on ``_refresh_lock``: two threads missing on
+        one shard do a single disk load (the loser re-checks the
+        freshness marker and just retries its in-memory miss), and the
+        ``shard_loads`` / ``pulse_entries_skipped`` counters only ever
+        move under ``_lock``.
         """
         state = self._stat_shard(index)
-        if state == self._shard_states.get(index, ()):  # () = never looked
-            return False
-        if state is None:
-            self._shard_states[index] = None
-            return False
-        for attempt in range(5):
-            latencies, pulses, skipped = read_pair(self.shard_stem(index))
-            if not skipped:
-                break
-            time.sleep(0.002 * (attempt + 1))
-            state = self._stat_shard(index) or state
-        self.pulse_entries_skipped += skipped
         with self._lock:
-            for key, value in latencies.items():
-                if key not in self._latencies:
-                    self._set_latency(key, value)
-            for key, result in pulses.items():
-                if key not in self._pulses:
-                    self._set_pulse(key, result)
-            self._evict_over_budget()
-            self._shard_states[index] = state
-        self.shard_loads += 1
+            if state == self._shard_states.get(index, ()):  # () = never looked
+                return False
+            if state is None:
+                self._shard_states[index] = None
+                return False
+        with self._refresh_lock:
+            with self._lock:
+                if state == self._shard_states.get(index, ()):
+                    return True  # a peer thread just loaded this version
+            for attempt in range(5):
+                latencies, pulses, skipped = read_pair(self.shard_stem(index))
+                if not skipped:
+                    break
+                time.sleep(0.002 * (attempt + 1))
+                state = self._stat_shard(index) or state
+            with self._lock:
+                for key, value in latencies.items():
+                    if key not in self._latencies:
+                        self._set_latency(key, value)
+                for key, result in pulses.items():
+                    if key not in self._pulses:
+                        self._set_pulse(key, result)
+                self._evict_over_budget()
+                self._shard_states[index] = state
+                self.pulse_entries_skipped += skipped
+                self.shard_loads += 1
         return True
 
     def load(self) -> int:
         """Read every shard into memory; returns entries loaded."""
         before = self.latency_count + self.pulse_count
         for index in range(self.shards):
-            self._shard_states.pop(index, None)
+            with self._lock:
+                self._shard_states.pop(index, None)
             self._refresh_shard(index)
         self.loaded_entries = self.latency_count + self.pulse_count - before
         return self.loaded_entries
@@ -303,7 +336,8 @@ class ShardedDiskPulseCache(PulseCache):
             # "seen" would make those entries permanently invisible to the
             # read-through (a miss would compare stats, conclude nothing
             # changed, and skip the reload) — the next miss must re-read.
-            self._shard_states.pop(index, None)
+            with self._lock:
+                self._shard_states.pop(index, None)
         self.lock_wait_seconds += lock.waited_seconds
         self.shard_flushes += 1
         return len(merged_lat) + len(merged_pul)
@@ -315,10 +349,16 @@ class ShardedDiskPulseCache(PulseCache):
         last load), then this process's LRU order; the trim mutates the
         merged maps in place and counts ``disk_evictions``.  Correct for
         the same reason memory eviction is: content-addressed entries
-        are recomputed on miss, never answered wrong.
+        are recomputed on miss, never answered wrong.  Pulses currently
+        inside :meth:`exclusive` are exempt — evicting a pulse in the
+        flush that publishes it would make the peers blocked on its key
+        lock re-synthesize it, silently voiding the
+        exactly-once-per-fleet guarantee even under a tight budget.
         """
         if self.max_shard_bytes is None:
             return
+        with self._lock:
+            protected = set(self._exclusive_keys)
         sized = []  # (priority, size, kind, key) — evict low priority first
         for key, value in latencies.items():
             size = latency_entry_bytes(key)
@@ -332,6 +372,8 @@ class ShardedDiskPulseCache(PulseCache):
         for priority, size, kind, key in sorted(sized, key=lambda x: x[0]):
             if total <= self.max_shard_bytes or len(sized) == 1:
                 break
+            if kind == "pulse" and key in protected:
+                continue
             del (latencies if kind == "latency" else pulses)[key]
             total -= size
             self.disk_evictions += 1
@@ -351,10 +393,16 @@ class ShardedDiskPulseCache(PulseCache):
         digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
         lock = FileLock(self._lock_path(f"key-{digest}.lock"))
         with lock:
+            with self._lock:
+                self._exclusive_keys.add(key)
             try:
                 yield
             finally:
-                self.save()
+                try:
+                    self.save()
+                finally:
+                    with self._lock:
+                        self._exclusive_keys.discard(key)
         self.lock_wait_seconds += lock.waited_seconds
 
     # -- metrics ---------------------------------------------------------

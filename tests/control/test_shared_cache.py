@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import os
 import socket
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -159,6 +160,37 @@ class TestShardedStore:
         assert cache.disk_evictions > 0
         reloaded = ShardedDiskPulseCache(tmp_path / "cache")
         assert 0 < reloaded.loaded_entries <= 3
+
+    def test_trim_never_evicts_pulse_mid_exclusive(self, tmp_path):
+        # The flush that *publishes* a synthesized pulse must not also
+        # evict it, or peers blocked on the key lock re-synthesize and
+        # the exactly-once guarantee silently breaks under tight budgets.
+        key = _pulse_key(0)
+        budget = latency_entry_bytes(_latency_key(0))  # << one pulse
+        cache = ShardedDiskPulseCache(
+            tmp_path / "cache", shards=1, max_shard_bytes=budget
+        )
+        with cache.exclusive(key):
+            cache.put_pulse(key, _result())
+            for index in range(8):  # fresher entries than the pulse
+                cache.put_latency(_latency_key(index), float(index))
+        assert cache.disk_evictions > 0  # the budget did bite
+        peer = ShardedDiskPulseCache(tmp_path / "cache")
+        assert peer.get_pulse(key) is not None
+
+    def test_threaded_misses_reload_shard_once(self, tmp_path):
+        writer = ShardedDiskPulseCache(tmp_path / "cache", shards=1)
+        for index in range(4):
+            writer.put_latency(_latency_key(index), float(index))
+        writer.save()
+        reader = ShardedDiskPulseCache(tmp_path / "cache", autoload=False)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            values = list(
+                pool.map(lambda i: reader.get_latency(_latency_key(i)), range(4))
+            )
+        assert values == [0.0, 1.0, 2.0, 3.0]
+        # Concurrent misses on one shard coalesce into a single load.
+        assert reader.shard_loads == 1
 
     def test_stats_report_backend_fields(self, tmp_path):
         cache = ShardedDiskPulseCache(tmp_path / "cache", shards=2)
@@ -307,6 +339,58 @@ class TestCacheServer:
             assert fast.leases.acquire(key, "a")
             assert fast.leases.acquire(key, "b")  # a's lease expired
             assert fast.leases.expired == 1
+
+    def test_lock_op_honors_requested_ttl(self, server):
+        key = _pulse_key(6)
+        assert server.leases.acquire(key, "a", ttl=0.0)
+        # a's per-request lease already expired despite the 300 s default.
+        assert server.leases.acquire(key, "b")
+
+    def test_lock_op_clamps_requested_ttl(self, server):
+        from repro.control.cache.server import MAX_LOCK_TTL_SECONDS
+
+        wire = encode_pulse_key(_pulse_key(7))
+        assert server.dispatch(
+            {"op": "lock", "key": wire, "owner": "a", "ttl": 1e12}
+        )["granted"]
+        _, deadline = server.leases._leases[_pulse_key(7)]
+        assert deadline - time.monotonic() <= MAX_LOCK_TTL_SECONDS + 1
+
+    def test_client_lock_ttl_rides_the_lock_op(self, server):
+        client = RemotePulseCache(server.url, lock_ttl=1234.0)
+        key = _pulse_key(8)
+        with client.exclusive(key):
+            _, deadline = server.leases._leases[key]
+            remaining = deadline - time.monotonic()
+            assert 1200 < remaining <= 1234
+
+    def test_threads_share_one_client_without_crossing_responses(self, server):
+        seeder = RemotePulseCache(server.url, flush_threshold=0)
+        for index in range(32):
+            seeder.put_latency(_latency_key(index), float(index))
+        # A tiny L1 keeps every lookup a real socket round trip, so
+        # interleaved frames would hand threads each other's responses.
+        client = RemotePulseCache(server.url, max_bytes=1)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            values = list(
+                pool.map(
+                    lambda i: client.get_latency(_latency_key(i % 32)),
+                    range(256),
+                )
+            )
+        assert values == [float(i % 32) for i in range(256)]
+
+    def test_threaded_writers_lose_no_pending_entries(self, server):
+        client = RemotePulseCache(server.url, flush_threshold=2)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(
+                pool.map(
+                    lambda i: client.put_latency(_latency_key(i), float(i)),
+                    range(64),
+                )
+            )
+        client.flush()
+        assert server.store.latency_count == 64
 
     def test_unknown_op_is_protocol_error(self, server):
         client = RemotePulseCache(server.url)
