@@ -50,7 +50,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -80,7 +80,7 @@ from repro.control.unit import OptimalControlUnit, support_of
 from repro.device.device import Device
 from repro.device.presets import device_by_key
 from repro.device.topology import Topology
-from repro.errors import ConfigError
+from repro.errors import ConfigError, JobCancelledError
 
 _COUNTER_KEYS = (
     "cache_hits",
@@ -472,8 +472,15 @@ class BatchCompiler:
         job: BatchJob,
         ocu: OptimalControlUnit,
         verify_ir: bool | None = None,
+        extra_callbacks: Sequence[PassCallback] = (),
     ) -> CompilationResult:
-        """Run one job's pipeline through the pass-manager core."""
+        """Run one job's pipeline through the pass-manager core.
+
+        ``extra_callbacks`` are per-job hooks appended after the
+        engine-level ``pass_callbacks`` for this compilation only — the
+        compile service threads its cancellation probe and per-job
+        instrumentation through here without touching engine state.
+        """
         pipeline = job.pipeline()
         if job.pulse_backend is not None:
             pulse_backend = job.pulse_backend
@@ -496,21 +503,71 @@ class BatchCompiler:
             ocu=ocu,
             topology=job.topology,
             width_limit=job.width_limit,
-            callbacks=self.pass_callbacks,
+            callbacks=list(self.pass_callbacks) + list(extra_callbacks),
             verify_ir=self.verify_ir if verify_ir is None else verify_ir,
         )
 
     def _run_job(
-        self, job: BatchJob
+        self,
+        job: BatchJob,
+        cancel: Callable[[], str | None] | None = None,
+        extra_callbacks: Sequence[PassCallback] = (),
     ) -> tuple[CompilationResult, float, dict[str, int]]:
-        """Compile one job through a session view and merge its delta."""
+        """Compile one job through a session view and merge its delta.
+
+        ``cancel`` is an optional cooperative probe polled at every pass
+        boundary; returning a non-empty string aborts the job with a
+        :class:`~repro.errors.JobCancelledError` carrying that reason.
+        The session delta is merged into the shared store even when the
+        job fails or is cancelled mid-pipeline — optimal-control work
+        already finished stays warm, so a retry (or the next job sharing
+        blocks with this one) never re-synthesizes it.
+        """
+        callbacks = list(extra_callbacks)
+        if cancel is not None:
+
+            def _abort_if_cancelled(pass_, context, elapsed) -> None:
+                reason = cancel()
+                if reason:
+                    raise JobCancelledError(
+                        f"job {job.key!r} cancelled: {reason}"
+                    )
+
+            callbacks.append(_abort_if_cancelled)
         job_started = time.perf_counter()
         session = CacheSession(self.cache)
         ocu = self.make_ocu(cache=session, device=self._job_target(job))
-        result = self._compile_job(job, ocu)
-        self.cache.merge_delta(session.delta)
+        try:
+            result = self._compile_job(job, ocu, extra_callbacks=callbacks)
+        finally:
+            self.cache.merge_delta(session.delta)
         used = {key: getattr(ocu, key) for key in _COUNTER_KEYS}
         return result, time.perf_counter() - job_started, used
+
+    def run_job(
+        self,
+        job,
+        cancel: Callable[[], str | None] | None = None,
+        extra_callbacks: Sequence[PassCallback] = (),
+    ) -> tuple[CompilationResult, float, dict[str, int]]:
+        """Compile one job now, on the calling thread; the service entry.
+
+        Accepts anything :meth:`compile_batch` accepts as a job.  Unlike
+        the internal batch path this also folds the job's counters into
+        :attr:`lifetime_info`, so a long-running front door (the compile
+        service) reads its cumulative optimal-control bill the same way
+        sweep drivers do.
+
+        Returns:
+            ``(result, seconds, counters)`` — the compiled result, its
+            wall-clock, and the per-job OCU counter dict.
+        """
+        result, seconds, used = self._run_job(
+            _as_job(job), cancel=cancel, extra_callbacks=extra_callbacks
+        )
+        for key in _COUNTER_KEYS:
+            self.lifetime_info[key] += used[key]
+        return result, seconds, used
 
     def _run_parallel(self, jobs, workers, counters, results, seconds) -> None:
         """Submit at most ``workers`` jobs at a time.

@@ -143,7 +143,7 @@ def decode_pair(
     return latencies, pulses, skipped
 
 
-def _replace_into(data_writer, final_path: str, suffix: str) -> None:
+def replace_into(data_writer, final_path: str, suffix: str) -> None:
     """Crash-safe write: unique temp file in the same directory, fsync,
     then atomic :func:`os.replace` over the final path.
 
@@ -186,12 +186,12 @@ def write_pair(stem: str, payload: dict, arrays: dict) -> None:
         os.makedirs(directory, exist_ok=True)
     npz_path = stem + ".npz"
     if arrays:
-        _replace_into(
+        replace_into(
             lambda handle: np.savez_compressed(handle, **arrays),
             npz_path,
             ".tmp.npz",
         )
-    _replace_into(
+    replace_into(
         lambda handle: handle.write(json.dumps(payload).encode("utf-8")),
         stem + ".json",
         ".tmp.json",

@@ -104,6 +104,28 @@ def _recv_exact(sock: socket.socket, count: int, eof_ok: bool):
     return b"".join(chunks)
 
 
+# -- addresses -----------------------------------------------------------
+
+
+def reachable_host(host: str) -> str:
+    """A host clients can actually connect to, given a bind address.
+
+    A server bound to a wildcard address (``0.0.0.0``, ``""``, or the
+    IPv6 ``::``) listens on every interface, but the wildcard itself is
+    not a connectable destination — advertising ``0.0.0.0:PORT`` in a
+    ``url`` hands clients a dead address.  Loopback is the one interface
+    a wildcard bind is always reachable on from the same machine, so
+    that is what servers advertise; fleet operators reaching a wildcard-
+    bound server from *other* machines address it by its real interface
+    name, which only they know.
+    """
+    if host in ("0.0.0.0", ""):
+        return "127.0.0.1"
+    if host in ("::", "::0"):
+        return "::1"
+    return host
+
+
 # -- key wire forms ------------------------------------------------------
 
 

@@ -27,6 +27,7 @@ from repro.control.cache.protocol import (
     PROTOCOL_FORMAT,
     decode_latency_key,
     decode_pulse_key,
+    reachable_host,
     recv_message,
     send_message,
 )
@@ -108,6 +109,9 @@ class _Handler(socketserver.BaseRequestHandler):
             try:
                 response = server.cache_server.dispatch(request)
             except Exception as error:  # never kill the server thread
+                # A raised dispatch is as much a failed request as an
+                # unknown op; without this, stats() under-reports.
+                server.cache_server.record_error()
                 response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
             try:
                 send_message(self.request, response)
@@ -146,6 +150,10 @@ class CacheServer:
         self.started_at = time.time()
         self.op_counts: dict[str, int] = dict.fromkeys(_OPS, 0)
         self.errors = 0
+        #: Request/error counters are bumped from ThreadingTCPServer
+        #: handler threads, one per connected client; ``n += 1`` is a
+        #: read-modify-write, so unlocked concurrent bumps lose counts.
+        self._counter_lock = threading.Lock()
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.cache_server = self
         self._thread: threading.Thread | None = None
@@ -158,8 +166,16 @@ class CacheServer:
 
     @property
     def url(self) -> str:
+        """A *connectable* ``host:port`` for this server.
+
+        A wildcard bind address (``0.0.0.0`` / ``::``) is resolved to
+        loopback — the wildcard listens everywhere but connects nowhere,
+        so advertising it verbatim hands clients a dead address.  Reach
+        a wildcard-bound server from another machine by its real
+        interface address instead.
+        """
         host, port = self.address
-        return f"{host}:{port}"
+        return f"{reachable_host(host)}:{port}"
 
     def start(self) -> CacheServer:
         """Serve from a daemon thread; returns self for chaining."""
@@ -190,12 +206,18 @@ class CacheServer:
 
     # -- request dispatch ------------------------------------------------
 
+    def record_error(self) -> None:
+        """Count one failed request (unknown op or raised dispatch)."""
+        with self._counter_lock:
+            self.errors += 1
+
     def dispatch(self, request: dict) -> dict:
         op = request.get("op")
         if op not in _OPS:
-            self.errors += 1
+            self.record_error()
             return {"ok": False, "error": f"unknown op {op!r}; known: {_OPS}"}
-        self.op_counts[op] += 1
+        with self._counter_lock:
+            self.op_counts[op] += 1
         return getattr(self, f"_op_{op}")(request)
 
     def _op_ping(self, request: dict) -> dict:
@@ -247,10 +269,13 @@ class CacheServer:
     def stats(self) -> dict:
         """Store stats plus server-side request/lease counters."""
         info = self.store.stats()
+        with self._counter_lock:
+            requests = {k: v for k, v in self.op_counts.items() if v}
+            errors = self.errors
         info.update(
             server_uptime_seconds=time.time() - self.started_at,
-            server_requests={k: v for k, v in self.op_counts.items() if v},
-            server_errors=self.errors,
+            server_requests=requests,
+            server_errors=errors,
             server_active_leases=len(self.leases),
             server_expired_leases=self.leases.expired,
         )

@@ -146,3 +146,47 @@ class IRVerificationError(AnalysisError):
 
 class BenchmarkError(ReproError):
     """Invalid benchmark-generator parameters."""
+
+
+class ServiceError(ReproError):
+    """The compile service rejected or failed a request.
+
+    Raised by :mod:`repro.service` — the client on error responses and
+    failed jobs, the server on invalid submissions.
+    """
+
+
+class ServiceBusyError(ServiceError):
+    """A submission was rejected with backpressure, not failure.
+
+    The service's queue was full (or the job's signature is quarantined
+    by the circuit breaker); the job was *not* enqueued.  Resubmit after
+    :attr:`retry_after` seconds.
+
+    Attributes:
+        retry_after: Server-suggested wait before resubmitting, seconds.
+        reason: Machine-readable rejection reason (``"queue_full"`` or
+            ``"quarantined"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class JobCancelledError(ServiceError):
+    """A compile job was cancelled (or timed out) mid-compilation.
+
+    Cancellation is cooperative: the batch engine's cancel probe runs at
+    pass boundaries, so a job stops after the pass it is in finishes,
+    not instantly.  Optimal-control work completed before the stop is
+    already merged into the shared cache — a resubmitted job starts
+    warm.
+    """

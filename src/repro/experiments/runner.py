@@ -25,7 +25,10 @@ writes every Figure 9 compilation result as a versioned JSON artifact
 recompiling*, re-verifies each against its embedded source circuit, and
 reprints the Figure 9 table from the loaded results.  ``--executor
 process`` fans batch jobs across worker processes instead of threads,
-which sidesteps the GIL on multi-core machines.
+which sidesteps the GIL on multi-core machines.  ``--submit-url
+HOST:PORT`` skips local compilation entirely: the sweep's jobs are
+submitted to a resident compile service (``python -m repro.service``),
+polled to completion, downloaded, and re-verified locally.
 
 Usage::
 
@@ -37,6 +40,8 @@ Usage::
     python -m repro.experiments.runner --experiment figure9 --scale small \\
         --save-artifacts results/artifacts --executor process
     python -m repro.experiments.runner --load-artifacts results/artifacts
+    python -m repro.experiments.runner --scale small \\
+        --submit-url 127.0.0.1:7788 --benchmarks maxcut-line-6
 """
 
 from __future__ import annotations
@@ -257,6 +262,96 @@ def load_artifacts_report(directory: str | os.PathLike) -> tuple[str, bool]:
     return "\n".join(lines), ok
 
 
+def submit_report(
+    url: str,
+    scale: str = "small",
+    strategies: list[str] | None = None,
+    benchmarks: list[str] | None = None,
+    timeout: float = 600.0,
+) -> tuple[str, bool]:
+    """Run the Figure 9 sweep through a remote compile service.
+
+    Instead of compiling in-process, every (benchmark, strategy) job is
+    submitted to a ``python -m repro.service`` server (honoring
+    backpressure hints on a full queue), polled to completion, and the
+    downloaded artifacts are re-verified locally against their embedded
+    source circuits before the table prints — the wire round trip is
+    part of what is being checked.
+
+    Returns:
+        ``(report_text, ok)`` — ``ok`` is False when any job failed or
+        any downloaded artifact failed verification.
+    """
+    from repro.benchmarks.registry import table3_suite
+    from repro.compiler.batch import BatchJob
+    from repro.compiler.strategies import all_strategies, strategy_by_key
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    strategy_keys = (
+        [strategy_by_key(key).key for key in strategies]
+        if strategies
+        else [strategy.key for strategy in all_strategies()]
+    )
+    suite = table3_suite(scale)
+    specs = [
+        spec for spec in suite if not benchmarks or spec.key in benchmarks
+    ]
+    lines = [f"submitting {len(specs) * len(strategy_keys)} jobs to {url}:"]
+    ok = True
+    with ServiceClient(url) as client:
+        client.ping()
+        submitted: list[tuple[str, str, str, object]] = []
+        for spec in specs:
+            circuit = spec.build()
+            for key in strategy_keys:
+                job = BatchJob(
+                    circuit=circuit,
+                    strategy=key,
+                    label=f"{spec.key}/{key}",
+                )
+                job_id = client.submit_retrying(job)
+                submitted.append((spec.key, key, job_id, circuit))
+        by_benchmark: dict[str, dict[str, CompilationResult]] = defaultdict(dict)
+        for benchmark, key, job_id, circuit in submitted:
+            try:
+                result = client.wait(job_id, timeout=timeout)
+            except ServiceError as error:
+                lines.append(f"  {benchmark}/{key}: FAILED ({error})")
+                ok = False
+                continue
+            report = result.verify_equivalence(circuit=circuit)
+            if not report:
+                lines.append(f"  {benchmark}/{key}: VERIFICATION FAILED")
+                ok = False
+                continue
+            by_benchmark[benchmark][key] = result
+        stats = client.stats()
+    rows = [
+        Figure9Row(
+            benchmark=benchmark,
+            qubits=next(iter(cells.values())).logical_qubits,
+            latencies_ns={k: r.latency_ns for k, r in cells.items()},
+            seconds={},
+            swap_counts={k: r.swap_count for k, r in cells.items()},
+            results=dict(cells),
+        )
+        for benchmark, cells in by_benchmark.items()
+        if len(cells) == len(strategy_keys)
+    ]
+    if rows:
+        lines.append("")
+        lines.append(format_figure9(rows))
+    verified = sum(len(cells) for cells in by_benchmark.values())
+    lines.append("")
+    lines.append(
+        f"{verified}/{len(submitted)} artifacts verified; server: "
+        f"{stats['completed']} jobs completed, "
+        f"{stats['cache'].get('store_hits', 0)} cache store hits"
+    )
+    return "\n".join(lines), ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -379,6 +474,16 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated benchmark keys restricting the figure9 "
         "sweep to a subset of the Table 3 suite",
     )
+    parser.add_argument(
+        "--submit-url",
+        default=None,
+        metavar="HOST:PORT",
+        help="skip local compilation: submit the figure9 sweep to a "
+        "compile service (python -m repro.service), honor its "
+        "backpressure, download and re-verify every artifact, and print "
+        "the table from the returned results; exits nonzero on any "
+        "failed job or verification",
+    )
     args = parser.parse_args(argv)
     if args.load_artifacts:
         report, ok = load_artifacts_report(args.load_artifacts)
@@ -394,6 +499,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.benchmarks
         else None
     )
+    if args.submit_url:
+        report, ok = submit_report(
+            args.submit_url,
+            scale=args.scale,
+            strategies=strategies,
+            benchmarks=benchmarks,
+        )
+        print(report)
+        return 0 if ok else 1
     cache = resolve_cache(
         path=args.cache,
         url=args.cache_url,

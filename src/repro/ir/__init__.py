@@ -28,6 +28,8 @@ Round-trip guarantees (enforced by ``tests/ir/``): gate and instruction
 
 from repro.ir.serialize import (
     IR_FORMAT,
+    batch_job_from_dict,
+    batch_job_to_dict,
     cache_delta_from_dict,
     cache_delta_to_dict,
     canonical_result_dict,
@@ -46,6 +48,8 @@ from repro.ir.serialize import (
     grape_result_to_dict,
     instruction_from_dict,
     instruction_to_dict,
+    job_status_from_dict,
+    job_status_to_dict,
     loads,
     node_from_dict,
     node_to_dict,
@@ -55,6 +59,8 @@ from repro.ir.serialize import (
     result_to_dict,
     schedule_from_dict,
     schedule_to_dict,
+    service_stats_from_dict,
+    service_stats_to_dict,
     topology_from_dict,
     topology_to_dict,
 )
@@ -69,6 +75,8 @@ __all__ = [
     "IR_FORMAT",
     "OVERLAP_EPSILON_NS",
     "TimedInstruction",
+    "batch_job_from_dict",
+    "batch_job_to_dict",
     "cache_delta_from_dict",
     "cache_delta_to_dict",
     "canonical_result_dict",
@@ -87,6 +95,8 @@ __all__ = [
     "grape_result_to_dict",
     "instruction_from_dict",
     "instruction_to_dict",
+    "job_status_from_dict",
+    "job_status_to_dict",
     "loads",
     "node_from_dict",
     "node_to_dict",
@@ -96,6 +106,8 @@ __all__ = [
     "result_to_dict",
     "schedule_from_dict",
     "schedule_to_dict",
+    "service_stats_from_dict",
+    "service_stats_to_dict",
     "topology_from_dict",
     "topology_to_dict",
 ]

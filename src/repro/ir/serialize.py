@@ -603,6 +603,103 @@ def canonical_result_dict(result) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Compile-service jobs and status reports
+
+
+def batch_job_to_dict(job) -> dict:
+    """Wire form of one :class:`~repro.compiler.batch.BatchJob`.
+
+    This is the submission unit of the compile service: everything a
+    remote worker needs to compile the job — circuit, strategy key,
+    width limit, optional per-job device or topology — and nothing
+    process-local.  Jobs carrying in-memory pass objects cannot cross a
+    machine boundary and are rejected here, with the same rationale as
+    the batch engine's process executor; strategies travel by registered
+    key and are re-resolved on the far side.
+    """
+    from repro.compiler.strategies import strategy_by_key
+    from repro.errors import ConfigError
+
+    if job.passes is not None:
+        raise SerializationError(
+            f"job {job.key!r} carries an explicit passes= list, which "
+            f"cannot cross a machine boundary; submit a registered "
+            f"strategy key instead"
+        )
+    try:
+        strategy_by_key(job.strategy.key)
+    except ConfigError:
+        raise SerializationError(
+            f"job {job.key!r} uses unregistered strategy "
+            f"{job.strategy.key!r}: the far side rebuilds strategies from "
+            f"their registered keys, so register it (register_strategy) "
+            f"before submitting"
+        ) from None
+    payload = {
+        "circuit": circuit_to_dict(job.circuit),
+        "strategy_key": job.strategy.key,
+        "width_limit": job.width_limit,
+        "label": job.label,
+        "pulse_backend": job.pulse_backend,
+    }
+    if job.device is not None:
+        payload["device"] = device_to_dict(job.device)
+    if job.topology is not None:
+        payload["topology"] = topology_to_dict(job.topology)
+    return _envelope("job", payload)
+
+
+def batch_job_from_dict(payload: dict):
+    from repro.compiler.batch import BatchJob
+
+    payload = _check(payload, "job")
+    return BatchJob(
+        circuit=circuit_from_dict(payload["circuit"]),
+        strategy=payload["strategy_key"],
+        width_limit=payload.get("width_limit"),
+        label=payload.get("label"),
+        pulse_backend=payload.get("pulse_backend"),
+        device=(
+            device_from_dict(payload["device"])
+            if "device" in payload
+            else None
+        ),
+        topology=(
+            topology_from_dict(payload["topology"])
+            if "topology" in payload
+            else None
+        ),
+    )
+
+
+def job_status_to_dict(status: dict) -> dict:
+    """Wire form of one service job's status report.
+
+    The payload is already flat JSON-safe scalars (state, timestamps,
+    attempt count, error text, per-pass timing); the envelope adds the
+    format/kind header so status reports travel the same channels as
+    every other artifact.
+    """
+    return _envelope("job_status", {"status": dict(status)})
+
+
+def job_status_from_dict(payload: dict) -> dict:
+    payload = _check(payload, "job_status")
+    return dict(payload["status"])
+
+
+def service_stats_to_dict(stats: dict) -> dict:
+    """Wire form of the compile service's ``stats()`` dict (see
+    :meth:`repro.service.server.CompileService.stats`)."""
+    return _envelope("service_stats", {"stats": dict(stats)})
+
+
+def service_stats_from_dict(payload: dict) -> dict:
+    payload = _check(payload, "service_stats")
+    return dict(payload["stats"])
+
+
+# ----------------------------------------------------------------------
 # Generic JSON envelope
 
 _LOADERS = {
@@ -619,6 +716,9 @@ _LOADERS = {
     "cache_delta": cache_delta_from_dict,
     "cache_stats": cache_stats_from_dict,
     "result": result_from_dict,
+    "job": batch_job_from_dict,
+    "job_status": job_status_from_dict,
+    "service_stats": service_stats_from_dict,
 }
 
 _DUMPERS = (
@@ -641,6 +741,7 @@ def dumps(artifact, indent: int | None = None) -> str:
 
 def _payload_of(artifact) -> dict:
     from repro.aggregation.instruction import AggregatedInstruction
+    from repro.compiler.batch import BatchJob
     from repro.compiler.result import CompilationResult
     from repro.control.cache import CacheDelta
     from repro.scheduling.schedule import Schedule
@@ -649,6 +750,8 @@ def _payload_of(artifact) -> dict:
         return artifact
     if isinstance(artifact, CompilationResult):
         return result_to_dict(artifact)
+    if isinstance(artifact, BatchJob):
+        return batch_job_to_dict(artifact)
     if isinstance(artifact, Schedule):
         return schedule_to_dict(artifact)
     if isinstance(artifact, AggregatedInstruction):

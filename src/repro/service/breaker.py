@@ -1,0 +1,155 @@
+"""Per-signature circuit breaker: quarantine poisoned circuits.
+
+A circuit that deterministically fails compilation (an unplaceable
+width, a gate the device cannot price, a pathological aggregation) would
+otherwise be resubmitted by retrying clients and burn a worker on every
+attempt — with enough retrying clients, the whole pool wedges on one bad
+input.  The breaker isolates that failure mode per *job signature* (a
+content digest of the submitted job, so renamed copies of the same
+circuit share a breaker):
+
+* **closed** — normal operation; consecutive failures are counted.
+* **open** — after ``threshold`` consecutive failures the signature is
+  quarantined: submissions are rejected instantly (with ``retry_after``)
+  for ``cooldown`` seconds, costing zero worker time.
+* **half-open** — after the cooldown one probe submission is admitted.
+  Success closes the breaker (transient fault — a since-fixed strategy
+  registration, an evicted-then-rewarmed cache); failure re-opens it for
+  another cooldown.
+
+States and transitions follow the classic pattern (Nygard, *Release
+It!*); thresholds are per-service configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Consecutive failures that trip a signature's breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds a tripped signature stays quarantined before one probe runs.
+DEFAULT_BREAKER_COOLDOWN = 30.0
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class _Entry:
+    __slots__ = ("failures", "state", "opened_until", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.state = CLOSED
+        self.opened_until = 0.0
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Failure isolation keyed by job signature.
+
+    Args:
+        threshold: Consecutive failures that trip a signature.
+        cooldown: Quarantine seconds before a half-open probe is let
+            through.
+        clock: Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be at least 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._entries: dict[str, _Entry] = {}
+        self._lock = threading.Lock()
+        self.tripped = 0
+        self.rejections = 0
+        self.recoveries = 0
+
+    def allow(self, signature: str) -> tuple[bool, float]:
+        """Admission check for one submission.
+
+        Returns ``(allowed, retry_after)``.  ``retry_after`` is 0 when
+        allowed; otherwise the seconds until the quarantine's next
+        half-open probe slot.  When an open breaker's cooldown has
+        elapsed, exactly one caller is admitted as the probe — others
+        stay rejected until :meth:`record_success` or
+        :meth:`record_failure` resolves it.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None or entry.state == CLOSED:
+                return True, 0.0
+            if entry.state == OPEN and now >= entry.opened_until:
+                entry.state = HALF_OPEN
+                entry.probing = False
+            if entry.state == HALF_OPEN and not entry.probing:
+                entry.probing = True
+                return True, 0.0
+            self.rejections += 1
+            remaining = max(0.0, entry.opened_until - now)
+            # A half-open probe in flight: suggest a short retry — the
+            # probe's verdict lands within one job, not one cooldown.
+            return False, remaining if entry.state == OPEN else 1.0
+
+    def record_success(self, signature: str) -> None:
+        """A job with this signature compiled; close its breaker."""
+        with self._lock:
+            entry = self._entries.pop(signature, None)
+            if entry is not None and entry.state != CLOSED:
+                self.recoveries += 1
+
+    def record_failure(self, signature: str) -> bool:
+        """A job with this signature failed; True when this trip opened it."""
+        with self._lock:
+            entry = self._entries.setdefault(signature, _Entry())
+            entry.failures += 1
+            if entry.state == HALF_OPEN:
+                # The probe failed: straight back to quarantine.
+                entry.state = OPEN
+                entry.probing = False
+                entry.opened_until = self._clock() + self.cooldown
+                self.tripped += 1
+                return True
+            if entry.state == CLOSED and entry.failures >= self.threshold:
+                entry.state = OPEN
+                entry.opened_until = self._clock() + self.cooldown
+                self.tripped += 1
+                return True
+            return False
+
+    def state_of(self, signature: str) -> str:
+        """Current state name, with open→half-open promotion applied."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                return CLOSED
+            if entry.state == OPEN and now >= entry.opened_until:
+                return HALF_OPEN
+            return entry.state
+
+    def stats(self) -> dict:
+        with self._lock:
+            states = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+            for entry in self._entries.values():
+                states[entry.state] += 1
+            return {
+                "threshold": self.threshold,
+                "cooldown_seconds": self.cooldown,
+                "tracked_signatures": len(self._entries),
+                "open": states[OPEN],
+                "half_open": states[HALF_OPEN],
+                "tripped": self.tripped,
+                "rejections": self.rejections,
+                "recoveries": self.recoveries,
+            }

@@ -1,0 +1,111 @@
+"""Bounded FIFO job queue with reject-not-block admission.
+
+The compile service's front door must never hang a client: when the
+queue is full, :meth:`BoundedJobQueue.offer` returns ``False``
+immediately and the server answers with an explicit backpressure
+response (including a retry hint) instead of parking the connection.
+Blocking therefore exists only on the *consumer* side — worker threads
+wait in :meth:`take` until a job (or shutdown) arrives.
+
+A plain :class:`queue.Queue` almost fits, but its full-queue semantics
+are block-or-raise and its shutdown story predates 3.13; this ~80-line
+deque keeps admission, draining, and close semantics explicit and
+testable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class BoundedJobQueue:
+    """Thread-safe FIFO with a hard capacity and non-blocking admission.
+
+    Args:
+        limit: Maximum queued items; ``None`` means unbounded (the
+            resume path re-enqueues journaled jobs through ``force=True``
+            regardless, so a tiny limit cannot strand a restarted
+            backlog).
+    """
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("queue limit must be at least 1 (or None)")
+        self.limit = limit
+        self._items: deque = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self.offered = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def offer(self, item, force: bool = False) -> bool:
+        """Enqueue without blocking; False when full (or closed).
+
+        ``force`` bypasses the capacity check — the journal-resume path
+        uses it so a restart re-admits every incomplete job even when
+        the backlog exceeds the configured limit (rejecting previously
+        accepted work would break the at-least-once contract).
+        """
+        with self._condition:
+            if self._closed:
+                return False
+            if (
+                not force
+                and self.limit is not None
+                and len(self._items) >= self.limit
+            ):
+                self.rejected += 1
+                return False
+            self._items.append(item)
+            self.offered += 1
+            self._condition.notify()
+            return True
+
+    def take(self, timeout: float | None = None):
+        """Dequeue the oldest item, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        drained — worker loops treat both as "check for shutdown and
+        loop".
+        """
+        with self._condition:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._condition.wait(timeout=timeout):
+                    return None
+            return self._items.popleft()
+
+    def close(self) -> list:
+        """Stop admissions, wake every waiter; returns the drained items.
+
+        Already-queued items are handed back to the caller (the service
+        journals them as still-queued so a restart resumes them) rather
+        than left for workers to race shutdown over.
+        """
+        with self._condition:
+            self._closed = True
+            drained = list(self._items)
+            self._items.clear()
+            self._condition.notify_all()
+            return drained
+
+    def stats(self) -> dict:
+        with self._condition:
+            return {
+                "depth": len(self._items),
+                "limit": self.limit,
+                "offered": self.offered,
+                "rejected": self.rejected,
+                "closed": self._closed,
+            }

@@ -1,0 +1,687 @@
+"""Compilation-as-a-service: the resident compile server.
+
+One process owns one warm :class:`~repro.compiler.batch.BatchCompiler`
+(and therefore one shared pulse cache — local, sharded-dir, or a
+``tcp://`` fleet cache) and serves compile jobs submitted over the wire
+(:mod:`repro.service.protocol`).  Submissions land on a bounded queue
+with explicit backpressure; worker threads drain it through
+:meth:`BatchCompiler.run_job`; finished artifacts are persisted and
+served back.  Robustness features:
+
+* **Backpressure** — a full queue rejects instantly with a
+  ``retry_after`` derived from observed job times, never parks a client.
+* **Per-job timeout + cancellation** — cooperative, at pass boundaries;
+  partial optimal-control work stays in the warm cache.
+* **Circuit breaker** — a job signature that fails ``threshold`` times
+  in a row is quarantined (:mod:`repro.service.breaker`) so one
+  poisoned circuit cannot wedge the worker pool.
+* **Crash-safe journal** — every accepted job and state transition is
+  journaled atomically (:mod:`repro.service.journal`); a restarted
+  server re-serves completed artifacts and re-runs interrupted jobs
+  against the still-warm cache (zero re-synthesis for cached pulses).
+
+Embed it (tests, examples)::
+
+    service = CompileService(engine=BatchCompiler(...), workers=2)
+    service.start()
+    ... ServiceClient(service.url) ...
+    service.stop()
+
+or run it standalone with ``python -m repro.service``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socketserver
+import threading
+import time
+
+from repro.compiler.batch import BatchCompiler
+from repro.errors import JobCancelledError, ReproError, ServiceError
+from repro.service.breaker import (
+    DEFAULT_BREAKER_COOLDOWN,
+    DEFAULT_BREAKER_THRESHOLD,
+    CircuitBreaker,
+)
+from repro.service.journal import JobJournal
+from repro.service.protocol import (
+    REJECT_QUARANTINED,
+    REJECT_QUEUE_FULL,
+    SERVICE_FORMAT,
+    SERVICE_OPS,
+    reachable_host,
+    recv_message,
+    send_message,
+)
+from repro.service.queue import BoundedJobQueue
+
+#: Default bound on queued (not yet running) jobs.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: ``retry_after`` hints are clamped into this range (seconds): never so
+#: small that clients hammer a loaded server, never so large that a
+#: briefly-full queue strands them.
+MIN_RETRY_AFTER = 0.5
+MAX_RETRY_AFTER = 60.0
+
+#: Seed for the completed-job-seconds EWMA before any job finishes.
+_INITIAL_JOB_SECONDS = 1.0
+_EWMA_WEIGHT = 0.3
+
+#: Worker poll granularity; also bounds stop() latency for idle workers.
+_TAKE_TIMEOUT_SECONDS = 0.2
+
+
+def job_signature(envelope: dict) -> str:
+    """Content digest of one job envelope, ignoring its display label.
+
+    Two submissions of the same circuit/strategy/device share a
+    signature even under different labels — that is the identity the
+    circuit breaker quarantines on (a poisoned circuit resubmitted under
+    a fresh name is still poisoned).
+    """
+    payload = {k: v for k, v in envelope.items() if k != "label"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class _JobRecord:
+    """Everything the server tracks for one submitted job."""
+
+    __slots__ = (
+        "job_id",
+        "serial",
+        "envelope",
+        "signature",
+        "label",
+        "state",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "attempts",
+        "error",
+        "seconds",
+        "pass_seconds",
+        "counters",
+        "cancel_event",
+        "cancel_reason",
+    )
+
+    def __init__(self, job_id: str, serial: int, envelope: dict, signature: str):
+        self.job_id = job_id
+        self.serial = serial
+        self.envelope = envelope
+        self.signature = signature
+        self.label = envelope.get("label") or None
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.attempts = 0
+        self.error: str | None = None
+        self.seconds: float | None = None
+        self.pass_seconds: dict[str, float] | None = None
+        self.counters: dict[str, int] | None = None
+        self.cancel_event = threading.Event()
+        self.cancel_reason: str | None = None
+
+    def status(self) -> dict:
+        """The wire-facing status payload (flat JSON-safe scalars)."""
+        status = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "signature": self.signature,
+            "label": self.label,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "error": self.error,
+            "seconds": self.seconds,
+        }
+        if self.pass_seconds is not None:
+            status["pass_seconds"] = dict(self.pass_seconds)
+        if self.counters is not None:
+            status["counters"] = dict(self.counters)
+        return status
+
+    def journal_record(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "serial": self.serial,
+            "state": self.state,
+            "job": self.envelope,
+            "signature": self.signature,
+            "label": self.label,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: a stream of request frames until EOF."""
+
+    def handle(self) -> None:
+        server: _TCPServer = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                request = recv_message(self.request)
+            except Exception:
+                return  # torn frame / reset: drop the connection
+            if request is None:
+                return
+            try:
+                response = server.service.dispatch(request)
+            except Exception as error:  # never kill the server thread
+                server.service.record_error()
+                response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            try:
+                send_message(self.request, response)
+            except OSError:
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service: CompileService
+
+
+class CompileService:
+    """The compile server: engine + queue + breaker + journal + wire.
+
+    Args:
+        engine: The resident :class:`BatchCompiler` (its cache is the
+            service's warm cache).  A default engine when omitted.
+        host / port: Bind address; port 0 picks a free port (read it
+            back from :attr:`url`).
+        queue_limit: Queued-job bound; submissions past it are rejected
+            with backpressure.  ``None`` disables the bound.
+        workers: Compile worker threads.  ``0`` is allowed — jobs then
+            queue without running, which tests use to pin queue states
+            deterministically.
+        job_timeout: Per-job wall-clock budget, seconds; a job past it
+            is cancelled at the next pass boundary and counts as a
+            breaker failure.  ``None`` disables the timeout.
+        breaker_threshold / breaker_cooldown: Circuit-breaker tuning
+            (consecutive failures to quarantine a signature; quarantine
+            seconds before a probe).
+        journal: A :class:`JobJournal` (or a directory path for one) for
+            crash-safe restarts; ``None`` keeps state in memory only.
+    """
+
+    def __init__(
+        self,
+        engine: BatchCompiler | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int | None = DEFAULT_QUEUE_LIMIT,
+        workers: int = 2,
+        job_timeout: float | None = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        journal: JobJournal | str | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.engine = engine if engine is not None else BatchCompiler()
+        self.queue = BoundedJobQueue(limit=queue_limit)
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
+        self.journal = (
+            JobJournal(journal) if isinstance(journal, str) else journal
+        )
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.started_at = time.time()
+        self.op_counts: dict[str, int] = dict.fromkeys(SERVICE_OPS, 0)
+        self.errors = 0
+        #: Same discipline as the cache server: counters are bumped from
+        #: handler threads, so every read-modify-write takes this lock.
+        self._counter_lock = threading.Lock()
+        #: Guards the record table, job-id serial, and the EWMA.
+        self._lock = threading.Lock()
+        self._records: dict[str, _JobRecord] = {}
+        self._results: dict[str, object] = {}
+        self._next_serial = 1
+        self._ewma_job_seconds = _INITIAL_JOB_SECONDS
+        self._stopping = threading.Event()
+        self._worker_threads: list[threading.Thread] = []
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.timed_out = 0
+        self.rejected_busy = 0
+        self.rejected_quarantined = 0
+        self.resumed = 0
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.service = self
+        self._serve_thread: threading.Thread | None = None
+        if self.journal is not None:
+            self._recover()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._tcp.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """A connectable ``host:port`` (wildcard binds -> loopback)."""
+        host, port = self.address
+        return f"{reachable_host(host)}:{port}"
+
+    def start(self) -> CompileService:
+        """Serve requests and start workers; returns self for chaining."""
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever, name="compile-service", daemon=True
+        )
+        self._serve_thread.start()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"compile-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path); workers still spawn."""
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"compile-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+        self._tcp.serve_forever()
+
+    def stop(self) -> None:
+        """Drain admissions, stop workers, persist the cache.
+
+        Queued jobs are *not* abandoned: they stay journaled as queued,
+        so the next start resumes them.  A running job finishes its
+        current pass, is cancelled cooperatively, and is re-journaled as
+        queued for the restart (its finished optimal-control work is
+        already in the cache).
+        """
+        self._stopping.set()
+        self.queue.close()
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        for thread in self._worker_threads:
+            thread.join(timeout=10)
+        self._worker_threads.clear()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5)
+            self._serve_thread = None
+        self.engine.save_cache()
+
+    def __enter__(self) -> CompileService:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- restart recovery ------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the record table from the journal; re-enqueue work.
+
+        Completed jobs come back as ``done`` records served from their
+        persisted artifacts.  Queued/running jobs (the previous process
+        died holding them) are re-enqueued — ``force=True`` so a backlog
+        larger than the queue limit is never stranded — with ``running``
+        ones charged one attempt for the run that died.
+        """
+        resumable_ids = {r["job_id"] for r in self.journal.resumable()}
+        for stored in sorted(
+            self.journal.records(), key=lambda r: r.get("serial", 0)
+        ):
+            record = _JobRecord(
+                stored["job_id"],
+                stored.get("serial", 0),
+                stored["job"],
+                stored.get("signature") or job_signature(stored["job"]),
+            )
+            record.state = stored["state"]
+            record.submitted_at = stored.get("submitted_at", record.submitted_at)
+            record.started_at = stored.get("started_at")
+            record.finished_at = stored.get("finished_at")
+            record.attempts = stored.get("attempts", 0)
+            record.error = stored.get("error")
+            if record.job_id in resumable_ids:
+                if record.state == "running":
+                    record.attempts += 1
+                record.state = "queued"
+                record.started_at = None
+                record.error = None
+                self._journal(record)
+                self.queue.offer(record.job_id, force=True)
+                self.resumed += 1
+            self._records[record.job_id] = record
+            self._next_serial = max(self._next_serial, record.serial + 1)
+
+    # -- workers ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            job_id = self.queue.take(timeout=_TAKE_TIMEOUT_SECONDS)
+            if job_id is None:
+                if self.queue.closed:
+                    return
+                continue
+            with self._lock:
+                record = self._records.get(job_id)
+            if record is None or record.state != "queued":
+                continue  # cancelled (or otherwise resolved) while queued
+            self._run_record(record)
+
+    def _run_record(self, record: _JobRecord) -> None:
+        from repro.ir.serialize import batch_job_from_dict
+
+        with self._lock:
+            record.state = "running"
+            record.started_at = time.time()
+            record.attempts += 1
+            record.error = None
+        self._journal(record)
+        deadline = (
+            time.monotonic() + self.job_timeout
+            if self.job_timeout is not None
+            else None
+        )
+
+        def _cancel_probe() -> str | None:
+            if self._stopping.is_set():
+                return "server shutting down"
+            if record.cancel_event.is_set():
+                return "cancelled by client"
+            if deadline is not None and time.monotonic() > deadline:
+                record.cancel_reason = "timeout"
+                return f"timed out after {self.job_timeout}s"
+            return None
+
+        try:
+            job = batch_job_from_dict(record.envelope)
+            result, seconds, counters = self.engine.run_job(
+                job, cancel=_cancel_probe
+            )
+        except JobCancelledError as error:
+            self._finish_cancelled(record, error)
+            return
+        except ReproError as error:
+            self._finish_failed(record, f"{type(error).__name__}: {error}")
+            return
+        except Exception as error:  # defensive: foreign bug, same handling
+            self._finish_failed(record, f"{type(error).__name__}: {error}")
+            return
+        if self.journal is not None:
+            # Artifact before state flip: a crash between the two leaves
+            # a resumable "running" record, never a done-but-missing one.
+            self.journal.write_result(record.job_id, result)
+        with self._lock:
+            self._results[record.job_id] = result
+            record.state = "done"
+            record.finished_at = time.time()
+            record.seconds = seconds
+            record.pass_seconds = dict(result.pass_seconds)
+            record.counters = dict(counters)
+            self.completed += 1
+            self._ewma_job_seconds = (
+                _EWMA_WEIGHT * seconds
+                + (1.0 - _EWMA_WEIGHT) * self._ewma_job_seconds
+            )
+        self.breaker.record_success(record.signature)
+        self._journal(record)
+
+    def _finish_cancelled(self, record: _JobRecord, error: Exception) -> None:
+        """Route a JobCancelledError to its real cause.
+
+        Three distinct causes share the exception type: a client
+        ``cancel`` (-> cancelled, no breaker change), the per-job
+        timeout (-> failed + breaker: a circuit that blows the budget
+        every time is poisoned), and server shutdown (-> back to queued
+        for the restart; the pass that finished stayed warm).
+        """
+        if self._stopping.is_set() and not record.cancel_event.is_set():
+            with self._lock:
+                record.state = "queued"
+                record.started_at = None
+            self._journal(record)
+            return
+        if record.cancel_reason == "timeout":
+            with self._lock:
+                self.timed_out += 1
+            self._finish_failed(record, str(error))
+            return
+        with self._lock:
+            record.state = "cancelled"
+            record.finished_at = time.time()
+            record.error = str(error)
+            self.cancelled += 1
+        self._journal(record)
+
+    def _finish_failed(self, record: _JobRecord, error: str) -> None:
+        with self._lock:
+            record.state = "failed"
+            record.finished_at = time.time()
+            record.error = error
+            self.failed += 1
+        self.breaker.record_failure(record.signature)
+        self._journal(record)
+
+    def _journal(self, record: _JobRecord) -> None:
+        if self.journal is not None:
+            self.journal.record(record.journal_record())
+
+    # -- request dispatch ------------------------------------------------
+
+    def record_error(self) -> None:
+        """Count one failed request (unknown op or raised dispatch)."""
+        with self._counter_lock:
+            self.errors += 1
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op not in SERVICE_OPS:
+            self.record_error()
+            return {"ok": False, "error": f"unknown op {op!r}; known: {SERVICE_OPS}"}
+        with self._counter_lock:
+            self.op_counts[op] += 1
+        return getattr(self, f"_op_{op}")(request)
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "format": SERVICE_FORMAT}
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: EWMA job seconds x backlog per worker."""
+        with self._lock:
+            per_job = self._ewma_job_seconds
+        backlog = len(self.queue) + self._in_flight() + 1
+        hint = per_job * backlog / max(self.workers, 1)
+        return max(MIN_RETRY_AFTER, min(hint, MAX_RETRY_AFTER))
+
+    def _in_flight(self) -> int:
+        with self._lock:
+            return sum(
+                1 for r in self._records.values() if r.state == "running"
+            )
+
+    def _op_submit(self, request: dict) -> dict:
+        from repro.ir.serialize import batch_job_from_dict
+
+        envelope = request.get("job")
+        if not isinstance(envelope, dict):
+            raise ServiceError("submit needs a job envelope under 'job'")
+        # Validate eagerly so a malformed submission fails its submitter,
+        # not a worker thread minutes later.
+        batch_job_from_dict(envelope)
+        signature = job_signature(envelope)
+        allowed, retry_after = self.breaker.allow(signature)
+        if not allowed:
+            with self._counter_lock:
+                self.rejected_quarantined += 1
+            return {
+                "ok": True,
+                "accepted": False,
+                "reason": REJECT_QUARANTINED,
+                "retry_after": retry_after,
+                "signature": signature,
+                "breaker_state": self.breaker.state_of(signature),
+            }
+        with self._lock:
+            serial = self._next_serial
+            self._next_serial += 1
+            job_id = f"job-{serial}-{signature[:8]}"
+            record = _JobRecord(job_id, serial, envelope, signature)
+            self._records[job_id] = record
+        if not self.queue.offer(job_id):
+            with self._lock:
+                del self._records[job_id]
+            with self._counter_lock:
+                self.rejected_busy += 1
+            return {
+                "ok": True,
+                "accepted": False,
+                "reason": REJECT_QUEUE_FULL,
+                "retry_after": self._retry_after(),
+                "queue_depth": len(self.queue),
+                "queue_limit": self.queue.limit,
+            }
+        self._journal(record)
+        return {
+            "ok": True,
+            "accepted": True,
+            "job_id": job_id,
+            "state": record.state,
+            "position": len(self.queue),
+        }
+
+    def _record_or_raise(self, request: dict) -> _JobRecord:
+        job_id = request.get("job_id")
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return record
+
+    def _op_status(self, request: dict) -> dict:
+        from repro.ir.serialize import job_status_to_dict
+
+        record = self._record_or_raise(request)
+        with self._lock:
+            status = record.status()
+        return {"ok": True, "status": job_status_to_dict(status)}
+
+    def _op_result(self, request: dict) -> dict:
+        from repro.ir.serialize import result_to_dict
+
+        record = self._record_or_raise(request)
+        with self._lock:
+            state = record.state
+            result = self._results.get(record.job_id)
+        if state != "done":
+            return {
+                "ok": True,
+                "ready": False,
+                "state": state,
+                "error": record.error,
+            }
+        if result is None and self.journal is not None:
+            # A restarted server serves pre-restart results from disk.
+            result = self.journal.read_result(record.job_id)
+            if result is not None:
+                with self._lock:
+                    self._results[record.job_id] = result
+        if result is None:
+            raise ServiceError(
+                f"job {record.job_id!r} is done but its artifact is gone "
+                f"(journal disabled or artifact deleted); resubmit"
+            )
+        return {
+            "ok": True,
+            "ready": True,
+            "result": result_to_dict(result, include_source=True),
+        }
+
+    def _op_cancel(self, request: dict) -> dict:
+        record = self._record_or_raise(request)
+        record.cancel_event.set()
+        with self._lock:
+            if record.state == "queued":
+                # Worker-side take() skips non-queued records, so this
+                # resolves the job without waiting for a worker.
+                record.state = "cancelled"
+                record.finished_at = time.time()
+                record.error = "cancelled while queued"
+                self.cancelled += 1
+                resolved_now = True
+            else:
+                resolved_now = record.state in ("done", "failed", "cancelled")
+            state = record.state
+        if state == "cancelled":
+            self._journal(record)
+        return {"ok": True, "state": state, "resolved": resolved_now}
+
+    def _op_jobs(self, request: dict) -> dict:
+        from repro.ir.serialize import job_status_to_dict
+
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.serial)
+            statuses = [record.status() for record in records]
+        return {
+            "ok": True,
+            "jobs": [job_status_to_dict(status) for status in statuses],
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        from repro.ir.serialize import service_stats_to_dict
+
+        return {"ok": True, "stats": service_stats_to_dict(self.stats())}
+
+    # -- metrics ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service metrics: queue, workers, breaker, journal, cache."""
+        with self._counter_lock:
+            requests = {k: v for k, v in self.op_counts.items() if v}
+            errors = self.errors
+            rejected_busy = self.rejected_busy
+            rejected_quarantined = self.rejected_quarantined
+        with self._lock:
+            states: dict[str, int] = {}
+            for record in self._records.values():
+                states[record.state] = states.get(record.state, 0) + 1
+            ewma = self._ewma_job_seconds
+        return {
+            "format": SERVICE_FORMAT,
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": self.workers,
+            "job_timeout": self.job_timeout,
+            "queue": self.queue.stats(),
+            "jobs": states,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "timed_out": self.timed_out,
+            "resumed": self.resumed,
+            "rejected_busy": rejected_busy,
+            "rejected_quarantined": rejected_quarantined,
+            "ewma_job_seconds": ewma,
+            "requests": requests,
+            "request_errors": errors,
+            "breaker": self.breaker.stats(),
+            "journal_jobs": len(self.journal) if self.journal else 0,
+            "cache": self.engine.cache_stats(),
+        }

@@ -274,7 +274,7 @@ class TestCrashSafety:
         assert leftovers == []
 
     def test_failed_write_preserves_old_file_and_cleans_temp(self, tmp_path):
-        from repro.control.cache.disk import _replace_into
+        from repro.control.cache.disk import replace_into
 
         final = tmp_path / "cache.json"
         final.write_text("precious")
@@ -284,7 +284,7 @@ class TestCrashSafety:
             raise OSError("disk full")
 
         with pytest.raises(OSError):
-            _replace_into(exploding_writer, str(final), ".tmp.json")
+            replace_into(exploding_writer, str(final), ".tmp.json")
         assert final.read_text() == "precious"
         assert list(tmp_path.iterdir()) == [final]
 

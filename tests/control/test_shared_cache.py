@@ -434,6 +434,50 @@ class TestCacheServer:
 
 
 # ----------------------------------------------------------------------
+# Server counter integrity and bind-address resolution
+
+
+class TestCacheServerCounters:
+    def test_threaded_dispatch_loses_no_op_counts(self, server):
+        # op_counts[op] += 1 is a read-modify-write executed from one
+        # handler thread per client; unlocked, concurrent bumps lose
+        # increments.  With the counter lock the total is exact.
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: server.dispatch({"op": "ping"}), range(800)))
+        assert server.op_counts["ping"] == 800
+
+    def test_threaded_unknown_ops_lose_no_error_counts(self, server):
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: server.dispatch({"op": "bogus"}), range(800)))
+        assert server.errors == 800
+
+    def test_handler_exception_counts_as_error(self, server):
+        # A request whose dispatch *raises* (malformed key) must bump
+        # the error counter, not just return ok=False to the client.
+        with socket.create_connection(server.address, timeout=5) as sock:
+            send_message(sock, {"op": "get_latency", "key": 42})
+            response = recv_message(sock)
+        assert response["ok"] is False
+        assert server.stats()["server_errors"] == 1
+
+    def test_wildcard_bind_url_is_connectable(self):
+        with CacheServer(host="0.0.0.0") as wildcard:
+            host, port = wildcard.url.rsplit(":", 1)
+            assert host == "127.0.0.1"
+            client = RemotePulseCache(wildcard.url, flush_threshold=0)
+            client.put_latency(_latency_key(0), 1.5)
+            assert wildcard.store.latency_count == 1
+
+    def test_reachable_host_mapping(self):
+        from repro.control.cache.protocol import reachable_host
+
+        assert reachable_host("0.0.0.0") == "127.0.0.1"
+        assert reachable_host("") == "127.0.0.1"
+        assert reachable_host("::") == "::1"
+        assert reachable_host("192.0.2.7") == "192.0.2.7"
+
+
+# ----------------------------------------------------------------------
 # resolve_cache backend selection
 
 

@@ -1,0 +1,116 @@
+"""Tests for the per-signature circuit breaker."""
+
+import pytest
+
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock) -> CircuitBreaker:
+    return CircuitBreaker(threshold=3, cooldown=30.0, clock=clock)
+
+
+class TestTrip:
+    def test_unknown_signature_is_allowed(self, breaker):
+        allowed, retry_after = breaker.allow("sig")
+        assert allowed
+        assert retry_after == 0.0
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        for _ in range(2):
+            assert not breaker.record_failure("sig")
+        assert breaker.state_of("sig") == CLOSED
+        assert breaker.allow("sig")[0]
+
+    def test_threshold_consecutive_failures_trip(self, breaker):
+        breaker.record_failure("sig")
+        breaker.record_failure("sig")
+        assert breaker.record_failure("sig")
+        assert breaker.state_of("sig") == OPEN
+        allowed, retry_after = breaker.allow("sig")
+        assert not allowed
+        assert 0.0 < retry_after <= 30.0
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure("sig")
+        breaker.record_failure("sig")
+        breaker.record_success("sig")
+        assert not breaker.record_failure("sig")
+        assert breaker.state_of("sig") == CLOSED
+
+    def test_signatures_are_independent(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("bad")
+        assert not breaker.allow("bad")[0]
+        assert breaker.allow("good")[0]
+
+
+class TestHalfOpen:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("sig")
+
+    def test_cooldown_admits_exactly_one_probe(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(31.0)
+        assert breaker.state_of("sig") == HALF_OPEN
+        assert breaker.allow("sig")[0]  # the probe
+        allowed, retry_after = breaker.allow("sig")  # others wait on it
+        assert not allowed
+        assert retry_after == 1.0
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(31.0)
+        assert breaker.allow("sig")[0]
+        breaker.record_success("sig")
+        assert breaker.state_of("sig") == CLOSED
+        assert breaker.allow("sig")[0]
+        assert breaker.stats()["recoveries"] == 1
+
+    def test_probe_failure_reopens_for_another_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(31.0)
+        assert breaker.allow("sig")[0]
+        assert breaker.record_failure("sig")
+        assert breaker.state_of("sig") == OPEN
+        assert not breaker.allow("sig")[0]
+        clock.advance(31.0)
+        assert breaker.allow("sig")[0]  # next probe slot
+
+
+class TestStats:
+    def test_counters(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("sig")
+        breaker.allow("sig")
+        stats = breaker.stats()
+        assert stats["tripped"] == 1
+        assert stats["rejections"] == 1
+        assert stats["open"] == 1
+        assert stats["tracked_signatures"] == 1
+
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

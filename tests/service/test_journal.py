@@ -1,0 +1,116 @@
+"""Tests for the crash-safe job journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks.qaoa import line_graph, maxcut_qaoa_circuit
+from repro.compiler.batch import BatchCompiler, BatchJob
+from repro.errors import ServiceError
+from repro.ir.serialize import batch_job_to_dict
+from repro.service.journal import JobJournal
+
+
+def _record(job_id: str, serial: int, state: str) -> dict:
+    circuit = maxcut_qaoa_circuit(line_graph(3), name="j")
+    return {
+        "job_id": job_id,
+        "serial": serial,
+        "state": state,
+        "job": batch_job_to_dict(BatchJob(circuit=circuit)),
+        "signature": "s" * 64,
+        "label": None,
+        "submitted_at": 1.0,
+        "started_at": None,
+        "finished_at": None,
+        "attempts": 0,
+        "error": None,
+    }
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        journal.record(_record("job-1", 1, "queued"))
+        journal.record(_record("job-2", 2, "done"))
+        reloaded = JobJournal(tmp_path / "journal")
+        assert len(reloaded) == 2
+        assert reloaded.get("job-1")["state"] == "queued"
+        assert reloaded.get("job-2")["state"] == "done"
+
+    def test_update_replaces_in_place(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        journal.record(_record("job-1", 1, "queued"))
+        journal.record(_record("job-1", 1, "running"))
+        assert len(journal) == 1
+        assert JobJournal(tmp_path / "journal").get("job-1")["state"] == "running"
+
+    def test_no_temp_droppings(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        for index in range(5):
+            journal.record(_record(f"job-{index}", index, "queued"))
+        leftovers = [
+            name
+            for name in os.listdir(journal.directory)
+            if ".tmp" in name
+        ]
+        assert leftovers == []
+
+    def test_unknown_format_rejected(self, tmp_path):
+        directory = tmp_path / "journal"
+        directory.mkdir()
+        (directory / "journal.json").write_text(
+            json.dumps({"format": "something-else", "jobs": []})
+        )
+        with pytest.raises(ServiceError, match="unknown journal format"):
+            JobJournal(directory)
+
+    def test_serial_survives_restart(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        assert journal.allocate_serial() == 1
+        journal.record(_record("job-1", 1, "queued"))
+        reloaded = JobJournal(tmp_path / "journal")
+        assert reloaded.allocate_serial() == 2
+
+
+class TestResumable:
+    def test_queued_and_running_resume_in_serial_order(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        journal.record(_record("job-3", 3, "queued"))
+        journal.record(_record("job-1", 1, "running"))
+        journal.record(_record("job-2", 2, "failed"))
+        resumable = [r["job_id"] for r in journal.resumable()]
+        assert resumable == ["job-1", "job-3"]
+
+    def test_done_with_artifact_does_not_resume(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        circuit = maxcut_qaoa_circuit(line_graph(3), name="done")
+        result, _, _ = BatchCompiler().run_job(BatchJob(circuit=circuit))
+        journal.write_result("job-1", result)
+        journal.record(_record("job-1", 1, "done"))
+        assert journal.resumable() == []
+
+    def test_done_with_missing_artifact_resumes(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        journal.record(_record("job-1", 1, "done"))
+        assert [r["job_id"] for r in journal.resumable()] == ["job-1"]
+
+
+class TestResultArtifacts:
+    def test_write_then_read_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        circuit = maxcut_qaoa_circuit(line_graph(4), name="art")
+        result, _, _ = BatchCompiler().run_job(BatchJob(circuit=circuit))
+        path = journal.write_result("job-1", result)
+        assert os.path.exists(path)
+        loaded = journal.read_result("job-1")
+        assert loaded.latency_ns == result.latency_ns
+        assert loaded.verify_equivalence()
+
+    def test_missing_or_corrupt_artifact_reads_none(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal")
+        assert journal.read_result("job-1") is None
+        with open(journal.result_path("job-2"), "w") as handle:
+            handle.write("{not json")
+        assert journal.read_result("job-2") is None

@@ -1,0 +1,81 @@
+"""Tests for the bounded reject-not-block job queue."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import BoundedJobQueue
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        queue = BoundedJobQueue()
+        for item in ("a", "b", "c"):
+            assert queue.offer(item)
+        assert [queue.take(timeout=0) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_full_queue_rejects_without_blocking(self):
+        queue = BoundedJobQueue(limit=2)
+        assert queue.offer("a")
+        assert queue.offer("b")
+        assert not queue.offer("c")
+        assert len(queue) == 2
+        assert queue.stats()["rejected"] == 1
+
+    def test_force_bypasses_the_limit(self):
+        queue = BoundedJobQueue(limit=1)
+        assert queue.offer("a")
+        assert not queue.offer("b")
+        assert queue.offer("b", force=True)
+        assert len(queue) == 2
+
+    def test_take_frees_a_slot(self):
+        queue = BoundedJobQueue(limit=1)
+        assert queue.offer("a")
+        assert queue.take(timeout=0) == "a"
+        assert queue.offer("b")
+
+    def test_limit_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(limit=0)
+
+
+class TestTake:
+    def test_timeout_returns_none(self):
+        queue = BoundedJobQueue()
+        assert queue.take(timeout=0.01) is None
+
+    def test_take_wakes_on_offer(self):
+        queue = BoundedJobQueue()
+        taken = []
+        thread = threading.Thread(
+            target=lambda: taken.append(queue.take(timeout=5))
+        )
+        thread.start()
+        queue.offer("wake")
+        thread.join(timeout=5)
+        assert taken == ["wake"]
+
+
+class TestClose:
+    def test_close_drains_and_stops_admissions(self):
+        queue = BoundedJobQueue()
+        queue.offer("a")
+        queue.offer("b")
+        drained = queue.close()
+        assert drained == ["a", "b"]
+        assert queue.closed
+        assert not queue.offer("c")
+        assert not queue.offer("c", force=True)
+        assert queue.take(timeout=0) is None
+
+    def test_close_wakes_blocked_takers(self):
+        queue = BoundedJobQueue()
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(queue.take(timeout=30))
+        )
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert results == [None]

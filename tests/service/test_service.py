@@ -1,0 +1,316 @@
+"""End-to-end tests for the compile service over real sockets.
+
+Determinism notes: ``workers=0`` keeps submitted jobs queued forever,
+which pins queue states for the backpressure and cancel-while-queued
+tests; the poisoned job (a 5-qubit circuit pinned to a 3-qubit device)
+fails placement identically on every attempt, which drives the breaker
+tests; restart tests share one journal directory and one disk cache
+stem across server generations.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.benchmarks.ising import ising_model_circuit
+from repro.benchmarks.qaoa import line_graph, maxcut_qaoa_circuit
+from repro.compiler.batch import BatchCompiler, BatchJob
+from repro.control.cache import DiskPulseCache
+from repro.errors import ServiceBusyError, ServiceError
+from repro.service import CompileService, ServiceClient
+from repro.service.protocol import (
+    REJECT_QUARANTINED,
+    REJECT_QUEUE_FULL,
+    SERVICE_FORMAT,
+    send_message,
+)
+
+
+def _circuit(name="svc", nodes=4):
+    return maxcut_qaoa_circuit(line_graph(nodes), name=name)
+
+
+def _poisoned_job() -> BatchJob:
+    """Deterministically uncompilable: 5 qubits on a 3-qubit device."""
+    return BatchJob(circuit=ising_model_circuit(5), device="line-3")
+
+
+@pytest.fixture
+def service():
+    with CompileService(workers=2) as running:
+        yield running
+
+
+class TestRoundTrip:
+    def test_submit_poll_fetch_verify(self, service):
+        with ServiceClient(service.url) as client:
+            assert client.ping() == SERVICE_FORMAT
+            circuit = _circuit()
+            job_id = client.submit(circuit, strategy="cls", label="rt")
+            result = client.wait(job_id, timeout=120)
+            assert result.verify_equivalence(circuit=circuit)
+            status = client.status(job_id)
+            assert status["state"] == "done"
+            assert status["attempts"] == 1
+            assert status["seconds"] > 0
+            assert status["pass_seconds"]  # per-pass timing travelled
+
+    def test_batch_of_three_through_one_connection(self, service):
+        with ServiceClient(service.url) as client:
+            circuits = [_circuit(f"b{i}", nodes=3 + i) for i in range(3)]
+            job_ids = [
+                client.submit(circuit, label=f"b{i}")
+                for i, circuit in enumerate(circuits)
+            ]
+            assert len(set(job_ids)) == 3
+            for circuit, job_id in zip(circuits, job_ids):
+                result = client.wait(job_id, timeout=120)
+                assert result.verify_equivalence(circuit=circuit)
+            stats = client.stats()
+            assert stats["completed"] >= 3
+            assert stats["queue"]["depth"] == 0
+
+    def test_jobs_listing_in_submission_order(self, service):
+        with ServiceClient(service.url) as client:
+            first = client.submit(_circuit("first"), label="first")
+            second = client.submit(_circuit("second"), label="second")
+            client.wait(first, timeout=120)
+            client.wait(second, timeout=120)
+            labels = [job["label"] for job in client.jobs()]
+            assert labels == ["first", "second"]
+
+    def test_result_before_done_is_none(self):
+        with CompileService(workers=0) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit(_circuit())
+                assert client.result(job_id) is None
+                assert client.status(job_id)["state"] == "queued"
+
+    def test_unknown_job_id_is_an_error(self, service):
+        with ServiceClient(service.url) as client:
+            with pytest.raises(ServiceError, match="unknown job id"):
+                client.status("job-999-deadbeef")
+
+    def test_malformed_submission_fails_the_submitter(self, service):
+        with ServiceClient(service.url) as client:
+            with pytest.raises(ServiceError):
+                client.submit_job({"format": "nope"})
+            # The connection (and server) survive the bad frame.
+            assert client.ping() == SERVICE_FORMAT
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self):
+        with CompileService(workers=0, queue_limit=2) as service:
+            with ServiceClient(service.url) as client:
+                client.submit(_circuit("a"))
+                client.submit(_circuit("b"))
+                with pytest.raises(ServiceBusyError) as excinfo:
+                    client.submit(_circuit("c"))
+                assert excinfo.value.reason == REJECT_QUEUE_FULL
+                assert excinfo.value.retry_after > 0
+                stats = client.stats()
+                assert stats["rejected_busy"] == 1
+                assert stats["queue"]["depth"] == 2
+
+    def test_cancel_while_queue_full_resolves_the_job(self):
+        with CompileService(workers=0, queue_limit=1) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit(_circuit("a"))
+                with pytest.raises(ServiceBusyError):
+                    client.submit(_circuit("b"))
+                assert client.cancel(job_id) == "cancelled"
+                # The queue slot is held by the dead entry until a
+                # worker skips it; submit_retrying rides the hint.
+                assert client.status(job_id)["state"] == "cancelled"
+
+
+class TestCancellation:
+    def test_cancel_queued_job_resolves_immediately(self):
+        with CompileService(workers=0) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit(_circuit())
+                assert client.cancel(job_id) == "cancelled"
+                status = client.status(job_id)
+                assert status["state"] == "cancelled"
+                with pytest.raises(ServiceError, match="cancelled"):
+                    client.result(job_id)
+
+    def test_cancelled_job_never_runs(self):
+        with CompileService(workers=0) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit(_circuit())
+                client.cancel(job_id)
+                stats = client.stats()
+                assert stats["completed"] == 0
+                assert stats["cancelled"] == 1
+
+    def test_timeout_cancels_and_counts_as_failure(self):
+        with CompileService(workers=1, job_timeout=0.0) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit(_circuit())
+                with pytest.raises(ServiceError, match="timed out"):
+                    client.wait(job_id, timeout=120)
+                status = client.status(job_id)
+                assert status["state"] == "failed"
+                assert "timed out" in status["error"]
+                assert client.stats()["timed_out"] == 1
+
+
+class TestCircuitBreaker:
+    def test_consecutive_failures_quarantine_the_signature(self):
+        with CompileService(
+            workers=1, breaker_threshold=2, breaker_cooldown=300.0
+        ) as service:
+            with ServiceClient(service.url) as client:
+                for _ in range(2):
+                    job_id = client.submit_job(_poisoned_job())
+                    with pytest.raises(ServiceError, match="failed"):
+                        client.wait(job_id, timeout=120)
+                with pytest.raises(ServiceBusyError) as excinfo:
+                    client.submit_job(_poisoned_job())
+                assert excinfo.value.reason == REJECT_QUARANTINED
+                assert excinfo.value.retry_after > 0
+                stats = client.stats()
+                assert stats["failed"] == 2
+                assert stats["rejected_quarantined"] == 1
+                assert stats["breaker"]["open"] == 1
+                # A different circuit is unaffected.
+                good = client.submit(_circuit())
+                client.wait(good, timeout=120)
+
+    def test_half_open_admits_one_probe_whose_failure_reopens(self):
+        with CompileService(
+            workers=1, breaker_threshold=1, breaker_cooldown=0.05
+        ) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit_job(_poisoned_job())
+                with pytest.raises(ServiceError):
+                    client.wait(job_id, timeout=120)
+                # Quarantined; after the cooldown one probe is admitted.
+                time.sleep(0.1)
+                probe_id = client.submit_job(_poisoned_job())
+                with pytest.raises(ServiceError):
+                    client.wait(probe_id, timeout=120)
+                # The failed probe re-opened the breaker immediately.
+                with pytest.raises(ServiceBusyError) as excinfo:
+                    client.submit_job(_poisoned_job())
+                assert excinfo.value.reason == REJECT_QUARANTINED
+                assert client.stats()["breaker"]["tripped"] == 2
+
+    def test_success_closes_the_breaker(self):
+        with CompileService(workers=1, breaker_threshold=3) as service:
+            with ServiceClient(service.url) as client:
+                circuit = _circuit()
+                for _ in range(2):
+                    # Failures of one signature never block another.
+                    bad = client.submit_job(_poisoned_job())
+                    with pytest.raises(ServiceError):
+                        client.wait(bad, timeout=120)
+                good = client.submit(circuit)
+                client.wait(good, timeout=120)
+                assert client.stats()["breaker"]["open"] == 0
+
+
+class TestRestart:
+    def test_completed_jobs_survive_a_restart(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        stem = str(tmp_path / "cache")
+        circuit = _circuit("restart")
+        with CompileService(
+            engine=BatchCompiler(cache=DiskPulseCache(stem)),
+            workers=1,
+            journal=journal_dir,
+        ) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit(circuit, label="restart")
+                first = client.wait(job_id, timeout=120)
+
+        with CompileService(
+            engine=BatchCompiler(cache=DiskPulseCache(stem)),
+            workers=1,
+            journal=journal_dir,
+        ) as reborn:
+            with ServiceClient(reborn.url) as client:
+                status = client.status(job_id)
+                assert status["state"] == "done"
+                assert status["attempts"] == 1  # not recompiled
+                again = client.result(job_id)
+                assert again.latency_ns == first.latency_ns
+                assert again.verify_equivalence(circuit=circuit)
+            # Serving the artifact costs zero compilation.
+            assert reborn.engine.lifetime_info["model_evals"] == 0
+
+    def test_interrupted_jobs_resume_warm(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        stem = str(tmp_path / "cache")
+        circuit = _circuit("resume")
+        # Generation 1: one job completes, warming the disk cache for
+        # this circuit/strategy.
+        with CompileService(
+            engine=BatchCompiler(cache=DiskPulseCache(stem)),
+            workers=1,
+            journal=journal_dir,
+        ) as service:
+            with ServiceClient(service.url) as client:
+                done_id = client.submit(circuit, label="done")
+                client.wait(done_id, timeout=120)
+
+        # Generation 2 has no workers: two accepted jobs are still
+        # queued when it "dies" — the mid-batch kill.
+        with CompileService(
+            engine=BatchCompiler(cache=DiskPulseCache(stem)),
+            workers=0,
+            journal=journal_dir,
+        ) as service:
+            with ServiceClient(service.url) as client:
+                queued = [
+                    client.submit(circuit, label=f"queued-{i}")
+                    for i in range(2)
+                ]
+                assert client.stats()["queue"]["depth"] == 2
+
+        # Generation 3 over the same journal and cache resumes them.
+        with CompileService(
+            engine=BatchCompiler(cache=DiskPulseCache(stem)),
+            workers=1,
+            journal=journal_dir,
+        ) as reborn:
+            assert reborn.resumed == 2
+            with ServiceClient(reborn.url) as client:
+                for job_id in queued:
+                    result = client.wait(job_id, timeout=120)
+                    assert result.verify_equivalence(circuit=circuit)
+                assert client.status(done_id)["state"] == "done"
+            # The resumed jobs answer every optimal-control query from
+            # the warm cache: zero fresh work in the whole generation.
+            assert reborn.engine.lifetime_info["model_evals"] == 0
+
+
+class TestCounters:
+    def test_threaded_dispatch_loses_no_op_counts(self, service):
+        threads, pings = 8, 400
+
+        def hammer():
+            with ServiceClient(service.url) as client:
+                for _ in range(pings):
+                    client.ping()
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert service.op_counts["ping"] == threads * pings
+
+    def test_dispatch_exception_counts_as_error(self, service):
+        import socket
+
+        from repro.control.cache.protocol import recv_message
+
+        with socket.create_connection(service.address) as sock:
+            send_message(sock, {"op": "submit", "job": "not-a-dict"})
+            response = recv_message(sock)
+        assert response["ok"] is False
+        assert service.errors == 1

@@ -1,0 +1,129 @@
+"""Round-trip tests for the service's repro-ir-v1 envelopes."""
+
+import json
+
+import pytest
+
+from repro.benchmarks.qaoa import line_graph, maxcut_qaoa_circuit
+from repro.compiler.batch import BatchJob
+from repro.compiler.pipeline import compile_circuit
+from repro.compiler.strategies import Strategy
+from repro.errors import SerializationError
+from repro.ir.serialize import (
+    batch_job_from_dict,
+    batch_job_to_dict,
+    dumps,
+    job_status_from_dict,
+    job_status_to_dict,
+    loads,
+    service_stats_from_dict,
+    service_stats_to_dict,
+)
+from repro.service.server import job_signature
+
+
+def _circuit(name="wire"):
+    return maxcut_qaoa_circuit(line_graph(4), name=name)
+
+
+class TestJobEnvelope:
+    def test_round_trip_preserves_the_job(self):
+        job = BatchJob(
+            circuit=_circuit(),
+            strategy="cls",
+            width_limit=3,
+            label="wire/cls",
+        )
+        payload = json.loads(json.dumps(batch_job_to_dict(job)))
+        rebuilt = batch_job_from_dict(payload)
+        assert rebuilt.strategy.key == "cls"
+        assert rebuilt.width_limit == 3
+        assert rebuilt.label == "wire/cls"
+        assert rebuilt.circuit.num_qubits == job.circuit.num_qubits
+        assert len(rebuilt.circuit) == len(job.circuit)
+
+    def test_round_trip_compiles_identically(self):
+        job = BatchJob(circuit=_circuit(), strategy="cls")
+        rebuilt = batch_job_from_dict(batch_job_to_dict(job))
+        original = compile_circuit(job.circuit, job.strategy)
+        again = compile_circuit(rebuilt.circuit, rebuilt.strategy)
+        assert again.latency_ns == original.latency_ns
+
+    def test_device_pinned_job_round_trips(self):
+        job = BatchJob(circuit=_circuit(), device="line-5")
+        rebuilt = batch_job_from_dict(batch_job_to_dict(job))
+        assert rebuilt.device is not None
+        assert rebuilt.device.num_qubits == 5
+
+    def test_explicit_passes_rejected(self):
+        job = BatchJob(
+            circuit=_circuit(),
+            passes=tuple(BatchJob(circuit=_circuit()).pipeline()),
+        )
+        with pytest.raises(SerializationError, match="passes"):
+            batch_job_to_dict(job)
+
+    def test_unregistered_strategy_rejected(self):
+        unregistered = Strategy(
+            key="wire-throwaway",
+            description="never registered",
+            commutativity_detection=False,
+            cls_scheduling=False,
+            aggregation=False,
+            hand_optimization=False,
+        )
+        job = BatchJob(circuit=_circuit(), strategy=unregistered)
+        with pytest.raises(SerializationError, match="unregistered"):
+            batch_job_to_dict(job)
+
+    def test_generic_loads_dispatches(self):
+        job = BatchJob(circuit=_circuit(), strategy="isa")
+        rebuilt = loads(dumps(job))
+        assert isinstance(rebuilt, BatchJob)
+        assert rebuilt.strategy.key == "isa"
+
+
+class TestSignature:
+    def test_label_does_not_change_the_signature(self):
+        a = batch_job_to_dict(BatchJob(circuit=_circuit(), label="one"))
+        b = batch_job_to_dict(BatchJob(circuit=_circuit(), label="two"))
+        assert job_signature(a) == job_signature(b)
+
+    def test_circuit_change_changes_the_signature(self):
+        a = batch_job_to_dict(BatchJob(circuit=_circuit()))
+        b = batch_job_to_dict(
+            BatchJob(circuit=maxcut_qaoa_circuit(line_graph(5), name="wire"))
+        )
+        assert job_signature(a) != job_signature(b)
+
+    def test_strategy_change_changes_the_signature(self):
+        a = batch_job_to_dict(BatchJob(circuit=_circuit(), strategy="isa"))
+        b = batch_job_to_dict(BatchJob(circuit=_circuit(), strategy="cls"))
+        assert job_signature(a) != job_signature(b)
+
+
+class TestStatusAndStats:
+    def test_status_round_trip(self):
+        status = {
+            "job_id": "job-1-abc",
+            "state": "done",
+            "attempts": 2,
+            "error": None,
+            "pass_seconds": {"LowerPass": 0.01},
+        }
+        rebuilt = job_status_from_dict(
+            json.loads(json.dumps(job_status_to_dict(status)))
+        )
+        assert rebuilt == status
+
+    def test_stats_round_trip(self):
+        stats = {"completed": 4, "queue": {"depth": 1}, "workers": 2}
+        rebuilt = service_stats_from_dict(
+            json.loads(json.dumps(service_stats_to_dict(stats)))
+        )
+        assert rebuilt == stats
+
+    def test_wrong_kind_rejected(self):
+        envelope = job_status_to_dict({"state": "queued"})
+        with pytest.raises(SerializationError):
+            service_stats_from_dict(envelope)
