@@ -43,8 +43,10 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.circuit.circuit import Circuit
 from repro.compiler.batch import BatchCompiler, BatchJob
+from repro.compiler.result_cache import ResultCache
 from repro.control.cache import CacheServer, PulseCache, hit_rate, resolve_cache
 from repro.ir import canonical_result_dict
+from repro.service import CompileService, ServiceClient
 
 _JSON_PATH = os.environ.get("BENCH_BATCH_JSON", "BENCH_batch.json")
 
@@ -301,6 +303,104 @@ def test_grape_legacy_vs_optimized_sweep(capsys):
     assert (
         optimized.total_latency_ns() <= 1.05 * legacy.total_latency_ns()
     )
+
+
+def test_result_cache_resubmission(sweep_jobs, capsys):
+    """The warm-path headline: resubmitting the sweep costs ~nothing.
+
+    Batch layer first — one engine with a :class:`ResultCache` compiles
+    the standard sweep cold, then gets the identical batch again.  Every
+    repeat job must be served whole from the store (hit rate 1.0, zero
+    passes run) with the identical canonical wire form, and the warm
+    wall clock is asserted >= 2x faster than the cold one.
+
+    Then the service layer — a resident :class:`CompileService` takes
+    the same sweep twice over the wire.  The second pass must return
+    ``done`` at submission time (served from the finished jobs' result
+    store) at under 50 ms per job, without bumping ``completed``.
+    """
+    jobs = sweep_jobs
+    engine = BatchCompiler(result_cache=ResultCache())
+
+    started = time.perf_counter()
+    cold = engine.compile_batch(jobs)
+    cold_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = engine.compile_batch(jobs)
+    warm_wall = time.perf_counter() - started
+
+    parity = all(
+        canonical_result_dict(a) == canonical_result_dict(b)
+        for a, b in zip(cold, warm)
+    )
+    assert parity, "result-cache hits diverged from fresh compilation"
+    assert warm.result_cache is not None
+    batch_hit_rate = warm.result_cache["hits"] / len(jobs)
+    assert batch_hit_rate == 1.0, (
+        f"warm resubmission only hit {warm.result_cache['hits']}/{len(jobs)}"
+    )
+    assert warm.result_cache["compiled"] == 0
+    speedup = cold_wall / max(warm_wall, 1e-9)
+    assert speedup >= 2.0, (
+        f"result-cache warm path only {speedup:.2f}x faster (< 2x)"
+    )
+
+    # Service layer: byte-identical resubmissions come back done at
+    # submit time, served from the journal/result store.
+    with CompileService(
+        engine=BatchCompiler(result_cache=ResultCache()), workers=1
+    ) as service:
+        with ServiceClient(service.url) as client:
+            first = [client.submit_job(job) for job in jobs]
+            for job_id in first:
+                client.wait(job_id, timeout=600)
+            completed_before = client.stats()["completed"]
+
+            started = time.perf_counter()
+            second = [client.submit_job(job) for job in jobs]
+            resubmit_wall = time.perf_counter() - started
+            for job_id in second:
+                assert client.status(job_id)["state"] == "done"
+
+            stats = client.stats()
+
+    per_job_ms = 1000.0 * resubmit_wall / len(jobs)
+    assert per_job_ms < 50.0, (
+        f"service resubmission cost {per_job_ms:.1f} ms/job (>= 50 ms)"
+    )
+    # Zero compilations on the second pass: every job was served, none
+    # completed through a worker.
+    assert stats["completed"] == completed_before
+    assert stats["result_cache"]["hits"] == len(jobs)
+
+    _PAYLOAD["result_cache"] = {
+        "jobs": len(jobs),
+        "batch": {
+            "cold_wall_seconds": cold_wall,
+            "warm_wall_seconds": warm_wall,
+            "warm_hit_rate": batch_hit_rate,
+            "warm_speedup_over_cold": speedup,
+            "store": engine.result_cache_stats(),
+        },
+        "service": {
+            "resubmit_wall_seconds": resubmit_wall,
+            "resubmit_ms_per_job": per_job_ms,
+            "result_cache_hits": stats["result_cache"]["hits"],
+            "coalesced_submissions": stats["coalesced_submissions"],
+            "completed_second_pass": stats["completed"] - completed_before,
+        },
+        "canonical_parity": parity,
+    }
+    _write_payload()
+    with capsys.disabled():
+        print()
+        print(
+            f"result cache ({len(jobs)} jobs): batch cold {cold_wall:.2f}s, "
+            f"warm {warm_wall:.2f}s ({speedup:.1f}x, hit rate "
+            f"{batch_hit_rate:.0%}) | service resubmit "
+            f"{per_job_ms:.1f} ms/job -> {_JSON_PATH}"
+        )
 
 
 def _fleet_client(args) -> dict:

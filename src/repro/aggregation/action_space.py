@@ -18,13 +18,23 @@ def candidate_actions(dag, width_limit: int) -> list[tuple]:
 
     Pairs are found per qubit: all pairs within one commutation group
     (siblings) plus all pairs across consecutive groups (parent/child),
-    then filtered through :meth:`GateDependenceGraph.can_merge` and the
-    width limit.  Each unordered pair is reported once.
+    then filtered through the same-or-consecutive-groups rule
+    (:meth:`GateDependenceGraph.can_merge`, inlined against prefetched
+    group lookups) and the width limit.  Each unordered pair is
+    reported once, oriented so the first node runs no later than the
+    second on their first shared qubit.
     """
+    # No merge happens during enumeration, so one prefetch of the
+    # per-qubit group-index and position tables serves every pair.
+    lookups = [dag.group_lookup(q) for q in range(dag.num_qubits)]
+    positions = [
+        {id(node): index for index, node in enumerate(dag.qubit_sequence(q))}
+        for q in range(dag.num_qubits)
+    ]
     seen: set[frozenset[int]] = set()
     actions: list[tuple] = []
     for qubit in range(dag.num_qubits):
-        groups = dag.commutation_groups(qubit)
+        groups = dag.group_view(qubit)
         for group_index, group in enumerate(groups):
             pair_iter = itertools.chain(
                 itertools.combinations(group, 2),
@@ -37,27 +47,30 @@ def candidate_actions(dag, width_limit: int) -> list[tuple]:
                 else (),
             )
             for a, b in pair_iter:
-                key = frozenset((id(a), id(b)))
+                a_id, b_id = id(a), id(b)
+                key = frozenset((a_id, b_id))
                 if key in seen:
                     continue
                 seen.add(key)
-                merged_width = len(set(a.qubits) | set(b.qubits))
-                if merged_width > width_limit:
+                a_qubits = set(a.qubits)
+                if len(a_qubits | set(b.qubits)) > width_limit:
                     continue
-                if not dag.can_merge(a, b):
+                shared = a_qubits.intersection(b.qubits)
+                mergeable = True
+                for q in shared:
+                    lookup = lookups[q]
+                    if abs(lookup[a_id] - lookup[b_id]) > 1:
+                        mergeable = False
+                        break
+                if not mergeable:
                     continue
-                actions.append(_oriented(dag, a, b))
+                # Orientation: current execution order on the pair's
+                # first shared qubit (same qubit choice as the historical
+                # _oriented helper — set iteration order is stable for
+                # equal contents).
+                pos = positions[next(iter(shared))]
+                if pos[a_id] < pos[b_id]:
+                    actions.append((a, b))
+                else:
+                    actions.append((b, a))
     return actions
-
-
-def _oriented(dag, a, b) -> tuple:
-    """Order the pair so the first node runs no later than the second."""
-    shared = set(a.qubits) & set(b.qubits)
-    qubit = next(iter(shared))
-    sequence = dag.qubit_sequence(qubit)
-    for node in sequence:
-        if node is a:
-            return (a, b)
-        if node is b:
-            return (b, a)
-    return (a, b)

@@ -181,17 +181,39 @@ def _series_prepass(dag, ocu, latency, width_limit: int) -> int:
     merges = 0
     worklist = list(dag.nodes)
     alive = {id(node) for node in dag.nodes}
+    # The outer _prev/_next dicts are stable across merges (relinking
+    # swaps the per-qubit inner maps in place), so one fetch serves the
+    # whole pass while staying live.
+    prev_maps = dag._prev
+    next_maps = dag._next
     while worklist:
         node = worklist.pop()
         if id(node) not in alive:
             continue
         while True:
-            successors = dag.successors(node)
-            if len(successors) != 1:
+            follower = None
+            branched = False
+            for q in node.qubits:
+                successor = next_maps[q].get(id(node))
+                if successor is None:
+                    continue
+                if follower is None:
+                    follower = successor
+                elif successor is not follower:
+                    branched = True
+                    break
+            if follower is None or branched:
                 break
-            follower = successors[0]
-            predecessors = dag.predecessors(follower)
-            if len(predecessors) != 1 or predecessors[0] is not node:
+            # Sole-predecessor test: every chain into the follower must
+            # come from ``node`` (the node->follower edge exists, so at
+            # least one does).
+            sole = True
+            for q in follower.qubits:
+                predecessor = prev_maps[q].get(id(follower))
+                if predecessor is not None and predecessor is not node:
+                    sole = False
+                    break
+            if not sole:
                 break
             merged_width = len(set(node.qubits) | set(follower.qubits))
             if merged_width > width_limit:
@@ -232,25 +254,30 @@ class _RoundTiming:
         }
         self.makespan = max(self.finish.values(), default=0.0)
         self.tails = self._compute_tails()
-        self.positions = {
-            q: {
-                id(node): index
-                for index, node in enumerate(dag.qubit_sequence(q))
+        # One qubit_sequence copy per qubit serves both the round-start
+        # sequence snapshot and its position index.
+        self.positions = {}
+        self.sequences = {}
+        for q in range(dag.num_qubits):
+            sequence = dag.qubit_sequence(q)
+            self.sequences[q] = sequence
+            self.positions[q] = {
+                id(node): index for index, node in enumerate(sequence)
             }
-            for q in range(dag.num_qubits)
-        }
-        self.sequences = {
-            q: dag.qubit_sequence(q) for q in range(dag.num_qubits)
-        }
 
     def _compute_tails(self) -> dict[int, float]:
         tails: dict[int, float] = {}
+        next_maps = self.dag._next
         for node in reversed(self.dag.topological_order()):
-            best = max(
-                (tails[id(s)] for s in self.dag.successors(node)),
-                default=0.0,
-            )
-            tails[id(node)] = self.latency(node) + best
+            nid = id(node)
+            best = 0.0
+            for q in node.qubits:
+                successor = next_maps[q].get(nid)
+                if successor is not None:
+                    tail = tails[id(successor)]
+                    if tail > best:
+                        best = tail
+            tails[nid] = self.latency(node) + best
         return tails
 
     def is_monotonic(self, earlier, later) -> bool:
@@ -259,26 +286,52 @@ class _RoundTiming:
         Uses the pessimistic merged latency ``lat(a) + lat(b)``; paper
         Sec. 4.3 calls actions passing this test *monotonic* because the
         real optimized pulse can only be faster.
+
+        Called only during scoring — before this round's first merge —
+        so the chain links it walks are identical to the round-start
+        snapshot the times were computed from.
         """
+        finish = self.finish
+        earlier_id = id(earlier)
+        later_id = id(later)
         pessimistic = self.latency(earlier) + self.latency(later)
-        start = self.est[id(earlier)]
-        shared = set(earlier.qubits) & set(later.qubits)
-        for q in shared:
+        start = self.est[earlier_id]
+        for q in earlier.qubits:
             pos = self.positions[q]
-            ia, ib = pos[id(earlier)], pos[id(later)]
-            low, high = min(ia, ib), max(ia, ib)
-            for member in self.sequences[q][low + 1 : high]:
-                start = max(start, self.finish[id(member)])
-        for predecessor in self.dag.predecessors(later):
-            if predecessor is not earlier:
-                start = max(start, self.finish[id(predecessor)])
+            ib = pos.get(later_id)
+            if ib is None:
+                continue  # not a shared qubit
+            ia = pos[earlier_id]
+            low, high = (ia, ib) if ia < ib else (ib, ia)
+            sequence = self.sequences[q]
+            for index in range(low + 1, high):
+                member_finish = finish[id(sequence[index])]
+                if member_finish > start:
+                    start = member_finish
+        prev_maps = self.dag._prev
+        for q in later.qubits:
+            predecessor = prev_maps[q].get(later_id)
+            if predecessor is not None and predecessor is not earlier:
+                predecessor_finish = finish[id(predecessor)]
+                if predecessor_finish > start:
+                    start = predecessor_finish
         merged_finish = start + pessimistic
         worst = merged_finish
+        tails = self.tails
+        next_maps = self.dag._next
         for node in (earlier, later):
-            for successor in self.dag.successors(node):
-                if successor is earlier or successor is later:
+            nid = id(node)
+            for q in node.qubits:
+                successor = next_maps[q].get(nid)
+                if (
+                    successor is None
+                    or successor is earlier
+                    or successor is later
+                ):
                     continue
-                worst = max(worst, merged_finish + self.tails[id(successor)])
+                candidate = merged_finish + tails[id(successor)]
+                if candidate > worst:
+                    worst = candidate
         return worst <= self.makespan + _EPSILON
 
     def has_indirect_path(self, earlier, later) -> bool:
@@ -297,18 +350,23 @@ class _RoundTiming:
         to ``later`` still cycles.  ``merge(check_cycles=True)`` is the
         exact, transactional backstop.
         """
-        shared = set(earlier.qubits) & set(later.qubits)
-        skip: set[int] = {id(earlier), id(later)}
+        earlier_id = id(earlier)
+        later_id = id(later)
+        skip: set[int] = {earlier_id, later_id}
         # In-between group members are not themselves obstacles (the
         # chain hop through them is rewired by the splice); exclude the
         # direct hop.
-        for q in shared:
+        for q in earlier.qubits:
             pos = self.positions[q]
-            ia, ib = pos[id(earlier)], pos[id(later)]
-            low, high = min(ia, ib), max(ia, ib)
-            for member in self.sequences[q][low + 1 : high]:
-                skip.add(id(member))
-        limit = self.est.get(id(later), float("inf")) + _EPSILON
+            ib = pos.get(later_id)
+            if ib is None:
+                continue  # not a shared qubit
+            ia = pos[earlier_id]
+            low, high = (ia, ib) if ia < ib else (ib, ia)
+            sequence = self.sequences[q]
+            for index in range(low + 1, high):
+                skip.add(id(sequence[index]))
+        limit = self.est.get(later_id, float("inf")) + _EPSILON
 
         def prunable(candidate) -> bool:
             # Nodes merged earlier this round are unknown to the
@@ -319,15 +377,27 @@ class _RoundTiming:
                 return False
             return start + self.latency(candidate) > limit
 
-        frontier = [
-            s
-            for s in self.dag.successors(earlier)
-            if id(s) not in skip and not prunable(s)
-        ]
-        visited = {id(s) for s in frontier}
+        # This runs in the execution loop — after merges — so chain
+        # links are fetched live through the dag's outer map.
+        next_maps = self.dag._next
+        frontier: list = []
+        visited: set[int] = set()
+        for q in earlier.qubits:
+            successor = next_maps[q].get(earlier_id)
+            if successor is None:
+                continue
+            key = id(successor)
+            if key in skip or key in visited or prunable(successor):
+                continue
+            visited.add(key)
+            frontier.append(successor)
         while frontier:
             node = frontier.pop()
-            for successor in self.dag.successors(node):
+            nid = id(node)
+            for q in node.qubits:
+                successor = next_maps[q].get(nid)
+                if successor is None:
+                    continue
                 if successor is later:
                     return True
                 key = id(successor)

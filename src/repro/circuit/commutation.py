@@ -24,6 +24,27 @@ def _matrix_of(operand) -> np.ndarray | None:
     return np.asarray(matrix)
 
 
+# Process-global verdict memo.  Every compile job builds fresh checker
+# instances, but the structural question — do these two unitaries, laid
+# out this way, commute? — is job-independent, so verdicts are shared
+# across checkers keyed by (structural key, atol).  Bounded so a long
+# sweep over many distinct parametrised gates cannot grow it without
+# limit; eviction is FIFO (insertion order), which is fine for a memo.
+_SHARED_VERDICT_LIMIT = 65536
+_SHARED_VERDICTS: dict[tuple, bool] = {}
+
+
+def _shared_store(key: tuple, verdict: bool) -> None:
+    if len(_SHARED_VERDICTS) >= _SHARED_VERDICT_LIMIT:
+        _SHARED_VERDICTS.pop(next(iter(_SHARED_VERDICTS)))
+    _SHARED_VERDICTS[key] = verdict
+
+
+def clear_shared_verdicts() -> None:
+    """Drop the process-global memo (test isolation hook)."""
+    _SHARED_VERDICTS.clear()
+
+
 class CommutationChecker:
     """Decides whether two operations commute.
 
@@ -44,6 +65,7 @@ class CommutationChecker:
         self._pair_memo: dict[tuple[int, int], tuple] = {}
         self.exact_checks = 0
         self.cache_hits = 0
+        self.shared_hits = 0
 
     def commute(self, a, b) -> bool:
         """True when the two operations can be reordered."""
@@ -74,10 +96,22 @@ class CommutationChecker:
         if key in self._cache:
             self.cache_hits += 1
             return self._cache[key]
-        verdict = self._exact_check(matrix_a, a.qubits, matrix_b, b.qubits, union)
+        shared_key = (key, self.atol)
+        shared = _SHARED_VERDICTS.get(shared_key)
+        if shared is not None:
+            self.shared_hits += 1
+            verdict = shared
+        else:
+            verdict = self._exact_check(
+                matrix_a, a.qubits, matrix_b, b.qubits, union
+            )
         self._cache[key] = verdict
         # The relation is symmetric; prime the mirrored key too.
-        self._cache[self._cache_key(b, a, union)] = verdict
+        mirror = self._cache_key(b, a, union)
+        self._cache[mirror] = verdict
+        if shared is None:
+            _shared_store(shared_key, verdict)
+            _shared_store((mirror, self.atol), verdict)
         return verdict
 
     def _exact_check(self, matrix_a, qubits_a, matrix_b, qubits_b, union) -> bool:

@@ -79,6 +79,14 @@ class GateDependenceGraph:
         """The qubit's ordered partition into commutation groups."""
         return [list(group) for group in self._groups_for(qubit)]
 
+    def group_view(self, qubit: int) -> list[list]:
+        """The live (no-copy) commutation groups on ``qubit``.
+
+        The hot-path form of :meth:`commutation_groups`: callers must
+        not mutate the lists and must re-fetch after any merge/reorder
+        (group recomputation replaces them)."""
+        return self._groups_for(qubit)
+
     def group_index(self, node, qubit: int) -> int:
         """Index of the commutation group containing ``node`` on ``qubit``."""
         self._groups_for(qubit)
@@ -125,7 +133,34 @@ class GateDependenceGraph:
 
     def source_nodes(self) -> list:
         """Nodes with no timing predecessor."""
-        return [node for node in self.nodes if not self.predecessors(node)]
+        prev_maps = self._prev
+        return [
+            node
+            for node in self.nodes
+            if not any(id(node) in prev_maps[q] for q in node.qubits)
+        ]
+
+    def chain_prev(self, qubit: int) -> dict[int, object]:
+        """Read-only chain links: ``id(node)`` -> previous node on ``qubit``.
+
+        The live link map, *not* a copy — hot paths (aggregation timing,
+        schedulers) walk it without allocating per-node predecessor
+        lists.  Callers must not mutate it, and must re-fetch after any
+        ``merge``/``reorder`` (both relink the chains).
+        """
+        return self._prev[qubit]
+
+    def chain_next(self, qubit: int) -> dict[int, object]:
+        """Read-only chain links: ``id(node)`` -> next node on ``qubit``
+        (same contract as :meth:`chain_prev`)."""
+        return self._next[qubit]
+
+    def group_lookup(self, qubit: int) -> dict[int, int]:
+        """Read-only map ``id(node)`` -> commutation-group index on
+        ``qubit`` — the no-copy bulk form of :meth:`group_index`.  Stale
+        after the next merge/reorder; re-fetch per round."""
+        self._groups_for(qubit)
+        return self._group_of[qubit]
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -133,20 +168,43 @@ class GateDependenceGraph:
     # ------------------------------------------------------------------
     # Timing
 
+    def _chain_in_degrees(self) -> dict[int, int]:
+        """Per-node incoming chain-edge counts (keyed by ``id(node)``).
+
+        Every dependence edge is a per-qubit chain edge, so in-degrees
+        are edge counts: a predecessor shared across several qubits is
+        counted once per chain and decremented once per chain — the node
+        still unblocks exactly when its last predecessor is emitted, and
+        no per-node predecessor list is ever allocated.
+        """
+        prev_maps = self._prev
+        in_degree: dict[int, int] = {}
+        for node in self.nodes:
+            nid = id(node)
+            count = 0
+            for q in node.qubits:
+                if nid in prev_maps[q]:
+                    count += 1
+            in_degree[nid] = count
+        return in_degree
+
     def topological_order(self) -> list:
         """Kahn topological sort; raises SchedulingError on a cycle."""
-        in_degree = {
-            id(node): len(self.predecessors(node)) for node in self.nodes
-        }
+        next_maps = self._next
+        in_degree = self._chain_in_degrees()
         ready = [node for node in self.nodes if in_degree[id(node)] == 0]
         order: list = []
         while ready:
             node = ready.pop()
             order.append(node)
-            for successor in self.successors(node):
-                in_degree[id(successor)] -= 1
-                if in_degree[id(successor)] == 0:
-                    ready.append(successor)
+            nid = id(node)
+            for q in node.qubits:
+                successor = next_maps[q].get(nid)
+                if successor is not None:
+                    sid = id(successor)
+                    in_degree[sid] -= 1
+                    if in_degree[sid] == 0:
+                        ready.append(successor)
         if len(order) != len(self.nodes):
             raise SchedulingError("dependence graph contains a cycle")
         return order
@@ -159,9 +217,8 @@ class GateDependenceGraph:
         close to program order as the dependencies allow.
         """
         position = {id(node): index for index, node in enumerate(self.nodes)}
-        in_degree = {
-            id(node): len(self.predecessors(node)) for node in self.nodes
-        }
+        next_maps = self._next
+        in_degree = self._chain_in_degrees()
         heap = [
             (position[id(node)], id(node), node)
             for node in self.nodes
@@ -172,12 +229,14 @@ class GateDependenceGraph:
         while heap:
             _, _, node = heapq.heappop(heap)
             order.append(node)
-            for successor in self.successors(node):
-                in_degree[id(successor)] -= 1
-                if in_degree[id(successor)] == 0:
-                    heapq.heappush(
-                        heap, (position[id(successor)], id(successor), successor)
-                    )
+            nid = id(node)
+            for q in node.qubits:
+                successor = next_maps[q].get(nid)
+                if successor is not None:
+                    sid = id(successor)
+                    in_degree[sid] -= 1
+                    if in_degree[sid] == 0:
+                        heapq.heappush(heap, (position[sid], sid, successor))
         if len(order) != len(self.nodes):
             raise SchedulingError("dependence graph contains a cycle")
         return order
@@ -185,13 +244,19 @@ class GateDependenceGraph:
     def asap_times(self, latency_fn: Callable[[object], float]) -> dict[int, float]:
         """Earliest start time of every node (keyed by ``id(node)``)."""
         starts: dict[int, float] = {}
+        finishes: dict[int, float] = {}
+        prev_maps = self._prev
         for node in self.topological_order():
+            nid = id(node)
             start = 0.0
-            for predecessor in self.predecessors(node):
-                start = max(
-                    start, starts[id(predecessor)] + latency_fn(predecessor)
-                )
-            starts[id(node)] = start
+            for q in node.qubits:
+                predecessor = prev_maps[q].get(nid)
+                if predecessor is not None:
+                    finish = finishes[id(predecessor)]
+                    if finish > start:
+                        start = finish
+            starts[nid] = start
+            finishes[nid] = start + latency_fn(node)
         return starts
 
     def makespan(self, latency_fn: Callable[[object], float]) -> float:

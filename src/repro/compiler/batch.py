@@ -76,11 +76,17 @@ from repro.control.cache import (
     PulseCache,
     resolve_cache,
 )
+from repro.compiler.result_cache import (
+    DiskResultCache,
+    ResultCache,
+    engine_component,
+    result_key,
+)
 from repro.control.unit import OptimalControlUnit, support_of
 from repro.device.device import Device
 from repro.device.presets import device_by_key
 from repro.device.topology import Topology
-from repro.errors import ConfigError, JobCancelledError
+from repro.errors import ConfigError, JobCancelledError, SerializationError
 
 _COUNTER_KEYS = (
     "cache_hits",
@@ -176,6 +182,14 @@ class BatchReport:
     duplicate optimal-control work the planner eliminated),
     ``synthesized`` (problems actually solved; the rest were already
     cached), ``plan_seconds`` and ``synthesis_seconds``."""
+    result_cache: dict | None = None
+    """Result-cache statistics when the engine has one attached, else
+    None: ``hits`` (jobs served whole from the store, zero passes run),
+    ``deduped`` (in-batch repeats fanned out from one compilation),
+    ``stores`` (fresh results written back), ``uncacheable`` (jobs whose
+    envelope cannot serialize — explicit pass lists, unregistered
+    strategies — always compiled), ``compiled`` (jobs that actually ran
+    the pipeline)."""
 
     def __len__(self) -> int:
         return len(self.results)
@@ -243,6 +257,15 @@ class BatchCompiler:
             :class:`~repro.errors.IRVerificationError` on the first pass
             that breaks an invariant.  Travels to process workers as part
             of the engine configuration payload.
+        result_cache: Content-addressed store of whole compiled results
+            (:class:`~repro.compiler.result_cache.ResultCache`, or a
+            string path mounting a
+            :class:`~repro.compiler.result_cache.DiskResultCache`
+            directory).  Batches dedupe byte-identical jobs within a
+            run (compile once, fan the result out) and serve repeats —
+            across batches, engines, even processes when disk-backed —
+            without running a single pass; ``run_job`` hits report zero
+            optimal-control counters.
     """
 
     def __init__(
@@ -262,6 +285,7 @@ class BatchCompiler:
         grape_kernel: str = "vectorized",
         grape_warm_start: bool = True,
         grape_plateau_iterations: int | None = 60,
+        result_cache: ResultCache | str | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be at least 1")
@@ -304,6 +328,18 @@ class BatchCompiler:
         self.grape_kernel = grape_kernel
         self.grape_warm_start = grape_warm_start
         self.grape_plateau_iterations = grape_plateau_iterations
+        if isinstance(result_cache, str):
+            result_cache = DiskResultCache(result_cache)
+        #: Optional content-addressed store of whole compiled results;
+        #: when set, byte-identical jobs (same canonical envelope, same
+        #: engine settings) are served from it instead of recompiling,
+        #: both within one batch and across batches/engines sharing the
+        #: store.  A string mounts a :class:`DiskResultCache` directory.
+        self.result_cache = result_cache
+        # Memoized engine-component strings keyed by id of the target
+        # device object (the target itself is kept alive alongside so a
+        # recycled id can never alias a dead object's component).
+        self._result_components: dict[int, tuple[object, str]] = {}
         #: Counters summed over every batch this engine has compiled
         #: (the per-batch view is ``BatchReport.cache_info``), plus the
         #: planner's total ``prewarm_synthesized``.  Drivers running
@@ -389,7 +425,51 @@ class BatchCompiler:
             topology=topology,
             device=device,
         )
-        return self._compile_job(job, self.make_ocu(device=self._job_target(job)))
+        key = self._result_key(job)
+        if key is not None:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._compile_job(
+            job, self.make_ocu(device=self._job_target(job))
+        )
+        if key is not None:
+            self.result_cache.put(key, result)
+        return result
+
+    def _result_engine(self, job: BatchJob) -> str:
+        """The engine-component string for one job's compilation target.
+
+        Memoized per target object: the component folds the OCU cache
+        fingerprint in, and probing it costs one throwaway unit.
+        """
+        target = self._job_target(job)
+        cached = self._result_components.get(id(target))
+        if cached is not None:
+            return cached[1]
+        probe = self.make_ocu(cache=PulseCache(), device=target)
+        component = engine_component(
+            target, self.compiler_config, self.backend, probe.fingerprint
+        )
+        self._result_components[id(target)] = (target, component)
+        return component
+
+    def _result_key(self, job: BatchJob) -> str | None:
+        """This job's result-cache key, or None when it cannot cache.
+
+        None either because no cache is attached or because the job's
+        envelope cannot serialize (explicit ``passes=`` lists,
+        unregistered strategies) — those jobs always compile.
+        """
+        if self.result_cache is None:
+            return None
+        from repro.ir.serialize import batch_job_to_dict
+
+        try:
+            envelope = batch_job_to_dict(job)
+        except SerializationError:
+            return None
+        return result_key(envelope, self._result_engine(job))
 
     def compile_batch(self, jobs: Iterable) -> BatchReport:
         """Compile every job, fanning across workers; results in order.
@@ -408,6 +488,7 @@ class BatchCompiler:
                 workers=0,
                 cache_info=self._store_info(dict.fromkeys(_COUNTER_KEYS, 0)),
                 executor=self.executor,
+                result_cache=self._fresh_result_stats(),
             )
         workers = self.max_workers
         if workers is None:
@@ -418,23 +499,75 @@ class BatchCompiler:
         counters = {key: 0 for key in _COUNTER_KEYS}
         results: list[CompilationResult | None] = [None] * len(jobs)
         seconds = [0.0] * len(jobs)
+        # Triage against the result cache: serve repeats, collapse
+        # in-batch duplicates onto one primary, compile the rest.
+        result_stats = self._fresh_result_stats()
+        dedup_of: dict[int, int] = {}
+        result_keys: dict[int, str] = {}
+        if self.result_cache is None:
+            pending = list(enumerate(jobs))
+        else:
+            pending = []
+            primary_by_key: dict[str, int] = {}
+            for index, job in enumerate(jobs):
+                key = self._result_key(job)
+                if key is None:
+                    result_stats["uncacheable"] += 1
+                    pending.append((index, job))
+                    continue
+                cached = self.result_cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    result_stats["hits"] += 1
+                    continue
+                primary = primary_by_key.get(key)
+                if primary is not None:
+                    dedup_of[index] = primary
+                    result_stats["deduped"] += 1
+                    continue
+                primary_by_key[key] = index
+                result_keys[index] = key
+                pending.append((index, job))
+            result_stats["compiled"] = len(pending)
         prewarm_stats = None
-        if self.prewarm_active():
-            prewarm_stats = self._prewarm_batch(jobs, workers, counters)
-        if self.executor == "process":
+        if pending and self.prewarm_active():
+            prewarm_stats = self._prewarm_batch(
+                [job for _, job in pending], workers, counters
+            )
+        if not pending:
+            pass
+        elif self.executor == "process":
             # Even a single worker goes through the pool: the point of
             # the mode is the serialized-job path, and silently running
             # inline would hide wire-format regressions.
             self._run_parallel_processes(
-                jobs, workers, counters, results, seconds
+                pending, workers, counters, results, seconds
             )
         elif workers == 1:
-            for index, job in enumerate(jobs):
+            for index, job in pending:
                 results[index], seconds[index], used = self._run_job(job)
                 for key in _COUNTER_KEYS:
                     counters[key] += used[key]
         else:
-            self._run_parallel(jobs, workers, counters, results, seconds)
+            self._run_parallel(pending, workers, counters, results, seconds)
+        if self.result_cache is not None:
+            for index, key in result_keys.items():
+                if results[index] is not None:
+                    self.result_cache.put(key, results[index])
+                    result_stats["stores"] += 1
+            if dedup_of:
+                from repro.ir.serialize import (
+                    result_from_dict,
+                    result_to_dict,
+                )
+
+                for index, primary in dedup_of.items():
+                    # Fan out a fresh deserialized copy — identical to a
+                    # cache serve, never a shared mutable schedule.
+                    results[index] = result_from_dict(
+                        result_to_dict(results[primary], include_source=True)
+                    )
+                    seconds[index] = 0.0
         for key in _COUNTER_KEYS:
             self.lifetime_info[key] += counters[key]
         if prewarm_stats is not None:
@@ -449,7 +582,20 @@ class BatchCompiler:
             cache_info=self._store_info(counters),
             executor=self.executor,
             prewarm=prewarm_stats,
+            result_cache=result_stats,
         )
+
+    def _fresh_result_stats(self) -> dict | None:
+        """Zeroed per-batch result-cache stats, or None without a cache."""
+        if self.result_cache is None:
+            return None
+        return {
+            "hits": 0,
+            "deduped": 0,
+            "stores": 0,
+            "uncacheable": 0,
+            "compiled": 0,
+        }
 
     # ------------------------------------------------------------------
 
@@ -560,23 +706,43 @@ class BatchCompiler:
 
         Returns:
             ``(result, seconds, counters)`` — the compiled result, its
-            wall-clock, and the per-job OCU counter dict.
+            wall-clock, and the per-job OCU counter dict.  A result-cache
+            hit returns the lookup wall-clock and all-zero counters (no
+            pass ran, no model was evaluated).
         """
+        job = _as_job(job)
+        cache_key = self._result_key(job)
+        if cache_key is not None:
+            lookup_started = time.perf_counter()
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                return (
+                    cached,
+                    time.perf_counter() - lookup_started,
+                    dict.fromkeys(_COUNTER_KEYS, 0),
+                )
         result, seconds, used = self._run_job(
-            _as_job(job), cancel=cancel, extra_callbacks=extra_callbacks
+            job, cancel=cancel, extra_callbacks=extra_callbacks
         )
+        if cache_key is not None:
+            self.result_cache.put(cache_key, result)
         for key in _COUNTER_KEYS:
             self.lifetime_info[key] += used[key]
         return result, seconds, used
 
-    def _run_parallel(self, jobs, workers, counters, results, seconds) -> None:
+    def _run_parallel(
+        self, pending, workers, counters, results, seconds
+    ) -> None:
         """Submit at most ``workers`` jobs at a time.
 
-        A bounded submission window (rather than submitting everything up
-        front) means a job launched late in the batch sees every earlier
-        job's merged cache delta, maximizing reuse.
+        ``pending`` is the batch's to-compile worklist as ``(index,
+        job)`` pairs — indexes into the full results array, so cache
+        triage can skip served jobs without renumbering.  A bounded
+        submission window (rather than submitting everything up front)
+        means a job launched late in the batch sees every earlier job's
+        merged cache delta, maximizing reuse.
         """
-        pending_jobs = iter(enumerate(jobs))
+        pending_jobs = iter(pending)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             active = {}
             for index, job in pending_jobs:
@@ -852,11 +1018,13 @@ class BatchCompiler:
         return payload
 
     def _run_parallel_processes(
-        self, jobs, workers, counters, results, seconds
+        self, pending, workers, counters, results, seconds
     ) -> None:
         """Fan serialized jobs across worker processes.
 
-        All jobs are submitted up front (unlike the thread path's bounded
+        ``pending`` carries ``(index, job)`` pairs exactly like
+        :meth:`_run_parallel`.  All jobs are submitted up front (unlike
+        the thread path's bounded
         window: workers hold process-local caches, so delaying submission
         would not improve reuse).  Each worker is seeded once, at pool
         start, with a serialized snapshot of the shared store — a warm
@@ -874,7 +1042,9 @@ class BatchCompiler:
         )
 
         config = self._config_payload()
-        payloads = [self._job_payload(job) for job in jobs]
+        payloads = [
+            (index, self._job_payload(job)) for index, job in pending
+        ]
         snapshot = cache_delta_to_dict(self.cache.snapshot_delta())
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -883,7 +1053,7 @@ class BatchCompiler:
         ) as pool:
             active = {
                 pool.submit(_compile_job_payload, config, payload): index
-                for index, payload in enumerate(payloads)
+                for index, payload in payloads
             }
             while active:
                 done, _ = wait(active, return_when=FIRST_COMPLETED)
@@ -915,6 +1085,12 @@ class BatchCompiler:
     def cache_stats(self) -> dict:
         """The shared store's backend-level counters (see ``stats()``)."""
         return self.cache.stats()
+
+    def result_cache_stats(self) -> dict | None:
+        """The attached result cache's lifetime counters, or None."""
+        if self.result_cache is None:
+            return None
+        return self.result_cache.stats()
 
     def save_cache(self) -> int:
         """Persist/flush the store; returns entries written upstream.

@@ -50,6 +50,7 @@ import argparse
 import dataclasses
 import os
 import sys
+import threading
 import time
 from collections import defaultdict
 
@@ -65,6 +66,48 @@ from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table3 import format_table3, run_table3
 
 _EXPERIMENTS = ("table1", "table3", "figure4", "figure9", "figure10", "figure11")
+
+
+class PassProfiler:
+    """Cumulative per-pass compile time across every batch of a run.
+
+    Plugs into the engine's ``pass_callbacks`` hook — the same
+    per-pass instrumentation that feeds ``BatchReport.pass_seconds`` —
+    so one profiler sees every compilation of every experiment.
+    Thread-safe: worker threads report passes concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def __call__(self, pass_, context, elapsed: float) -> None:
+        with self._lock:
+            name = pass_.name
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def format_table(self) -> str:
+        """The profile as a printable table, most expensive pass first."""
+        with self._lock:
+            totals = sorted(
+                self.seconds.items(), key=lambda item: item[1], reverse=True
+            )
+            calls = dict(self.calls)
+        if not totals:
+            return "pass profile: no compilations ran"
+        accounted = sum(value for _, value in totals)
+        width = max(len(name) for name, _ in totals)
+        lines = [f"{'pass':<{width}}  seconds  share   calls"]
+        for name, value in totals:
+            share = value / accounted if accounted else 0.0
+            lines.append(
+                f"{name:<{width}}  {value:7.3f}  {share:5.1%}  "
+                f"{calls[name]:6d}"
+            )
+        lines.append(f"{'total':<{width}}  {accounted:7.3f}")
+        return "\n".join(lines)
 
 
 def run_experiment(
@@ -429,6 +472,13 @@ def main(argv: list[str] | None = None) -> int:
         "with --backend grape, where synthesis dominates)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cumulative per-pass compile-time table when the "
+        "run finishes (the batch engine's per-pass instrumentation, "
+        "summed over every compilation; requires --executor thread)",
+    )
+    parser.add_argument(
         "--verify-ir",
         action="store_true",
         help="verify compiler IR between passes on every compilation "
@@ -508,6 +558,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(report)
         return 0 if ok else 1
+    if args.profile and args.executor == "process":
+        parser.error(
+            "--profile needs --executor thread (per-pass hooks cannot "
+            "cross a process boundary)"
+        )
+    profiler = PassProfiler() if args.profile else None
     cache = resolve_cache(
         path=args.cache,
         url=args.cache_url,
@@ -521,6 +577,7 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
         verify_ir=args.verify_ir,
         prewarm={"auto": "auto", "on": True, "off": False}[args.prewarm],
+        pass_callbacks=[profiler] if profiler is not None else (),
     )
     if cache is not None and getattr(cache, "loaded_entries", 0):
         print(f"[warm cache: {cache.loaded_entries} entries from {args.cache}]")
@@ -541,6 +598,8 @@ def main(argv: list[str] | None = None) -> int:
             print(report)
             print(f"[{name} finished in {elapsed:.1f}s]\n")
     finally:
+        if profiler is not None:
+            print(profiler.format_table())
         info = engine.lifetime_info
         if info["grape_calls"] or info["grape_wall_seconds"]:
             print(

@@ -38,16 +38,26 @@ def cls_schedule(
         return schedule
 
     group_lists = {q: dag.commutation_groups(q) for q in range(dag.num_qubits)}
-    group_of: dict[tuple[int, int], int] = {}
-    for qubit, groups in group_lists.items():
-        for index, group in enumerate(groups):
-            for member in group:
-                group_of[(id(member), qubit)] = index
     pointer = {q: 0 for q in range(dag.num_qubits)}
     remaining_in_group = {
         q: len(groups[0]) if groups else 0 for q, groups in group_lists.items()
     }
     tails = _critical_tails(dag, group_lists, latency_fn)
+
+    # A node is a candidate once its commutation group is current on all
+    # of its qubits.  Pointers only advance past a group after every
+    # member is scheduled, so each node's not-yet-current qubit count
+    # (``waiting``) decrements monotonically to zero and stays there:
+    # the candidate check reduces to ``waiting == 0``.
+    waiting: dict[int, int] = {}
+    for qubit, groups in group_lists.items():
+        for index, group in enumerate(groups):
+            if index == 0:
+                for member in group:
+                    waiting.setdefault(id(member), 0)
+            else:
+                for member in group:
+                    waiting[id(member)] = waiting.get(id(member), 0) + 1
 
     unscheduled = {id(node): node for node in dag.nodes}
     qubit_free = [0.0] * dag.num_qubits
@@ -55,11 +65,7 @@ def cls_schedule(
 
     while unscheduled:
         ready = [
-            node
-            for node in unscheduled.values()
-            if all(
-                pointer[q] == group_of[(id(node), q)] for q in node.qubits
-            )
+            node for node in unscheduled.values() if waiting[id(node)] == 0
         ]
         if not ready:
             raise SchedulingError("CLS deadlock: no group-current candidate")
@@ -77,7 +83,7 @@ def cls_schedule(
                     qubit_free[q] = now + duration
                 del unscheduled[id(node)]
                 _advance_pointers(
-                    node, group_lists, group_of, pointer, remaining_in_group,
+                    node, group_lists, pointer, remaining_in_group, waiting,
                 )
             continue
         # Nothing fits at `now`: jump to the next time a candidate could run.
@@ -109,12 +115,15 @@ def _select(
     return chosen
 
 
-def _advance_pointers(node, group_lists, group_of, pointer, remaining) -> None:
+def _advance_pointers(node, group_lists, pointer, remaining, waiting) -> None:
     for q in node.qubits:
         remaining[q] -= 1
         while remaining[q] == 0 and pointer[q] + 1 < len(group_lists[q]):
             pointer[q] += 1
-            remaining[q] = len(group_lists[q][pointer[q]])
+            group = group_lists[q][pointer[q]]
+            remaining[q] = len(group)
+            for member in group:
+                waiting[id(member)] -= 1
 
 
 def _critical_tails(dag, group_lists, latency_fn) -> dict[int, float]:

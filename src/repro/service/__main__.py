@@ -107,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="crash-safe job journal directory (restarts resume work)",
     )
+    parser.add_argument(
+        "--result-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed compiled-result cache directory: repeat "
+        "jobs are served whole without recompiling, across restarts",
+    )
     return parser
 
 
@@ -118,7 +125,9 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
         max_bytes=args.max_bytes,
     )
-    engine = BatchCompiler(cache=cache, backend=args.backend)
+    engine = BatchCompiler(
+        cache=cache, backend=args.backend, result_cache=args.result_cache
+    )
     service = CompileService(
         engine=engine,
         host=args.host,

@@ -38,7 +38,7 @@ import socketserver
 import threading
 import time
 
-from repro.compiler.batch import BatchCompiler
+from repro.compiler.batch import _COUNTER_KEYS, BatchCompiler
 from repro.errors import JobCancelledError, ReproError, ServiceError
 from repro.service.breaker import (
     DEFAULT_BREAKER_COOLDOWN,
@@ -249,6 +249,15 @@ class CompileService:
         self._lock = threading.Lock()
         self._records: dict[str, _JobRecord] = {}
         self._results: dict[str, object] = {}
+        #: Signature -> job_id of the latest successfully completed job
+        #: with that signature: repeat submissions are answered ``done``
+        #: from its artifact without touching the queue.
+        self._done_by_signature: dict[str, str] = {}
+        #: Signature -> job_id of the queued/running job concurrent
+        #: identical submissions coalesce onto (their "primary").
+        self._inflight_by_signature: dict[str, str] = {}
+        #: Primary job_id -> follower job_ids resolved when it finishes.
+        self._followers: dict[str, list[str]] = {}
         self._next_serial = 1
         self._ewma_job_seconds = _INITIAL_JOB_SECONDS
         self._stopping = threading.Event()
@@ -260,6 +269,9 @@ class CompileService:
         self.rejected_busy = 0
         self.rejected_quarantined = 0
         self.resumed = 0
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+        self.coalesced = 0
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.service = self
         self._serve_thread: threading.Thread | None = None
@@ -369,6 +381,15 @@ class CompileService:
                 self._journal(record)
                 self.queue.offer(record.job_id, force=True)
                 self.resumed += 1
+                # First resumable job with a signature becomes the
+                # coalescing primary for post-restart resubmissions.
+                self._inflight_by_signature.setdefault(
+                    record.signature, record.job_id
+                )
+            if record.state == "done":
+                # Serial order: the latest completed job wins, and its
+                # persisted artifact answers repeat submissions.
+                self._done_by_signature[record.signature] = record.job_id
             self._records[record.job_id] = record
             self._next_serial = max(self._next_serial, record.serial + 1)
 
@@ -442,8 +463,43 @@ class CompileService:
                 _EWMA_WEIGHT * seconds
                 + (1.0 - _EWMA_WEIGHT) * self._ewma_job_seconds
             )
+            self._done_by_signature[record.signature] = record.job_id
+            if (
+                self._inflight_by_signature.get(record.signature)
+                == record.job_id
+            ):
+                del self._inflight_by_signature[record.signature]
+            followers = self._followers.pop(record.job_id, [])
         self.breaker.record_success(record.signature)
         self._journal(record)
+        self._resolve_followers_done(followers, result)
+
+    def _resolve_followers_done(self, followers: list[str], result) -> None:
+        """Fan a finished primary's result out to its coalesced riders.
+
+        Each still-queued follower becomes ``done`` sharing the primary's
+        result object (results are immutable to the service; clients get
+        independent deserialized copies over the wire) with zero seconds
+        and all-zero counters — no pass ran for it.  Followers a client
+        cancelled in the meantime are left alone.
+        """
+        for job_id in followers:
+            with self._lock:
+                follower = self._records.get(job_id)
+                if follower is None or follower.state != "queued":
+                    continue
+            if self.journal is not None:
+                self.journal.write_result(job_id, result)
+            with self._lock:
+                if follower.state != "queued":
+                    continue  # cancelled between the two critical sections
+                self._results[job_id] = result
+                follower.state = "done"
+                follower.finished_at = time.time()
+                follower.seconds = 0.0
+                follower.pass_seconds = dict(result.pass_seconds)
+                follower.counters = dict.fromkeys(_COUNTER_KEYS, 0)
+            self._journal(follower)
 
     def _finish_cancelled(self, record: _JobRecord, error: Exception) -> None:
         """Route a JobCancelledError to its real cause.
@@ -471,6 +527,7 @@ class CompileService:
             record.error = str(error)
             self.cancelled += 1
         self._journal(record)
+        self._promote_followers(record)
 
     def _finish_failed(self, record: _JobRecord, error: str) -> None:
         with self._lock:
@@ -478,8 +535,58 @@ class CompileService:
             record.finished_at = time.time()
             record.error = error
             self.failed += 1
+            if (
+                self._inflight_by_signature.get(record.signature)
+                == record.job_id
+            ):
+                del self._inflight_by_signature[record.signature]
+            followers = self._followers.pop(record.job_id, [])
         self.breaker.record_failure(record.signature)
         self._journal(record)
+        # A follower is the same job by construction, so the failure is
+        # its failure too (one breaker strike only, though — the pool
+        # compiled the circuit once).
+        for job_id in followers:
+            with self._lock:
+                follower = self._records.get(job_id)
+                if follower is None or follower.state != "queued":
+                    continue
+                follower.state = "failed"
+                follower.finished_at = time.time()
+                follower.error = error
+                self.failed += 1
+            self._journal(follower)
+
+    def _promote_followers(self, record: _JobRecord) -> None:
+        """A cancelled primary hands its slot to the first live follower.
+
+        The promoted job enters the real queue (``force=True``: it was
+        already admitted once) and inherits the remaining followers; with
+        no live follower the signature simply leaves the in-flight index.
+        """
+        with self._lock:
+            followers = self._followers.pop(record.job_id, [])
+            if (
+                self._inflight_by_signature.get(record.signature)
+                == record.job_id
+            ):
+                del self._inflight_by_signature[record.signature]
+            new_primary = None
+            remaining = []
+            for job_id in followers:
+                follower = self._records.get(job_id)
+                if follower is None or follower.state != "queued":
+                    continue
+                if new_primary is None:
+                    new_primary = job_id
+                else:
+                    remaining.append(job_id)
+            if new_primary is not None:
+                self._inflight_by_signature[record.signature] = new_primary
+                if remaining:
+                    self._followers[new_primary] = remaining
+        if new_primary is not None:
+            self.queue.offer(new_primary, force=True)
 
     def _journal(self, record: _JobRecord) -> None:
         if self.journal is not None:
@@ -540,11 +647,39 @@ class CompileService:
                 "signature": signature,
                 "breaker_state": self.breaker.state_of(signature),
             }
+        # Warm path 1: a completed job with this signature already has a
+        # persisted artifact — answer done instantly, zero compilation.
+        served = self._serve_from_done(envelope, signature)
+        if served is not None:
+            return served
         with self._lock:
             serial = self._next_serial
             self._next_serial += 1
             job_id = f"job-{serial}-{signature[:8]}"
             record = _JobRecord(job_id, serial, envelope, signature)
+            # Warm path 2: an identical job is queued/running right now
+            # — ride along as a follower instead of queueing twice.
+            primary_id = self._inflight_by_signature.get(signature)
+            primary = self._records.get(primary_id) if primary_id else None
+            if primary is not None and primary.state in ("queued", "running"):
+                self._records[job_id] = record
+                self._followers.setdefault(primary_id, []).append(job_id)
+                coalesced_onto = primary_id
+            else:
+                coalesced_onto = None
+        if coalesced_onto is not None:
+            with self._counter_lock:
+                self.coalesced += 1
+            self._journal(record)
+            return {
+                "ok": True,
+                "accepted": True,
+                "job_id": job_id,
+                "state": record.state,
+                "position": len(self.queue),
+                "coalesced_with": coalesced_onto,
+            }
+        with self._lock:
             self._records[job_id] = record
         if not self.queue.offer(job_id):
             with self._lock:
@@ -559,6 +694,10 @@ class CompileService:
                 "queue_depth": len(self.queue),
                 "queue_limit": self.queue.limit,
             }
+        with self._lock:
+            self._inflight_by_signature[signature] = job_id
+        with self._counter_lock:
+            self.result_cache_misses += 1
         self._journal(record)
         return {
             "ok": True,
@@ -566,6 +705,53 @@ class CompileService:
             "job_id": job_id,
             "state": record.state,
             "position": len(self.queue),
+        }
+
+    def _serve_from_done(self, envelope: dict, signature: str) -> dict | None:
+        """Answer a repeat submission from a completed job's artifact.
+
+        Returns the submit response (a fresh job record born ``done``,
+        sharing the prior result) or None when no completed job with
+        this signature — or no retrievable artifact — exists, in which
+        case the submission takes the normal queue path.
+        """
+        with self._lock:
+            done_id = self._done_by_signature.get(signature)
+            result = self._results.get(done_id) if done_id else None
+        if done_id is None:
+            return None
+        if result is None and self.journal is not None:
+            result = self.journal.read_result(done_id)
+        if result is None:
+            return None
+        lookup_started = time.time()
+        with self._lock:
+            serial = self._next_serial
+            self._next_serial += 1
+            job_id = f"job-{serial}-{signature[:8]}"
+            record = _JobRecord(job_id, serial, envelope, signature)
+            self._records[job_id] = record
+        if self.journal is not None:
+            # Same artifact-before-state-flip discipline as _run_record.
+            self.journal.write_result(job_id, result)
+        with self._lock:
+            self._results[job_id] = result
+            record.state = "done"
+            record.finished_at = time.time()
+            record.seconds = time.time() - lookup_started
+            record.pass_seconds = dict(result.pass_seconds)
+            record.counters = dict.fromkeys(_COUNTER_KEYS, 0)
+            self._done_by_signature[signature] = job_id
+        with self._counter_lock:
+            self.result_cache_hits += 1
+        self._journal(record)
+        return {
+            "ok": True,
+            "accepted": True,
+            "job_id": job_id,
+            "state": "done",
+            "position": len(self.queue),
+            "served_from": done_id,
         }
 
     def _record_or_raise(self, request: dict) -> _JobRecord:
@@ -632,6 +818,7 @@ class CompileService:
             state = record.state
         if state == "cancelled":
             self._journal(record)
+            self._promote_followers(record)
         return {"ok": True, "state": state, "resolved": resolved_now}
 
     def _op_jobs(self, request: dict) -> dict:
@@ -659,6 +846,9 @@ class CompileService:
             errors = self.errors
             rejected_busy = self.rejected_busy
             rejected_quarantined = self.rejected_quarantined
+            result_cache_hits = self.result_cache_hits
+            result_cache_misses = self.result_cache_misses
+            coalesced = self.coalesced
         with self._lock:
             states: dict[str, int] = {}
             for record in self._records.values():
@@ -684,4 +874,19 @@ class CompileService:
             "breaker": self.breaker.stats(),
             "journal_jobs": len(self.journal) if self.journal else 0,
             "cache": self.engine.cache_stats(),
+            "coalesced_submissions": coalesced,
+            "result_cache": self._result_cache_stats(
+                result_cache_hits, result_cache_misses
+            ),
         }
+
+    def _result_cache_stats(self, hits: int, misses: int) -> dict:
+        """The service-level warm-path counters, plus the engine's own
+        result-cache store stats when one is attached.  ``completed``
+        deliberately excludes served/coalesced jobs, so "second pass did
+        zero compilations" is a pure counter assertion."""
+        stats = {"hits": hits, "misses": misses}
+        engine_stats = self.engine.result_cache_stats()
+        if engine_stats is not None:
+            stats["engine"] = engine_stats
+        return stats

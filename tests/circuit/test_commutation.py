@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.circuit.commutation import CommutationChecker
+from repro.circuit.commutation import CommutationChecker, clear_shared_verdicts
+from repro.circuit.dag import GateDependenceGraph
 from repro.gates import library as lib
 
 
@@ -78,6 +79,74 @@ class TestCacheBehaviour:
     def test_cache_size_grows(self, checker):
         checker.commute(lib.H(0), lib.X(0))
         assert checker.cache_size() >= 1
+
+
+def _gate_mix():
+    """A three-qubit sequence exercising exact checks, diagonal pairs,
+    and disjoint supports — the structural variety one GDG build sees."""
+    return [
+        lib.H(0),
+        lib.CNOT(0, 1),
+        lib.RZ(0.3, 1),
+        lib.CNOT(0, 1),
+        lib.RZZ(0.5, 1, 2),
+        lib.CNOT(1, 2),
+        lib.X(2),
+        lib.CZ(0, 2),
+        lib.RZ(0.7, 0),
+    ]
+
+
+class TestSharedVerdictMemo:
+    """The process-global memo: verdicts survive across checker instances."""
+
+    def test_fresh_checker_reuses_process_global_verdicts(self):
+        clear_shared_verdicts()
+        first = CommutationChecker()
+        assert first.commute(lib.RZ(0.7, 0), lib.CNOT(0, 1))
+        assert first.exact_checks == 1
+        second = CommutationChecker()
+        assert second.commute(lib.RZ(0.7, 0), lib.CNOT(0, 1))
+        assert second.exact_checks == 0
+        assert second.shared_hits == 1
+
+    def test_different_tolerances_never_share_a_verdict(self):
+        clear_shared_verdicts()
+        strict = CommutationChecker()
+        strict.commute(lib.RX(0.1, 0), lib.RZ(0.2, 0))
+        loose = CommutationChecker(atol=1e-3)
+        loose.commute(lib.RX(0.1, 0), lib.RZ(0.2, 0))
+        assert loose.shared_hits == 0
+        assert loose.exact_checks == 1
+
+    def test_gdg_output_identical_cold_and_warm(self):
+        """Regression pin: a GDG built against a primed memo groups its
+        nodes exactly like one built with the memo empty."""
+
+        def groups_of(dag, nodes):
+            index = {id(node): i for i, node in enumerate(nodes)}
+            return [
+                [
+                    [index[id(member)] for member in group]
+                    for group in dag.commutation_groups(q)
+                ]
+                for q in range(3)
+            ]
+
+        clear_shared_verdicts()
+        cold_nodes = _gate_mix()
+        cold_dag = GateDependenceGraph(
+            3, cold_nodes, CommutationChecker().commute
+        )
+        cold_groups = groups_of(cold_dag, cold_nodes)
+
+        warm_nodes = _gate_mix()
+        warm_checker = CommutationChecker()
+        warm_dag = GateDependenceGraph(3, warm_nodes, warm_checker.commute)
+        assert groups_of(warm_dag, warm_nodes) == cold_groups
+        # Every structural question was answered from the shared memo.
+        assert warm_checker.exact_checks == 0
+        assert warm_checker.shared_hits > 0
 
 
 class TestConservativeFallback:

@@ -16,6 +16,7 @@ import pytest
 from repro.benchmarks.ising import ising_model_circuit
 from repro.benchmarks.qaoa import line_graph, maxcut_qaoa_circuit
 from repro.compiler.batch import BatchCompiler, BatchJob
+from repro.compiler.result_cache import ResultCache
 from repro.control.cache import DiskPulseCache
 from repro.errors import ServiceBusyError, ServiceError
 from repro.service import CompileService, ServiceClient
@@ -258,7 +259,11 @@ class TestRestart:
                 client.wait(done_id, timeout=120)
 
         # Generation 2 has no workers: two accepted jobs are still
-        # queued when it "dies" — the mid-batch kill.
+        # queued when it "dies" — the mid-batch kill.  Distinct circuit
+        # names keep their signatures fresh (a byte-identical repeat of
+        # the generation-1 job would be served done from its artifact
+        # instead of queueing).
+        queued_circuits = [_circuit(f"resume-q{i}") for i in range(2)]
         with CompileService(
             engine=BatchCompiler(cache=DiskPulseCache(stem)),
             workers=0,
@@ -266,7 +271,7 @@ class TestRestart:
         ) as service:
             with ServiceClient(service.url) as client:
                 queued = [
-                    client.submit(circuit, label=f"queued-{i}")
+                    client.submit(queued_circuits[i], label=f"queued-{i}")
                     for i in range(2)
                 ]
                 assert client.stats()["queue"]["depth"] == 2
@@ -279,13 +284,125 @@ class TestRestart:
         ) as reborn:
             assert reborn.resumed == 2
             with ServiceClient(reborn.url) as client:
-                for job_id in queued:
+                for job_id, queued_circuit in zip(queued, queued_circuits):
                     result = client.wait(job_id, timeout=120)
-                    assert result.verify_equivalence(circuit=circuit)
+                    assert result.verify_equivalence(circuit=queued_circuit)
                 assert client.status(done_id)["state"] == "done"
             # The resumed jobs answer every optimal-control query from
             # the warm cache: zero fresh work in the whole generation.
             assert reborn.engine.lifetime_info["model_evals"] == 0
+
+
+class TestResultCacheServing:
+    def test_resubmission_is_served_done_at_submit_time(self):
+        engine = BatchCompiler(result_cache=ResultCache())
+        with CompileService(engine=engine, workers=1) as service:
+            with ServiceClient(service.url) as client:
+                circuit = _circuit("served")
+                first = client.submit(circuit, label="one")
+                original = client.wait(first, timeout=120)
+                # Different label, same signature: done on arrival.
+                second = client.submit(circuit, label="two")
+                assert second != first
+                assert client.status(second)["state"] == "done"
+                again = client.result(second)
+                assert again.latency_ns == original.latency_ns
+                assert again.verify_equivalence(circuit=circuit)
+                stats = client.stats()
+                assert stats["completed"] == 1  # served != compiled
+                assert stats["result_cache"]["hits"] == 1
+                assert stats["result_cache"]["misses"] == 1
+                # The engine's own store stats travel alongside.
+                assert stats["result_cache"]["engine"]["stores"] == 1
+
+    def test_serving_survives_a_restart_via_the_journal(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        circuit = _circuit("journal-served")
+        with CompileService(workers=1, journal=journal_dir) as service:
+            with ServiceClient(service.url) as client:
+                job_id = client.submit(circuit)
+                client.wait(job_id, timeout=120)
+
+        with CompileService(workers=1, journal=journal_dir) as reborn:
+            with ServiceClient(reborn.url) as client:
+                again = client.submit(circuit)
+                assert again != job_id
+                assert client.status(again)["state"] == "done"
+                result = client.result(again)
+                assert result.verify_equivalence(circuit=circuit)
+                assert client.stats()["completed"] == 0
+            # The artifact came off disk: zero compilation work.
+            assert reborn.engine.lifetime_info["model_evals"] == 0
+
+    def test_stats_envelope_round_trips_the_new_counters(self, service):
+        from repro.ir.serialize import (
+            service_stats_from_dict,
+            service_stats_to_dict,
+        )
+
+        raw = service.stats()
+        assert raw["coalesced_submissions"] == 0
+        assert raw["result_cache"] == {"hits": 0, "misses": 0}
+        decoded = service_stats_from_dict(service_stats_to_dict(raw))
+        assert decoded["coalesced_submissions"] == 0
+        assert decoded["result_cache"] == raw["result_cache"]
+
+
+class TestCoalescing:
+    def test_identical_queued_submissions_coalesce(self):
+        with CompileService(workers=0) as service:
+            with ServiceClient(service.url) as client:
+                circuit = _circuit("co")
+                primary = client.submit(circuit, label="primary")
+                follower = client.submit(circuit, label="follower")
+                assert follower != primary
+                assert client.status(follower)["state"] == "queued"
+                stats = client.stats()
+                assert stats["coalesced_submissions"] == 1
+                # The follower rides the primary: one queue slot total.
+                assert stats["queue"]["depth"] == 1
+
+    def test_follower_completes_with_the_primary(self):
+        with CompileService(workers=1) as service:
+            with ServiceClient(service.url) as client:
+                circuit = _circuit("co-done", nodes=8)
+                primary = client.submit(circuit, label="p")
+                follower = client.submit(circuit, label="f")
+                a = client.wait(primary, timeout=120)
+                b = client.wait(follower, timeout=120)
+                assert a.latency_ns == b.latency_ns
+                stats = client.stats()
+                assert stats["completed"] == 1
+                # The second submission either coalesced onto the live
+                # primary or (if the primary already finished) was
+                # served from its result — one compilation either way.
+                assert (
+                    stats["coalesced_submissions"]
+                    + stats["result_cache"]["hits"]
+                ) == 1
+
+    def test_cancelling_the_primary_promotes_a_follower(self):
+        with CompileService(workers=0) as service:
+            with ServiceClient(service.url) as client:
+                circuit = _circuit("promote")
+                primary = client.submit(circuit, label="primary")
+                follower = client.submit(circuit, label="follower")
+                assert client.cancel(primary) == "cancelled"
+                # The follower took over the signature and queued.
+                assert client.status(follower)["state"] == "queued"
+                # A third identical submission coalesces onto it.
+                client.submit(circuit, label="third")
+                assert client.stats()["coalesced_submissions"] == 2
+
+    def test_followers_share_the_primary_failure(self):
+        with CompileService(workers=1) as service:
+            with ServiceClient(service.url) as client:
+                first = client.submit_job(_poisoned_job())
+                second = client.submit_job(_poisoned_job())
+                for job_id in (first, second):
+                    with pytest.raises(ServiceError, match="failed"):
+                        client.wait(job_id, timeout=120)
+                assert client.stats()["failed"] == 2
 
 
 class TestCounters:
